@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Software micro-benchmarks of the quantization substrate (google-
+ * benchmark): codec and MX datapath throughput. These measure the
+ * simulator's own hot loops, not the modeled hardware.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <vector>
+
+#include "core/lfsr.h"
+#include "quant/format.h"
+#include "quant/mx8.h"
+
+namespace {
+
+using namespace pimba;
+
+std::array<double, kMxGroupSize>
+randomGroup(uint32_t seed)
+{
+    Lfsr32 rng(seed);
+    std::array<double, kMxGroupSize> v{};
+    for (auto &x : v)
+        x = rng.nextGaussian();
+    return v;
+}
+
+void
+BM_MxQuantize(benchmark::State &state)
+{
+    auto v = randomGroup(1);
+    Lfsr16 lfsr(7);
+    Rounding mode = state.range(0) ? Rounding::Stochastic
+                                   : Rounding::Nearest;
+    for (auto _ : state) {
+        MxGroup g = mxQuantize(v.data(), mode, lfsr);
+        benchmark::DoNotOptimize(g);
+    }
+    state.SetItemsProcessed(state.iterations() * kMxGroupSize);
+}
+BENCHMARK(BM_MxQuantize)->Arg(0)->Arg(1);
+
+void
+BM_MxMultiply(benchmark::State &state)
+{
+    Lfsr16 lfsr(7);
+    auto a = randomGroup(1);
+    auto b = randomGroup(2);
+    MxGroup ga = mxQuantize(a.data(), Rounding::Nearest, lfsr);
+    MxGroup gb = mxQuantize(b.data(), Rounding::Nearest, lfsr);
+    for (auto _ : state) {
+        MxGroup g = mxMultiply(ga, gb, Rounding::Nearest, lfsr);
+        benchmark::DoNotOptimize(g);
+    }
+    state.SetItemsProcessed(state.iterations() * kMxGroupSize);
+}
+BENCHMARK(BM_MxMultiply);
+
+void
+BM_MxAdd(benchmark::State &state)
+{
+    Lfsr16 lfsr(7);
+    auto a = randomGroup(3);
+    auto b = randomGroup(4);
+    MxGroup ga = mxQuantize(a.data(), Rounding::Nearest, lfsr);
+    MxGroup gb = mxQuantize(b.data(), Rounding::Nearest, lfsr);
+    for (auto _ : state) {
+        MxGroup g = mxAdd(ga, gb, Rounding::Nearest, lfsr);
+        benchmark::DoNotOptimize(g);
+    }
+    state.SetItemsProcessed(state.iterations() * kMxGroupSize);
+}
+BENCHMARK(BM_MxAdd);
+
+void
+BM_MxDotProduct(benchmark::State &state)
+{
+    Lfsr16 lfsr(7);
+    auto a = randomGroup(5);
+    auto b = randomGroup(6);
+    MxGroup ga = mxQuantize(a.data(), Rounding::Nearest, lfsr);
+    MxGroup gb = mxQuantize(b.data(), Rounding::Nearest, lfsr);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mxDotProduct(ga, gb));
+    state.SetItemsProcessed(state.iterations() * kMxGroupSize);
+}
+BENCHMARK(BM_MxDotProduct);
+
+void
+BM_QuantizeSpan(benchmark::State &state)
+{
+    NumberFormat fmt = static_cast<NumberFormat>(state.range(0));
+    Lfsr16 lfsr(9);
+    Lfsr32 rng(11);
+    std::vector<double> v(4096);
+    for (auto &x : v)
+        x = rng.nextGaussian();
+    QuantSpec spec{fmt, Rounding::Nearest};
+    for (auto _ : state) {
+        std::vector<double> w = v;
+        quantizeSpan(w.data(), w.size(), spec, lfsr);
+        benchmark::DoNotOptimize(w.data());
+    }
+    state.SetItemsProcessed(state.iterations() * v.size());
+    state.SetLabel(formatName(fmt));
+}
+BENCHMARK(BM_QuantizeSpan)
+    ->Arg(static_cast<int>(NumberFormat::FP16))
+    ->Arg(static_cast<int>(NumberFormat::INT8))
+    ->Arg(static_cast<int>(NumberFormat::E4M3))
+    ->Arg(static_cast<int>(NumberFormat::E5M2))
+    ->Arg(static_cast<int>(NumberFormat::MX8));
+
+} // namespace

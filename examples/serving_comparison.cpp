@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Serving-system shoot-out: compare all five systems (GPU, GPU+Q,
+ * GPU+PIM, Pimba, NeuPIMs) on a model and batch size given on the
+ * command line.
+ *
+ * Usage: serving_comparison [model] [batch]
+ *   model: retnet | gla | hgrn2 | mamba2 | zamba2 | opt (default mamba2)
+ *   batch: requests per batch (default 128)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/table.h"
+#include "sim/serving_sim.h"
+
+using namespace pimba;
+
+namespace {
+
+ModelConfig
+pickModel(const char *name)
+{
+    if (!strcmp(name, "retnet"))
+        return retnet2p7b();
+    if (!strcmp(name, "gla"))
+        return gla2p7b();
+    if (!strcmp(name, "hgrn2"))
+        return hgrn2_2p7b();
+    if (!strcmp(name, "mamba2"))
+        return mamba2_2p7b();
+    if (!strcmp(name, "zamba2"))
+        return zamba2_7b();
+    if (!strcmp(name, "opt"))
+        return opt7b();
+    fprintf(stderr, "unknown model '%s'\n", name);
+    exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ModelConfig model = pickModel(argc > 1 ? argv[1] : "mamba2");
+    int batch = argc > 2 ? atoi(argv[2]) : 128;
+
+    printf("comparing systems on %s, batch %d, (2048, 2048) lengths\n\n",
+           model.name.c_str(), batch);
+
+    Table t({"system", "tok/s", "speedup", "step (ms)", "SU (ms)",
+             "Attn (ms)", "energy (J/step)", "memory (GB)"});
+    double base = 0.0;
+    for (SystemKind kind :
+         {SystemKind::GPU, SystemKind::GPU_Q, SystemKind::GPU_PIM,
+          SystemKind::PIMBA, SystemKind::NEUPIMS}) {
+        ServingSimulator sim(makeSystem(kind));
+        double thr = sim.generationThroughput(model, batch, 2048, 2048);
+        if (kind == SystemKind::GPU)
+            base = thr;
+        auto step = sim.averagedStep(model, batch, 2048, 2048);
+        auto mem = sim.memoryUsage(model, batch, 3072);
+        t.addRow({systemName(kind), fmt(thr, 0), fmtRatio(thr / base),
+                  fmt(step.seconds * 1e3, 2),
+                  fmt(step.latency.get("StateUpdate") * 1e3, 2),
+                  fmt(step.latency.get("Attention") * 1e3, 2),
+                  fmt(step.energy.total(), 3),
+                  fmt(mem.total() / 1e9, 1)});
+    }
+    printf("%s", t.str().c_str());
+    return 0;
+}

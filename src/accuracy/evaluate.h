@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Experiment drivers for the accuracy studies: WikiText-2-style
+ * perplexity (Fig. 4, Fig. 6, Table 2 first column) and the
+ * multiple-choice task suite (Table 2).
+ */
+
+#ifndef PIMBA_ACCURACY_EVALUATE_H
+#define PIMBA_ACCURACY_EVALUATE_H
+
+#include <string>
+#include <vector>
+
+#include "accuracy/tiny_lm.h"
+
+namespace pimba {
+
+/** Models evaluated in the accuracy studies, in paper order. */
+struct AccuracyModel
+{
+    std::string name;
+    TinyLmConfig cfg;
+};
+
+/** RetNet, GLA, HGRN2, Mamba-2, Zamba2, OPT (plus LLaMA for Fig. 4). */
+std::vector<AccuracyModel> accuracyModels();
+
+/** Perplexity of @p model's synthetic WikiText-2 stand-in under @p spec.
+ *  @param seq_len Evaluated stream length (default mirrors one context
+ *  window; longer streams sharpen the swamping separation). */
+double evalPerplexity(const AccuracyModel &model, const QuantSpec &spec,
+                      size_t seq_len = 384);
+
+/** One multiple-choice benchmark's synthetic stand-in. */
+struct TaskSpec
+{
+    std::string name;
+    int numOptions = 4;   ///< candidate continuations per question
+    int promptLen = 24;   ///< prompt tokens
+    int contLen = 8;      ///< continuation tokens
+    double distractorTemp = 1.6; ///< higher = easier distractors
+    int trials = 60;      ///< questions per evaluation
+};
+
+/** Piqa, Lambada, HellaSwag, ARC-E, ARC-C, WinoGrande stand-ins. */
+std::vector<TaskSpec> accuracyTasks();
+
+/**
+ * Accuracy (%) of @p model on @p task: the true continuation is sampled
+ * from the teacher at low temperature, distractors at high temperature;
+ * the model under @p spec must rank the true one highest by total
+ * log-probability.
+ */
+double evalTaskAccuracy(const AccuracyModel &model, const TaskSpec &task,
+                        const QuantSpec &spec);
+
+/** Geometric mean of task accuracies (the paper's Geomean column). */
+double geomean(const std::vector<double> &values);
+
+} // namespace pimba
+
+#endif // PIMBA_ACCURACY_EVALUATE_H

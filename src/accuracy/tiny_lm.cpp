@@ -1,0 +1,426 @@
+#include "accuracy/tiny_lm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace pimba {
+
+namespace {
+
+/** Scale applied to the tied-embedding logits (sharpens the softmax so
+ *  teacher streams are predictable and baseline perplexity is low). */
+constexpr double kLogitScale = 6.0;
+
+/** RMS-normalize a vector in place. */
+void
+rmsNorm(std::vector<double> &x)
+{
+    double ss = 0.0;
+    for (double v : x)
+        ss += v * v;
+    double rms = std::sqrt(ss / static_cast<double>(x.size())) + 1e-8;
+    for (double &v : x)
+        v /= rms;
+}
+
+double
+sigmoid(double x)
+{
+    return 1.0 / (1.0 + std::exp(-x));
+}
+
+double
+softplus(double x)
+{
+    if (x > 20.0)
+        return x;
+    return std::log1p(std::exp(x));
+}
+
+/** Fill a matrix with N(0, 1/sqrt(fan_in)) entries. */
+void
+randInit(Matrix &m, Lfsr32 &rng)
+{
+    double scale = 1.0 / std::sqrt(static_cast<double>(m.cols()));
+    for (size_t r = 0; r < m.rows(); ++r)
+        for (size_t c = 0; c < m.cols(); ++c)
+            m(r, c) = rng.nextGaussian() * scale;
+}
+
+} // namespace
+
+TinyLmConfig
+TinyLmConfig::forModel(SuVariant variant, bool hybrid, bool attention_only)
+{
+    TinyLmConfig cfg;
+    cfg.variant = variant;
+    cfg.hybridAttention = hybrid;
+    cfg.attentionOnly = attention_only;
+    if (attention_only)
+        cfg.variant = SuVariant::None;
+    if (hybrid)
+        cfg.layers = 4; // one attention layer per four blocks
+    return cfg;
+}
+
+TinyLm::TinyLm(const TinyLmConfig &config)
+    : cfg(config)
+{
+    Lfsr32 rng(cfg.seed * 2654435761u + 1u);
+
+    embedding = Matrix(cfg.vocab, cfg.dModel);
+    randInit(embedding, rng);
+
+    int qk_dim = cfg.heads * cfg.dimHead;
+    int v_dim = cfg.heads * cfg.dimState;
+
+    weights.resize(cfg.layers);
+    for (auto &lw : weights) {
+        lw.wq = Matrix(qk_dim, cfg.dModel);
+        lw.wk = Matrix(qk_dim, cfg.dModel);
+        lw.wv = Matrix(v_dim, cfg.dModel);
+        lw.wd = Matrix(qk_dim, cfg.dModel);
+        lw.wo = Matrix(cfg.dModel, v_dim);
+        randInit(lw.wq, rng);
+        randInit(lw.wk, rng);
+        randInit(lw.wv, rng);
+        randInit(lw.wd, rng);
+        randInit(lw.wo, rng);
+        lw.headDecay.resize(cfg.heads);
+        for (int h = 0; h < cfg.heads; ++h) {
+            // Log-spaced decays (RetNet recipe): long- and short-memory
+            // heads. The range [0.96, 0.994] puts the equilibrium
+            // state-to-increment ratio between 2^4 and 2^7, i.e. beyond
+            // the half-ulp of 2- and 3-bit mantissas (which swamp) but
+            // within reach of the 6/7-bit mantissas of MX8 and int8 —
+            // the regime Section 3.2 describes.
+            double t = (h + 1.0) / (cfg.heads + 1.0);
+            lw.headDecay[h] = 1.0 - std::pow(2.0, -4.6 - 2.8 * t);
+        }
+        // Persistent input statistics: trained models' key/value
+        // projections have strong mean components per channel, so the
+        // state accumulates like a long summation — the setting in
+        // which swamping was originally characterized [29, 76].
+        lw.biasK.resize(qk_dim);
+        lw.biasV.resize(v_dim);
+        for (auto &b : lw.biasK)
+            b = rng.nextGaussian();
+        for (auto &b : lw.biasV)
+            b = rng.nextGaussian();
+    }
+}
+
+bool
+TinyLm::isAttentionLayer(int layer) const
+{
+    if (cfg.attentionOnly)
+        return true;
+    if (cfg.hybridAttention)
+        return (layer % 4) == 3;
+    return false;
+}
+
+void
+TinyLm::initState(RunState &rs) const
+{
+    rs.state.assign(cfg.layers, {});
+    rs.kCache.assign(cfg.layers, {});
+    rs.vCache.assign(cfg.layers, {});
+    for (int l = 0; l < cfg.layers; ++l) {
+        if (!isAttentionLayer(l)) {
+            rs.state[l].assign(cfg.heads,
+                               Matrix(cfg.dimHead, cfg.dimState));
+        }
+    }
+}
+
+void
+TinyLm::suBlock(int layer, const QuantSpec &spec, RunState &rs,
+                std::vector<double> &x) const
+{
+    const auto &lw = weights[layer];
+    std::vector<double> xn = x;
+    rmsNorm(xn);
+
+    std::vector<double> q, k, v, g;
+    matVec(lw.wq, xn, q);
+    matVec(lw.wk, xn, k);
+    matVec(lw.wv, xn, v);
+    matVec(lw.wd, xn, g);
+
+    double q_scale = 1.0 / std::sqrt(static_cast<double>(cfg.dimHead));
+    std::vector<double> y(static_cast<size_t>(cfg.heads) * cfg.dimState);
+
+    for (int h = 0; h < cfg.heads; ++h) {
+        Matrix &s = rs.state[layer][h];
+        const double *qh = q.data() + static_cast<size_t>(h) * cfg.dimHead;
+        const double *kh = k.data() + static_cast<size_t>(h) * cfg.dimHead;
+        const double *vh = v.data() +
+                           static_cast<size_t>(h) * cfg.dimState;
+        const double *gh = g.data() + static_cast<size_t>(h) * cfg.dimHead;
+
+        // Per-variant decay vector over dimHead.
+        std::vector<double> decay(cfg.dimHead);
+        std::vector<double> in_gate(cfg.dimHead, 1.0);
+        switch (cfg.variant) {
+          case SuVariant::RetNet:
+            std::fill(decay.begin(), decay.end(), lw.headDecay[h]);
+            break;
+          case SuVariant::GLA:
+            // Input-dependent per-channel gate, pushed toward 1 the way
+            // GLA's temperature trick does.
+            for (int i = 0; i < cfg.dimHead; ++i)
+                decay[i] = 0.96 + 0.034 * sigmoid(gh[i]);
+            break;
+          case SuVariant::HGRN2: {
+            // Lower-bounded forget gate with complementary input gate.
+            double lb = lw.headDecay[h];
+            for (int i = 0; i < cfg.dimHead; ++i) {
+                decay[i] = lb + (1.0 - lb) * 0.8 * sigmoid(gh[i]);
+                in_gate[i] = 8.0 * (1.0 - decay[i]);
+            }
+            break;
+          }
+          case SuVariant::Mamba2: {
+            // Selective scalar decay a = exp(-dt * A), dt input-driven.
+            double dt = softplus(gh[0]);
+            double a = std::exp(-0.005 - 0.03 * sigmoid(dt) -
+                                0.002 * h);
+            std::fill(decay.begin(), decay.end(), a);
+            break;
+          }
+          case SuVariant::None:
+            PIMBA_PANIC("SU block in attention-only model");
+        }
+
+        // S = decay ⊙ S + (in_gate ⊙ (k + b_k)) (v + b_v)^T
+        const double *bk = lw.biasK.data() +
+                           static_cast<size_t>(h) * cfg.dimHead;
+        const double *bv = lw.biasV.data() +
+                           static_cast<size_t>(h) * cfg.dimState;
+        for (int i = 0; i < cfg.dimHead; ++i) {
+            double ki = in_gate[i] * (kh[i] + bk[i]);
+            double di = decay[i];
+            double *row = s.row(i);
+            for (int j = 0; j < cfg.dimState; ++j)
+                row[j] = di * row[j] + ki * (vh[j] + bv[j]);
+        }
+
+        // Project onto the representable grid of the state format —
+        // the step the Pimba hardware performs on write-back.
+        quantizeSpan(s.data(), s.size(), spec, rs.lfsr);
+
+        // y = S^T q
+        for (int j = 0; j < cfg.dimState; ++j) {
+            double acc = 0.0;
+            for (int i = 0; i < cfg.dimHead; ++i)
+                acc += s(i, j) * qh[i] * q_scale;
+            y[static_cast<size_t>(h) * cfg.dimState + j] = acc;
+        }
+    }
+
+    // No normalization on y: the state's magnitude and direction carry
+    // the context signal into the logits, so state corruption (swamping,
+    // saturation) is visible downstream — as it is in trained models.
+    std::vector<double> out;
+    matVec(weights[layer].wo, y, out);
+    for (size_t i = 0; i < x.size(); ++i)
+        x[i] += 1.5 * out[i];
+}
+
+void
+TinyLm::attnBlock(int layer, const QuantSpec &spec, RunState &rs,
+                  std::vector<double> &x) const
+{
+    const auto &lw = weights[layer];
+    std::vector<double> xn = x;
+    rmsNorm(xn);
+
+    std::vector<double> q, k, v;
+    matVec(lw.wq, xn, q);
+    matVec(lw.wk, xn, k);
+    matVec(lw.wv, xn, v);
+
+    // Quantize the freshly appended K/V rows (write-once: this is the
+    // only rounding the KV cache ever sees, unlike the state).
+    quantizeSpan(k.data(), k.size(), spec, rs.lfsr);
+    quantizeSpan(v.data(), v.size(), spec, rs.lfsr);
+    rs.kCache[layer].push_back(k);
+    rs.vCache[layer].push_back(v);
+
+    const auto &kc = rs.kCache[layer];
+    const auto &vc = rs.vCache[layer];
+    size_t t_len = kc.size();
+    double q_scale = 1.0 / std::sqrt(static_cast<double>(cfg.dimHead));
+
+    std::vector<double> y(static_cast<size_t>(cfg.heads) * cfg.dimState,
+                          0.0);
+    std::vector<double> scores(t_len);
+    for (int h = 0; h < cfg.heads; ++h) {
+        const double *qh = q.data() + static_cast<size_t>(h) * cfg.dimHead;
+        double maxs = -1e300;
+        for (size_t t = 0; t < t_len; ++t) {
+            const double *kh = kc[t].data() +
+                               static_cast<size_t>(h) * cfg.dimHead;
+            double dot = 0.0;
+            for (int i = 0; i < cfg.dimHead; ++i)
+                dot += qh[i] * kh[i];
+            scores[t] = dot * q_scale;
+            maxs = std::max(maxs, scores[t]);
+        }
+        double z = 0.0;
+        for (size_t t = 0; t < t_len; ++t) {
+            scores[t] = std::exp(scores[t] - maxs);
+            z += scores[t];
+        }
+        double *yh = y.data() + static_cast<size_t>(h) * cfg.dimState;
+        for (size_t t = 0; t < t_len; ++t) {
+            double p = scores[t] / z;
+            const double *vh = vc[t].data() +
+                               static_cast<size_t>(h) * cfg.dimState;
+            for (int j = 0; j < cfg.dimState; ++j)
+                yh[j] += p * vh[j];
+        }
+    }
+
+    rmsNorm(y);
+    std::vector<double> out;
+    matVec(lw.wo, y, out);
+    for (size_t i = 0; i < x.size(); ++i)
+        x[i] += out[i];
+}
+
+void
+TinyLm::step(int token, const QuantSpec &spec, RunState &rs,
+             std::vector<double> &logits) const
+{
+    PIMBA_ASSERT(token >= 0 && token < cfg.vocab, "token out of range");
+    std::vector<double> x(embedding.row(token),
+                          embedding.row(token) + cfg.dModel);
+
+    for (int l = 0; l < cfg.layers; ++l) {
+        if (isAttentionLayer(l))
+            attnBlock(l, spec, rs, x);
+        else
+            suBlock(l, spec, rs, x);
+    }
+
+    rmsNorm(x);
+    logits.assign(cfg.vocab, 0.0);
+    double scale = kLogitScale / std::sqrt(static_cast<double>(cfg.dModel));
+    for (int t = 0; t < cfg.vocab; ++t) {
+        const double *er = embedding.row(t);
+        double acc = 0.0;
+        for (int i = 0; i < cfg.dModel; ++i)
+            acc += er[i] * x[i];
+        logits[t] = acc * scale;
+    }
+}
+
+namespace {
+
+/** log softmax probability of @p target under @p logits. */
+double
+logProb(const std::vector<double> &logits, int target)
+{
+    double maxv = *std::max_element(logits.begin(), logits.end());
+    double z = 0.0;
+    for (double v : logits)
+        z += std::exp(v - maxv);
+    return (logits[target] - maxv) - std::log(z);
+}
+
+} // namespace
+
+std::vector<int>
+TinyLm::sampleStream(size_t len, double temperature,
+                     uint32_t stream_seed) const
+{
+    Lfsr32 rng(stream_seed * 747796405u + 11u);
+    RunState rs;
+    initState(rs);
+    QuantSpec exact; // fp64: the teacher runs unquantized
+
+    std::vector<int> tokens;
+    tokens.reserve(len);
+    int tok = static_cast<int>(rng.next() % cfg.vocab);
+    tokens.push_back(tok);
+
+    std::vector<double> logits;
+    while (tokens.size() < len) {
+        step(tok, exact, rs, logits);
+        // Temperature sampling.
+        double maxv = *std::max_element(logits.begin(), logits.end());
+        std::vector<double> p(cfg.vocab);
+        double z = 0.0;
+        for (int t = 0; t < cfg.vocab; ++t) {
+            p[t] = std::exp((logits[t] - maxv) / temperature);
+            z += p[t];
+        }
+        double u = rng.nextUnit() * z;
+        int pick = 0;
+        double acc = 0.0;
+        for (int t = 0; t < cfg.vocab; ++t) {
+            acc += p[t];
+            if (u <= acc) {
+                pick = t;
+                break;
+            }
+        }
+        tok = pick;
+        tokens.push_back(tok);
+    }
+    return tokens;
+}
+
+double
+TinyLm::crossEntropy(const std::vector<int> &tokens,
+                     const QuantSpec &spec) const
+{
+    PIMBA_ASSERT(tokens.size() >= 2, "need at least two tokens");
+    RunState rs;
+    initState(rs);
+    std::vector<double> logits;
+    double total = 0.0;
+    size_t n = 0;
+    for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+        step(tokens[i], spec, rs, logits);
+        total += -logProb(logits, tokens[i + 1]);
+        ++n;
+    }
+    return total / static_cast<double>(n);
+}
+
+double
+TinyLm::perplexity(const std::vector<int> &tokens,
+                   const QuantSpec &spec) const
+{
+    return std::exp(std::min(crossEntropy(tokens, spec), 12.0));
+}
+
+double
+TinyLm::continuationLogProb(const std::vector<int> &prompt,
+                            const std::vector<int> &continuation,
+                            const QuantSpec &spec) const
+{
+    PIMBA_ASSERT(!prompt.empty() && !continuation.empty(),
+                 "empty prompt/continuation");
+    RunState rs;
+    initState(rs);
+    std::vector<double> logits;
+    for (size_t i = 0; i + 1 < prompt.size(); ++i)
+        step(prompt[i], spec, rs, logits);
+
+    double total = 0.0;
+    int prev = prompt.back();
+    for (int tok : continuation) {
+        step(prev, spec, rs, logits);
+        total += logProb(logits, tok);
+        prev = tok;
+    }
+    return total;
+}
+
+} // namespace pimba

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Synthetic language models for the quantization-accuracy experiments
+ * (paper Section 3.2, Figures 4 and 6, Table 2).
+ *
+ * The paper evaluates real pretrained checkpoints; offline we substitute
+ * small randomly-initialized models with the same layer mathematics:
+ * the quantization phenomenon under study is numerical (swamping during
+ * the state "update" accumulation) and depends on the recurrence
+ * statistics, not on trained weights. Perplexity is measured on token
+ * streams sampled from the fp64 teacher, so the unquantized model has a
+ * low baseline perplexity and state corruption shows up as divergence
+ * from the teacher's distribution — mirroring how WikiText-2 perplexity
+ * behaves in the paper.
+ *
+ * The recurrent state (SU-LLMs) or the KV cache (transformers) is
+ * re-quantized to the format under test after every update/append,
+ * exactly the projection the Pimba SPE applies in hardware.
+ */
+
+#ifndef PIMBA_ACCURACY_TINY_LM_H
+#define PIMBA_ACCURACY_TINY_LM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/lfsr.h"
+#include "core/matrix.h"
+#include "models/model_config.h"
+#include "quant/format.h"
+
+namespace pimba {
+
+/** Hyper-parameters of a synthetic model. */
+struct TinyLmConfig
+{
+    SuVariant variant = SuVariant::RetNet;
+    bool hybridAttention = false; ///< Zamba2-style: attention every 4th
+    bool attentionOnly = false;   ///< OPT-style transformer
+    int layers = 3;
+    int dModel = 64;
+    int heads = 4;
+    int dimHead = 32;  ///< multiple of the MX group size
+    int dimState = 32;
+    int vocab = 128;
+    uint32_t seed = 7;
+
+    /** Preset mirroring one of the paper's evaluated models. */
+    static TinyLmConfig forModel(SuVariant variant, bool hybrid = false,
+                                 bool attention_only = false);
+};
+
+/**
+ * A runnable synthetic LLM with per-step state/KV quantization.
+ *
+ * The object owns random weights (deterministic in the seed) and
+ * per-evaluation mutable state; evaluations are independent.
+ */
+class TinyLm
+{
+  public:
+    explicit TinyLm(const TinyLmConfig &cfg);
+
+    /**
+     * Teacher-sample a token stream of @p len tokens from the fp64 model
+     * at the given softmax temperature.
+     */
+    std::vector<int> sampleStream(size_t len, double temperature,
+                                  uint32_t stream_seed) const;
+
+    /**
+     * Average next-token cross entropy (nats) of the model on @p tokens
+     * with its state/KV stored in @p spec.
+     */
+    double crossEntropy(const std::vector<int> &tokens,
+                        const QuantSpec &spec) const;
+
+    /** Perplexity = exp(crossEntropy). */
+    double perplexity(const std::vector<int> &tokens,
+                      const QuantSpec &spec) const;
+
+    /**
+     * Total log-probability the model assigns to @p continuation after
+     * consuming @p prompt (used by the multiple-choice tasks).
+     */
+    double continuationLogProb(const std::vector<int> &prompt,
+                               const std::vector<int> &continuation,
+                               const QuantSpec &spec) const;
+
+    const TinyLmConfig &config() const { return cfg; }
+
+  private:
+    struct LayerWeights
+    {
+        Matrix wq, wk, wv, wd; ///< projections (decay/gate where used)
+        Matrix wo;             ///< output projection
+        std::vector<double> headDecay; ///< fixed per-head decay / bound
+        std::vector<double> biasK;     ///< persistent key-channel means
+        std::vector<double> biasV;     ///< persistent value-channel means
+    };
+
+    /** Mutable per-evaluation recurrent state. */
+    struct RunState
+    {
+        // Per layer, per head: dimHead x dimState state matrices.
+        std::vector<std::vector<Matrix>> state;
+        // Per attention layer: appended (quantized) K/V rows.
+        std::vector<std::vector<std::vector<double>>> kCache;
+        std::vector<std::vector<std::vector<double>>> vCache;
+        Lfsr16 lfsr{0x1ABCu};
+    };
+
+    bool isAttentionLayer(int layer) const;
+    void initState(RunState &rs) const;
+    /** Run one token; returns the output logits. */
+    void step(int token, const QuantSpec &spec, RunState &rs,
+              std::vector<double> &logits) const;
+    void suBlock(int layer, const QuantSpec &spec, RunState &rs,
+                 std::vector<double> &x) const;
+    void attnBlock(int layer, const QuantSpec &spec, RunState &rs,
+                   std::vector<double> &x) const;
+
+    TinyLmConfig cfg;
+    Matrix embedding; ///< vocab x dModel (tied with the LM head)
+    std::vector<LayerWeights> weights;
+};
+
+} // namespace pimba
+
+#endif // PIMBA_ACCURACY_TINY_LM_H

@@ -1,0 +1,4 @@
+#include "core/lfsr.h"
+
+// Header-only implementations; this translation unit exists so the core
+// library has a home for the class and future non-inline additions.

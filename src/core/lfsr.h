@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Linear Feedback Shift Register random-number generators.
+ *
+ * The Pimba SPE uses an LFSR to supply the random bits consumed by
+ * stochastic rounding (Section 4.2 of the paper cites FAST [60] for the
+ * hardware recipe). We model the same generator in software so that the
+ * accuracy harness exercises exactly the randomness the hardware would
+ * produce, and so the area model can charge a register + XOR tree.
+ */
+
+#ifndef PIMBA_CORE_LFSR_H
+#define PIMBA_CORE_LFSR_H
+
+#include <cstdint>
+
+namespace pimba {
+
+/**
+ * 16-bit Fibonacci LFSR with taps 16,15,13,4 (maximal length 2^16-1).
+ *
+ * Produces one pseudo-random bit per shift; nextBits() gathers several
+ * shifts into an integer the way a hardware implementation would tap a
+ * wider register over consecutive cycles.
+ */
+class Lfsr16
+{
+  public:
+    /** @param seed Any non-zero 16-bit seed; zero is remapped to 0xACE1. */
+    explicit Lfsr16(uint16_t seed = 0xACE1u)
+        : state(seed == 0 ? 0xACE1u : seed)
+    {}
+
+    /** Advance one step and return the shifted-out bit. */
+    uint16_t
+    nextBit()
+    {
+        uint16_t bit = ((state >> 0) ^ (state >> 2) ^
+                        (state >> 3) ^ (state >> 5)) & 1u;
+        state = static_cast<uint16_t>((state >> 1) | (bit << 15));
+        return bit;
+    }
+
+    /**
+     * Gather @p n (1..32) successive bits into the low bits of a word.
+     * @param n Number of bits to produce.
+     */
+    uint32_t
+    nextBits(int n)
+    {
+        uint32_t out = 0;
+        for (int i = 0; i < n; ++i)
+            out = (out << 1) | nextBit();
+        return out;
+    }
+
+    /** Uniform value in [0, 1) with @p bits of resolution (default 16). */
+    double
+    nextUnit(int bits = 16)
+    {
+        return static_cast<double>(nextBits(bits)) /
+               static_cast<double>(1u << bits);
+    }
+
+    /** Current register contents (for tests). */
+    uint16_t raw() const { return state; }
+
+  private:
+    uint16_t state;
+};
+
+/**
+ * 32-bit Galois LFSR (taps 0x80200003), used where longer periods are
+ * convenient in software, e.g. synthetic data generation.
+ */
+class Lfsr32
+{
+  public:
+    explicit Lfsr32(uint32_t seed = 0xDEADBEEFu)
+        : state(seed == 0 ? 0xDEADBEEFu : seed)
+    {}
+
+    /** Advance one step and return a mixed output word. */
+    uint32_t
+    next()
+    {
+        uint32_t lsb = state & 1u;
+        state >>= 1;
+        if (lsb)
+            state ^= 0x80200003u;
+        // Consecutive raw LFSR states differ by one shift; a finalizer
+        // decorrelates the output stream (needed by nextGaussian's
+        // 12-sum method).
+        uint32_t x = state;
+        x ^= x >> 16;
+        x *= 0x7feb352du;
+        x ^= x >> 15;
+        x *= 0x846ca68bu;
+        x ^= x >> 16;
+        return x;
+    }
+
+    /** Uniform value in [0, 1). */
+    double
+    nextUnit()
+    {
+        return static_cast<double>(next()) / 4294967296.0;
+    }
+
+    /** Approximately standard-normal value (12-sum method). */
+    double
+    nextGaussian()
+    {
+        double acc = 0.0;
+        for (int i = 0; i < 12; ++i)
+            acc += nextUnit();
+        return acc - 6.0;
+    }
+
+  private:
+    uint32_t state;
+};
+
+} // namespace pimba
+
+#endif // PIMBA_CORE_LFSR_H

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Minimal row-major dense matrix of doubles used by the functional model
+ * implementations and the accuracy harness. Deliberately simple: the
+ * numerics we study live in src/quant, not in a BLAS.
+ */
+
+#ifndef PIMBA_CORE_MATRIX_H
+#define PIMBA_CORE_MATRIX_H
+
+#include <cstddef>
+#include <vector>
+
+#include "core/logging.h"
+
+namespace pimba {
+
+/** Dense row-major matrix of doubles. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** Zero-initialized @p r x @p c matrix. */
+    Matrix(size_t r, size_t c)
+        : nRows(r), nCols(c), buf(r * c, 0.0)
+    {}
+
+    size_t rows() const { return nRows; }
+    size_t cols() const { return nCols; }
+    size_t size() const { return buf.size(); }
+
+    double &operator()(size_t r, size_t c) { return buf[r * nCols + c]; }
+    double operator()(size_t r, size_t c) const { return buf[r * nCols + c]; }
+
+    double *data() { return buf.data(); }
+    const double *data() const { return buf.data(); }
+
+    /** Pointer to the start of row @p r. */
+    double *row(size_t r) { return buf.data() + r * nCols; }
+    const double *row(size_t r) const { return buf.data() + r * nCols; }
+
+    /** Set every element to @p v. */
+    void
+    fill(double v)
+    {
+        for (auto &x : buf)
+            x = v;
+    }
+
+    /** this += other (same shape required). */
+    void
+    add(const Matrix &other)
+    {
+        PIMBA_ASSERT(nRows == other.nRows && nCols == other.nCols,
+                     "shape mismatch in Matrix::add");
+        for (size_t i = 0; i < buf.size(); ++i)
+            buf[i] += other.buf[i];
+    }
+
+    /** this *= s elementwise. */
+    void
+    scale(double s)
+    {
+        for (auto &x : buf)
+            x *= s;
+    }
+
+  private:
+    size_t nRows = 0;
+    size_t nCols = 0;
+    std::vector<double> buf;
+};
+
+/** y = M^T x where M is (rows x cols), x has rows elements, y cols. */
+void matTVec(const Matrix &m, const std::vector<double> &x,
+             std::vector<double> &y);
+
+/** y = M x where M is (rows x cols), x has cols elements, y rows. */
+void matVec(const Matrix &m, const std::vector<double> &x,
+            std::vector<double> &y);
+
+inline void
+matTVec(const Matrix &m, const std::vector<double> &x, std::vector<double> &y)
+{
+    PIMBA_ASSERT(x.size() == m.rows(), "matTVec shape mismatch");
+    y.assign(m.cols(), 0.0);
+    for (size_t r = 0; r < m.rows(); ++r) {
+        double xr = x[r];
+        const double *mr = m.row(r);
+        for (size_t c = 0; c < m.cols(); ++c)
+            y[c] += mr[c] * xr;
+    }
+}
+
+inline void
+matVec(const Matrix &m, const std::vector<double> &x, std::vector<double> &y)
+{
+    PIMBA_ASSERT(x.size() == m.cols(), "matVec shape mismatch");
+    y.assign(m.rows(), 0.0);
+    for (size_t r = 0; r < m.rows(); ++r) {
+        const double *mr = m.row(r);
+        double acc = 0.0;
+        for (size_t c = 0; c < m.cols(); ++c)
+            acc += mr[c] * x[c];
+        y[r] = acc;
+    }
+}
+
+} // namespace pimba
+
+#endif // PIMBA_CORE_MATRIX_H

@@ -1,0 +1,108 @@
+#include "core/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pimba {
+
+void
+Accumulator::add(double x)
+{
+    ++n;
+    total += x;
+    if (n == 1) {
+        mu = lo = hi = x;
+        m2 = 0.0;
+        return;
+    }
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+    double delta = x - mu;
+    mu += delta / static_cast<double>(n);
+    m2 += delta * (x - mu);
+}
+
+void
+Breakdown::add(const std::string &key, double value)
+{
+    auto it = values.find(key);
+    if (it == values.end()) {
+        values.emplace(key, value);
+        order.push_back(key);
+    } else {
+        it->second += value;
+    }
+}
+
+double
+Breakdown::get(const std::string &key) const
+{
+    auto it = values.find(key);
+    return it == values.end() ? 0.0 : it->second;
+}
+
+double
+Breakdown::total() const
+{
+    double sum = 0.0;
+    for (const auto &kv : values)
+        sum += kv.second;
+    return sum;
+}
+
+double
+Breakdown::fraction(const std::string &key) const
+{
+    double t = total();
+    return t > 0.0 ? get(key) / t : 0.0;
+}
+
+void
+Breakdown::scale(double s)
+{
+    for (auto &kv : values)
+        kv.second *= s;
+}
+
+void
+Breakdown::merge(const Breakdown &other)
+{
+    for (const auto &key : other.keys())
+        add(key, other.get(key));
+}
+
+void
+StatSet::inc(const std::string &name, double v)
+{
+    counters[name] += v;
+}
+
+void
+StatSet::set(const std::string &name, double v)
+{
+    counters[name] = v;
+}
+
+double
+StatSet::get(const std::string &name) const
+{
+    auto it = counters.find(name);
+    return it == counters.end() ? 0.0 : it->second;
+}
+
+std::string
+StatSet::dump() const
+{
+    std::ostringstream oss;
+    for (const auto &kv : counters)
+        oss << kv.first << " = " << kv.second << "\n";
+    return oss.str();
+}
+
+void
+StatSet::clear()
+{
+    counters.clear();
+}
+
+} // namespace pimba

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Lightweight statistics collection: named scalar counters, running
+ * accumulators, and breakdown maps used by the simulators to report the
+ * per-operation latency/energy splits the paper's figures show.
+ */
+
+#ifndef PIMBA_CORE_STATS_H
+#define PIMBA_CORE_STATS_H
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pimba {
+
+/** Running mean/min/max/variance accumulator (Welford). */
+class Accumulator
+{
+  public:
+    /** Record one sample. */
+    void add(double x);
+
+    uint64_t count() const { return n; }
+    double mean() const { return n ? mu : 0.0; }
+    double min() const { return n ? lo : 0.0; }
+    double max() const { return n ? hi : 0.0; }
+    /** Population variance of the recorded samples. */
+    double variance() const { return n ? m2 / static_cast<double>(n) : 0.0; }
+    double stddev() const { return std::sqrt(variance()); }
+    double sum() const { return total; }
+
+  private:
+    uint64_t n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+    double total = 0.0;
+};
+
+/**
+ * Named-category breakdown (e.g. latency per operation class).
+ *
+ * Categories keep insertion order so reports match the paper's legends.
+ */
+class Breakdown
+{
+  public:
+    /** Add @p value to category @p key, creating it if necessary. */
+    void add(const std::string &key, double value);
+
+    /** Value of @p key, or 0 if absent. */
+    double get(const std::string &key) const;
+
+    /** Sum over all categories. */
+    double total() const;
+
+    /** Fraction of the total in @p key (0 if total is 0). */
+    double fraction(const std::string &key) const;
+
+    /** Categories in insertion order. */
+    const std::vector<std::string> &keys() const { return order; }
+
+    /** Scale every category by @p s (e.g. per-token normalization). */
+    void scale(double s);
+
+    /** Merge another breakdown into this one. */
+    void merge(const Breakdown &other);
+
+    bool empty() const { return order.empty(); }
+
+  private:
+    std::map<std::string, double> values;
+    std::vector<std::string> order;
+};
+
+/** Registry of named scalar statistics with dump support. */
+class StatSet
+{
+  public:
+    /** Add @p v to the named counter. */
+    void inc(const std::string &name, double v = 1.0);
+
+    /** Overwrite the named counter. */
+    void set(const std::string &name, double v);
+
+    /** Read a counter (0 if never touched). */
+    double get(const std::string &name) const;
+
+    /** Render "name = value" lines. */
+    std::string dump() const;
+
+    /** Reset all counters to zero. */
+    void clear();
+
+  private:
+    std::map<std::string, double> counters;
+};
+
+} // namespace pimba
+
+#endif // PIMBA_CORE_STATS_H

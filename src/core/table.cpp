@@ -1,0 +1,87 @@
+#include "core/table.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "core/logging.h"
+
+namespace pimba {
+
+Table::Table(std::vector<std::string> header)
+    : head(std::move(header))
+{
+    PIMBA_ASSERT(!head.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    PIMBA_ASSERT(row.size() == head.size(),
+                 "row width ", row.size(), " != header width ", head.size());
+    body.push_back(std::move(row));
+}
+
+std::string
+Table::str() const
+{
+    std::vector<size_t> width(head.size());
+    for (size_t c = 0; c < head.size(); ++c)
+        width[c] = head[c].size();
+    for (const auto &row : body)
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream oss;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            oss << std::left << std::setw(static_cast<int>(width[c]) + 2)
+                << row[c];
+        }
+        oss << "\n";
+    };
+    emit(head);
+    size_t total = 0;
+    for (size_t w : width)
+        total += w + 2;
+    oss << std::string(total, '-') << "\n";
+    for (const auto &row : body)
+        emit(row);
+    return oss.str();
+}
+
+std::string
+Table::csv() const
+{
+    std::ostringstream oss;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c)
+            oss << (c ? "," : "") << row[c];
+        oss << "\n";
+    };
+    emit(head);
+    for (const auto &row : body)
+        emit(row);
+    return oss.str();
+}
+
+std::string
+fmt(double v, int digits)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(digits) << v;
+    return oss.str();
+}
+
+std::string
+fmtRatio(double v, int digits)
+{
+    return fmt(v, digits) + "x";
+}
+
+std::string
+fmtPercent(double v, int digits)
+{
+    return fmt(v * 100.0, digits) + "%";
+}
+
+} // namespace pimba

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Plain-text table rendering used by the benchmark harnesses to print the
+ * rows/series of each paper figure and table in a uniform format, plus a
+ * CSV writer so results can be post-processed.
+ */
+
+#ifndef PIMBA_CORE_TABLE_H
+#define PIMBA_CORE_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace pimba {
+
+/** Column-aligned text table with a header row. */
+class Table
+{
+  public:
+    /** @param header Column titles, one per column. */
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a row of pre-rendered cells; must match the column count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with aligned columns and a separator under the header. */
+    std::string str() const;
+
+    /** Render as CSV (no alignment, comma-separated). */
+    std::string csv() const;
+
+    size_t rows() const { return body.size(); }
+    size_t cols() const { return head.size(); }
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> body;
+};
+
+/** Format a double with @p digits significant decimal places. */
+std::string fmt(double v, int digits = 3);
+
+/** Format a ratio as "N.NNx". */
+std::string fmtRatio(double v, int digits = 2);
+
+/** Format a fraction as a percentage string "NN.N%". */
+std::string fmtPercent(double v, int digits = 1);
+
+} // namespace pimba
+
+#endif // PIMBA_CORE_TABLE_H

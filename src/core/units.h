@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Unit helpers and common scalar types shared across the library.
+ *
+ * The simulators mostly work in seconds / bytes / joules (double) and DRAM
+ * cycles (uint64_t); these helpers keep the conversions explicit.
+ */
+
+#ifndef PIMBA_CORE_UNITS_H
+#define PIMBA_CORE_UNITS_H
+
+#include <cstdint>
+
+namespace pimba {
+
+/** DRAM-command-clock cycle count. */
+using Cycles = uint64_t;
+
+constexpr double kKilo = 1e3;
+constexpr double kMega = 1e6;
+constexpr double kGiga = 1e9;
+constexpr double kTera = 1e12;
+
+constexpr double kMilli = 1e-3;
+constexpr double kMicro = 1e-6;
+constexpr double kNano = 1e-9;
+constexpr double kPico = 1e-12;
+
+constexpr double kKiB = 1024.0;
+constexpr double kMiB = 1024.0 * 1024.0;
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+/** Convert cycles at @p freq_hz to seconds. */
+constexpr double
+cyclesToSeconds(Cycles cycles, double freq_hz)
+{
+    return static_cast<double>(cycles) / freq_hz;
+}
+
+/** Convert seconds to whole cycles at @p freq_hz (rounded up). */
+constexpr Cycles
+secondsToCycles(double seconds, double freq_hz)
+{
+    double c = seconds * freq_hz;
+    auto whole = static_cast<Cycles>(c);
+    return (static_cast<double>(whole) < c) ? whole + 1 : whole;
+}
+
+/** Integer ceiling division for positive integers. */
+template <typename T>
+constexpr T
+ceilDiv(T a, T b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace pimba
+
+#endif // PIMBA_CORE_UNITS_H

@@ -1,0 +1,142 @@
+#include "dram/pim_scheduler.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace pimba {
+
+PimCommandScheduler::PimCommandScheduler(const HbmConfig &config,
+                                         bool keep_trace)
+    : cfg(config), keepTrace(keep_trace),
+      nextRefresh(static_cast<Cycles>(config.timing.tREFI))
+{}
+
+void
+PimCommandScheduler::record(DramCommand cmd, Cycles cycle, int bank)
+{
+    lastIssue = cycle;
+    if (keepTrace)
+        records.push_back({cmd, cycle, bank});
+}
+
+Cycles
+PimCommandScheduler::issueAct4()
+{
+    const auto &t = cfg.timing;
+    Cycles at = std::max({cmdBusFree, bankReady,
+                          anyAct4 ? lastAct4 + t.tFAW : Cycles{0}});
+    lastAct4 = at;
+    anyAct4 = true;
+    maxActReady = std::max(maxActReady, at);
+    rowsOpen = true;
+    cmdBusFree = at + 1;
+    frontier = std::max(frontier, at + t.tRCD);
+    ++stats.act4;
+    record(DramCommand::ACT4, at);
+    return at;
+}
+
+Cycles
+PimCommandScheduler::issueRegWrite()
+{
+    const auto &t = cfg.timing;
+    Cycles at = std::max(cmdBusFree, dataBusFree);
+    dataBusFree = at + t.burstCycles;
+    cmdBusFree = at + 1;
+    frontier = std::max(frontier, dataBusFree);
+    ++stats.regWrite;
+    record(DramCommand::REG_WRITE, at);
+    return at;
+}
+
+Cycles
+PimCommandScheduler::issueComp()
+{
+    const auto &t = cfg.timing;
+    PIMBA_ASSERT(rowsOpen, "COMP issued with no activated rows");
+    Cycles at = std::max({cmdBusFree,
+                          maxActReady + t.tRCD,
+                          anyComp ? lastComp + t.tCCD_L : Cycles{0}});
+    lastComp = at;
+    anyComp = true;
+    cmdBusFree = at + 1;
+    frontier = std::max(frontier, at + t.tCCD_L);
+    ++stats.comp;
+    record(DramCommand::COMP, at);
+    return at;
+}
+
+Cycles
+PimCommandScheduler::issueResultRead()
+{
+    const auto &t = cfg.timing;
+    // COMP both reads and writes the row buffer, so the register drain
+    // respects both tRTP and tWR relative to the last COMP (Section 5.5).
+    Cycles after_comp = anyComp
+        ? lastComp + std::max(t.tRTP_L, t.tWR)
+        : Cycles{0};
+    Cycles at = std::max({cmdBusFree, dataBusFree, after_comp});
+    dataBusFree = at + t.burstCycles;
+    cmdBusFree = at + 1;
+    frontier = std::max(frontier, dataBusFree);
+    ++stats.resultRead;
+    record(DramCommand::RESULT_READ, at);
+    return at;
+}
+
+Cycles
+PimCommandScheduler::issuePrecharges()
+{
+    const auto &t = cfg.timing;
+    PIMBA_ASSERT(rowsOpen, "PRECHARGES issued with no activated rows");
+    Cycles after_comp = anyComp
+        ? lastComp + std::max(t.tWR, t.tRTP_L)
+        : Cycles{0};
+    Cycles at = std::max({cmdBusFree,
+                          maxActReady + t.tRAS,
+                          after_comp});
+    bankReady = at + t.tRP;
+    rowsOpen = false;
+    anyComp = false;
+    maxActReady = 0;
+    cmdBusFree = at + 1;
+    frontier = std::max(frontier, bankReady);
+    ++stats.precharges;
+    record(DramCommand::PRECHARGES, at);
+    return at;
+}
+
+int
+PimCommandScheduler::maybeRefresh()
+{
+    const auto &t = cfg.timing;
+    PIMBA_ASSERT(!rowsOpen, "refresh requires all banks precharged");
+    int issued = 0;
+    while (bankReady >= nextRefresh ||
+           std::max(cmdBusFree, bankReady) >= nextRefresh) {
+        Cycles at = std::max({cmdBusFree, bankReady, nextRefresh});
+        bankReady = at + t.tRFC;
+        cmdBusFree = at + 1;
+        frontier = std::max(frontier, bankReady);
+        nextRefresh += t.tREFI;
+        ++stats.refresh;
+        record(DramCommand::REF, at);
+        ++issued;
+    }
+    return issued;
+}
+
+Cycles
+PimCommandScheduler::finishCycle() const
+{
+    return frontier;
+}
+
+double
+PimCommandScheduler::finishSeconds() const
+{
+    return cyclesToSeconds(finishCycle(), cfg.busFreqHz);
+}
+
+} // namespace pimba

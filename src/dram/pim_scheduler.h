@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Cycle-accurate command scheduler for one PIM pseudo-channel.
+ *
+ * Enforces the Table 1 timing constraints over the five custom commands of
+ * Section 5.5 and reproduces the Fig. 11 overlap: REG_WRITEs slot into the
+ * tFAW-imposed gaps between ACT4s (they only need the data bus), and
+ * RESULT_READ overlaps the tRP window opened by PRECHARGES.
+ *
+ * All banks of the pseudo-channel operate in lock-step under the all-bank
+ * commands (the all-bank design the paper adopts from prior PIMs), so one
+ * scheduler instance models the whole pseudo-channel; per-device numbers
+ * multiply by the pseudo-channel count.
+ *
+ * Refresh is handled at pass boundaries via maybeRefresh(): the host
+ * schedules PIM passes between refresh windows ("aligning with DRAM
+ * refresh schemes", Section 5.5), so REF is issued while banks are
+ * precharged and charges tRFC.
+ */
+
+#ifndef PIMBA_DRAM_PIM_SCHEDULER_H
+#define PIMBA_DRAM_PIM_SCHEDULER_H
+
+#include <vector>
+
+#include "dram/command.h"
+#include "dram/hbm_config.h"
+
+namespace pimba {
+
+/** Per-command issue counters. */
+struct PimCommandCounts
+{
+    uint64_t act4 = 0;
+    uint64_t regWrite = 0;
+    uint64_t comp = 0;
+    uint64_t resultRead = 0;
+    uint64_t precharges = 0;
+    uint64_t refresh = 0;
+};
+
+/** Timing-enforcing issue engine for one pseudo-channel. */
+class PimCommandScheduler
+{
+  public:
+    /**
+     * @param cfg HBM configuration (timings in bus cycles).
+     * @param keep_trace Record every issued command (tests/visualization);
+     *                   disable for long simulations.
+     */
+    explicit PimCommandScheduler(const HbmConfig &cfg,
+                                 bool keep_trace = false);
+
+    /** Gang-activate the next four banks' target rows. */
+    Cycles issueAct4();
+
+    /** Load one operand register group from the host (data bus burst). */
+    Cycles issueRegWrite();
+
+    /** One all-bank PIM computation step on one column. */
+    Cycles issueComp();
+
+    /** Drain one accumulator register group to the host. */
+    Cycles issueResultRead();
+
+    /** Precharge all banks; returns issue cycle (completion is +tRP). */
+    Cycles issuePrecharges();
+
+    /**
+     * Issue any due refresh while banks are precharged. Call between PIM
+     * passes. Returns the number of REF commands issued.
+     */
+    int maybeRefresh();
+
+    /** Completion frontier: cycle at which all issued work is done. */
+    Cycles finishCycle() const;
+
+    /** Cycle of the last issued command. */
+    Cycles lastIssueCycle() const { return lastIssue; }
+
+    const PimCommandCounts &counts() const { return stats; }
+    const std::vector<CommandRecord> &trace() const { return records; }
+
+    /** Wall-clock seconds corresponding to finishCycle(). */
+    double finishSeconds() const;
+
+  private:
+    void record(DramCommand cmd, Cycles cycle, int bank = -1);
+
+    const HbmConfig cfg;
+    const bool keepTrace;
+
+    // Resource-availability frontiers (cycle numbers).
+    Cycles cmdBusFree = 0;    ///< command/address bus (1 cmd per cycle)
+    Cycles dataBusFree = 0;   ///< shared data bus (burstCycles per xfer)
+    Cycles lastAct4 = 0;      ///< for the tFAW window between ACT4s
+    bool anyAct4 = false;
+    Cycles maxActReady = 0;   ///< latest ACT4 issue in the open pass
+    bool rowsOpen = false;
+    Cycles lastComp = 0;
+    bool anyComp = false;
+    Cycles bankReady = 0;     ///< banks usable (after tRP / tRFC)
+    Cycles nextRefresh;
+
+    Cycles lastIssue = 0;
+    Cycles frontier = 0;      ///< completion of all issued activity
+
+    PimCommandCounts stats;
+    std::vector<CommandRecord> records;
+};
+
+} // namespace pimba
+
+#endif // PIMBA_DRAM_PIM_SCHEDULER_H

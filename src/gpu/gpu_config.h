@@ -1,0 +1,58 @@
+/**
+ * @file
+ * GPU device configurations and the roofline kernel model constants.
+ *
+ * The paper's Fig. 1(b) shows every relevant serving operation is either
+ * memory-bandwidth-bound (attention, state update) or compute-bound
+ * (GEMM) on a roofline; we model GPU kernels accordingly:
+ * time = max(flops / (peak * eff_c), bytes / (bw * eff_m)) + launch.
+ */
+
+#ifndef PIMBA_GPU_GPU_CONFIG_H
+#define PIMBA_GPU_GPU_CONFIG_H
+
+#include <string>
+
+namespace pimba {
+
+/** One GPU's performance/energy parameters. */
+struct GpuConfig
+{
+    std::string name = "A100";
+    double peakFp16Flops = 312e12;  ///< dense fp16 tensor core FLOP/s
+    double peakInt8Ops = 624e12;    ///< dense int8 tensor core OP/s
+    double memBandwidth = 2.039e12; ///< HBM bytes/s
+    double memCapacity = 80e9;      ///< HBM bytes
+    double flopsEfficiency = 0.75;  ///< achievable fraction of peak FLOPs
+    double bwEfficiency = 0.80;     ///< achievable fraction of peak BW
+    double kernelLaunchOverhead = 5e-6; ///< per-kernel seconds
+    double nvlinkBandwidth = 600e9; ///< per-GPU interconnect bytes/s
+    double computeEnergyPerFlop = 0.6e-12; ///< joules per fp16 FLOP
+    double dramEnergyPerBit = 3.9e-12;     ///< joules per HBM bit moved
+    double nvlinkEnergyPerBit = 1.3e-12;   ///< joules per link bit moved
+};
+
+/** NVIDIA A100 80GB SXM (the paper's primary baseline, Section 6.1). */
+inline GpuConfig
+a100Config()
+{
+    return GpuConfig{};
+}
+
+/** NVIDIA H100 SXM (Section 6.2 "General adoption", Fig. 16). */
+inline GpuConfig
+h100Config()
+{
+    GpuConfig cfg;
+    cfg.name = "H100";
+    cfg.peakFp16Flops = 989e12;
+    cfg.peakInt8Ops = 1979e12;
+    cfg.memBandwidth = 3.352e12;
+    cfg.memCapacity = 80e9;
+    cfg.nvlinkBandwidth = 900e9; // NVLink4
+    return cfg;
+}
+
+} // namespace pimba
+
+#endif // PIMBA_GPU_GPU_CONFIG_H

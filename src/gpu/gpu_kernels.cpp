@@ -1,0 +1,58 @@
+#include "gpu/gpu_kernels.h"
+
+#include <algorithm>
+
+namespace pimba {
+
+GpuKernelCost
+GpuKernelModel::kernel(double flops, double bytes) const
+{
+    GpuKernelCost cost;
+    double compute_time = flops / (gpu.peakFp16Flops *
+                                   gpu.flopsEfficiency);
+    double memory_time = bytes / (gpu.memBandwidth * gpu.bwEfficiency);
+    cost.seconds = std::max(compute_time, memory_time) +
+                   gpu.kernelLaunchOverhead;
+    cost.energyJ = flops * gpu.computeEnergyPerFlop +
+                   bytes * 8.0 * gpu.dramEnergyPerBit;
+    return cost;
+}
+
+GpuKernelCost
+GpuKernelModel::gemm(double m, double n, double k,
+                     double bytes_per_weight) const
+{
+    double flops = 2.0 * m * n * k;
+    double weight_bytes = n * k * bytes_per_weight;
+    double act_bytes = (m * k + m * n) * 2.0;
+    return kernel(flops, weight_bytes + act_bytes);
+}
+
+GpuKernelCost
+GpuKernelModel::memBound(double bytes) const
+{
+    return kernel(0.0, bytes);
+}
+
+GpuKernelCost
+GpuKernelModel::allReduce(double bytes, int n_gpus) const
+{
+    GpuKernelCost cost;
+    if (n_gpus <= 1)
+        return cost;
+    double factor = 2.0 * (n_gpus - 1) / static_cast<double>(n_gpus);
+    double moved = bytes * factor;
+    cost.seconds = moved / gpu.nvlinkBandwidth +
+                   gpu.kernelLaunchOverhead;
+    cost.energyJ = moved * 8.0 * gpu.nvlinkEnergyPerBit;
+    return cost;
+}
+
+double
+GpuKernelModel::ridgeIntensity() const
+{
+    return (gpu.peakFp16Flops * gpu.flopsEfficiency) /
+           (gpu.memBandwidth * gpu.bwEfficiency);
+}
+
+} // namespace pimba

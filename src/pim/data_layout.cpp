@@ -1,0 +1,128 @@
+#include "pim/data_layout.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace pimba {
+
+namespace {
+
+/** Round @p bytes up to whole DRAM columns. */
+uint64_t
+bytesToColumns(double bytes, const HbmOrganization &org)
+{
+    return static_cast<uint64_t>(
+        std::ceil(bytes / static_cast<double>(org.columnBytes)));
+}
+
+} // namespace
+
+StateLayout
+computeStateLayout(const StateUpdateShape &shape, NumberFormat fmt,
+                   const HbmConfig &hbm)
+{
+    const auto &org = hbm.org;
+    StateLayout lay{};
+    lay.bytesPerValue = bitsPerValue(fmt) / 8.0;
+
+    double per_instance_values =
+        static_cast<double>(shape.dimHead) * shape.dimState;
+    double total_bytes = static_cast<double>(shape.instances) *
+                         per_instance_values * lay.bytesPerValue;
+    lay.totalStateBytes = static_cast<uint64_t>(std::ceil(total_bytes));
+
+    int pcs = org.totalPseudoChannels();
+    lay.stateBytesPerPc = ceilDiv<uint64_t>(lay.totalStateBytes,
+                                            static_cast<uint64_t>(pcs));
+    lay.columnsPerPc = bytesToColumns(
+        static_cast<double>(lay.stateBytesPerPc), org);
+    lay.rowsPerPc = ceilDiv<uint64_t>(
+        lay.columnsPerPc, static_cast<uint64_t>(org.columnsPerRow()));
+    // One pass keeps one row open in every bank of the pseudo-channel.
+    lay.passes = std::max<uint64_t>(
+        1, ceilDiv<uint64_t>(lay.rowsPerPc,
+                             static_cast<uint64_t>(
+                                 org.banksPerPseudoChannel())));
+
+    lay.elemsPerColumn = std::max(
+        1, static_cast<int>(org.columnBytes / lay.bytesPerValue));
+    lay.subchunksPerStateColumn =
+        std::max(1, static_cast<int>(ceilDiv<int>(shape.dimHead,
+                                                  lay.elemsPerColumn)));
+
+    // Operands per instance per token: d_t, q_t, k_t (dim_head each,
+    // shared across the chunk group) plus the v_t vector (dim_state,
+    // one element per chunk iteration). All shipped in the state format.
+    double opnd_values = 3.0 * shape.dimHead + shape.dimState;
+    lay.regWriteBytesTotal = static_cast<uint64_t>(std::ceil(
+        static_cast<double>(shape.instances) * opnd_values *
+        lay.bytesPerValue));
+    // Results: y_t per instance (dim_state values), drained as fp16
+    // partials for GPU-side accumulation.
+    lay.resultReadBytesTotal = static_cast<uint64_t>(
+        shape.instances * static_cast<uint64_t>(shape.dimState) * 2);
+    return lay;
+}
+
+namespace {
+
+AttentionLayout
+attentionLayoutCommon(const AttentionShape &shape, NumberFormat fmt,
+                      const HbmConfig &hbm, double reg_values_per_instance,
+                      double result_values_per_instance)
+{
+    const auto &org = hbm.org;
+    AttentionLayout lay{};
+    lay.bytesPerValue = bitsPerValue(fmt) / 8.0;
+
+    double cache_values = static_cast<double>(shape.instances) *
+                          static_cast<double>(shape.seqLen) * shape.dimHead;
+    lay.cacheBytesTotal = static_cast<uint64_t>(
+        std::ceil(cache_values * lay.bytesPerValue));
+
+    int pcs = org.totalPseudoChannels();
+    lay.cacheBytesPerPc = ceilDiv<uint64_t>(lay.cacheBytesTotal,
+                                            static_cast<uint64_t>(pcs));
+    lay.columnsPerPc = bytesToColumns(
+        static_cast<double>(lay.cacheBytesPerPc), org);
+    lay.rowsPerPc = ceilDiv<uint64_t>(
+        lay.columnsPerPc, static_cast<uint64_t>(org.columnsPerRow()));
+    lay.passes = std::max<uint64_t>(
+        1, ceilDiv<uint64_t>(lay.rowsPerPc,
+                             static_cast<uint64_t>(
+                                 org.banksPerPseudoChannel())));
+
+    lay.regWriteBytesTotal = static_cast<uint64_t>(std::ceil(
+        static_cast<double>(shape.instances) * reg_values_per_instance *
+        lay.bytesPerValue));
+    lay.resultReadBytesTotal = static_cast<uint64_t>(std::ceil(
+        static_cast<double>(shape.instances) *
+        result_values_per_instance * 2.0));
+    return lay;
+}
+
+} // namespace
+
+AttentionLayout
+computeScoreLayout(const AttentionShape &shape, NumberFormat fmt,
+                   const HbmConfig &hbm)
+{
+    // Score: load q (dim_head), drain one score per cached token.
+    return attentionLayoutCommon(shape, fmt, hbm,
+                                 static_cast<double>(shape.dimHead),
+                                 static_cast<double>(shape.seqLen));
+}
+
+AttentionLayout
+computeAttendLayout(const AttentionShape &shape, NumberFormat fmt,
+                    const HbmConfig &hbm)
+{
+    // Attend: load softmaxed scores (one per token), drain y (dim_head).
+    return attentionLayoutCommon(shape, fmt, hbm,
+                                 static_cast<double>(shape.seqLen),
+                                 static_cast<double>(shape.dimHead));
+}
+
+} // namespace pimba

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * State and KV-cache data layout in PIM banks (paper Section 5.1(3) and
+ * Fig. 10a).
+ *
+ * Each state column (along dim_head) is split into sub-chunks of one DRAM
+ * column; sub-chunks across dim_state are grouped into chunks that fill a
+ * DRAM row; chunks sharing the operands d/q/k of one head form a chunk
+ * group placed in consecutive rows of one bank. This header computes the
+ * resulting counts used by the kernel cycle models.
+ */
+
+#ifndef PIMBA_PIM_DATA_LAYOUT_H
+#define PIMBA_PIM_DATA_LAYOUT_H
+
+#include <cstdint>
+
+#include "core/units.h"
+#include "dram/hbm_config.h"
+#include "quant/format.h"
+
+namespace pimba {
+
+/** Shape of one state-update operation instance. */
+struct StateUpdateShape
+{
+    uint64_t instances = 1; ///< batch x heads x layers being updated
+    int dimHead = 64;       ///< rows of the per-head state matrix
+    int dimState = 128;     ///< columns of the per-head state matrix
+};
+
+/** Shape of one attention phase over the KV cache. */
+struct AttentionShape
+{
+    uint64_t instances = 1; ///< batch x heads x layers
+    int dimHead = 128;      ///< head dimension
+    uint64_t seqLen = 2048; ///< cached tokens to score/attend over
+};
+
+/** Derived placement counts for a state-update pass. */
+struct StateLayout
+{
+    double bytesPerValue;        ///< storage bytes of the state format
+    uint64_t totalStateBytes;    ///< all instances
+    uint64_t stateBytesPerPc;    ///< per pseudo-channel share
+    uint64_t columnsPerPc;       ///< DRAM columns of state per PC
+    uint64_t rowsPerPc;          ///< DRAM rows of state per PC
+    uint64_t passes;             ///< row passes (one open row per bank)
+    int elemsPerColumn;          ///< state values per DRAM column
+    int subchunksPerStateColumn; ///< dim_head / elemsPerColumn (>= 1)
+
+    // Host <-> PIM traffic per pass (operand loads and result drains).
+    uint64_t regWriteBytesTotal;
+    uint64_t resultReadBytesTotal;
+};
+
+/** Compute the state layout for @p shape quantized as @p fmt on @p hbm. */
+StateLayout computeStateLayout(const StateUpdateShape &shape,
+                               NumberFormat fmt, const HbmConfig &hbm);
+
+/** Derived placement counts for one attention phase (score or attend). */
+struct AttentionLayout
+{
+    double bytesPerValue;
+    uint64_t cacheBytesTotal;  ///< K (score) or V (attend) bytes touched
+    uint64_t cacheBytesPerPc;
+    uint64_t columnsPerPc;
+    uint64_t rowsPerPc;
+    uint64_t passes;
+    uint64_t regWriteBytesTotal;   ///< queries or softmaxed scores
+    uint64_t resultReadBytesTotal; ///< scores or attended outputs
+};
+
+/** Layout of the score phase (read K cache, drain scores). */
+AttentionLayout computeScoreLayout(const AttentionShape &shape,
+                                   NumberFormat fmt, const HbmConfig &hbm);
+
+/** Layout of the attend phase (read V cache, drain outputs). */
+AttentionLayout computeAttendLayout(const AttentionShape &shape,
+                                    NumberFormat fmt, const HbmConfig &hbm);
+
+} // namespace pimba
+
+#endif // PIMBA_PIM_DATA_LAYOUT_H

@@ -1,0 +1,207 @@
+#include "pim/pim_compute.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace pimba {
+
+namespace {
+
+/** SPE arithmetic energy per processed state/cache value (pJ). The MX8
+ *  datapath is cheaper per value than fp16 (narrower mantissa products);
+ *  values follow the Table 3 power ratio scaled per-throughput. */
+double
+computeEnergyPerValuePj(NumberFormat fmt)
+{
+    return fmt == NumberFormat::MX8 ? 0.45 : 1.0;
+}
+
+} // namespace
+
+PimDesign
+pimbaDesign()
+{
+    return {"Pimba", PimStyle::PimbaInterleaved, NumberFormat::MX8,
+            true, true};
+}
+
+PimDesign
+hbmPimDesign()
+{
+    return {"HBM-PIM", PimStyle::TimeMultiplexed, NumberFormat::FP16,
+            true, true};
+}
+
+PimDesign
+perBankPipelinedDesign(NumberFormat fmt)
+{
+    return {"PerBankPipelined", PimStyle::PerBankPipelined, fmt,
+            true, true};
+}
+
+PimDesign
+neupimsDesign()
+{
+    return {"NeuPIMs", PimStyle::PerBankPipelined, NumberFormat::FP16,
+            false, true};
+}
+
+PimComputeModel::PimComputeModel(const HbmConfig &hbm,
+                                 const PimDesign &design)
+    : hbmCfg(hbm), pimDesign(design)
+{}
+
+PimKernelResult
+PimComputeModel::runPasses(uint64_t passes, uint64_t total_comps,
+                           uint64_t reg_write_cmds,
+                           uint64_t result_read_cmds,
+                           uint64_t processed_bytes_per_pc,
+                           bool writes_back) const
+{
+    const auto &org = hbmCfg.org;
+    PimCommandScheduler sched(hbmCfg);
+
+    const int act4_per_pass = ceilDiv(org.banksPerPseudoChannel(), 4);
+    uint64_t comps_left = total_comps;
+    uint64_t regs_left = reg_write_cmds;
+    uint64_t results_left = result_read_cmds;
+
+    for (uint64_t p = 0; p < passes; ++p) {
+        uint64_t passes_left = passes - p;
+        uint64_t comps = ceilDiv(comps_left, passes_left);
+        uint64_t regs = ceilDiv(regs_left, passes_left);
+        uint64_t results = ceilDiv(results_left, passes_left);
+        comps_left -= comps;
+        regs_left -= regs;
+        results_left -= results;
+
+        sched.maybeRefresh();
+
+        // ACT4s with REG_WRITEs interleaved into the tFAW gaps (Fig. 11).
+        uint64_t regs_issued = 0;
+        for (int a = 0; a < act4_per_pass; ++a) {
+            sched.issueAct4();
+            uint64_t quota = ceilDiv(regs, uint64_t{4}) *
+                             static_cast<uint64_t>(a + 1);
+            quota = std::min(quota, regs);
+            while (regs_issued < quota) {
+                sched.issueRegWrite();
+                ++regs_issued;
+            }
+        }
+        while (regs_issued < regs) {
+            sched.issueRegWrite();
+            ++regs_issued;
+        }
+
+        for (uint64_t c = 0; c < comps; ++c)
+            sched.issueComp();
+
+        // PRECHARGES first so the RESULT_READs overlap its tRP window.
+        sched.issuePrecharges();
+        for (uint64_t r = 0; r < results; ++r)
+            sched.issueResultRead();
+    }
+
+    PimKernelResult res;
+    res.cycles = sched.finishCycle();
+    res.seconds = sched.finishSeconds();
+    res.counts = sched.counts();
+
+    // Whole-device energy: every pseudo-channel runs the same stream.
+    const double pcs = org.totalPseudoChannels();
+    const auto &en = hbmCfg.energy;
+    double rows_activated = static_cast<double>(res.counts.act4) * 4.0;
+    res.energy.activation = rows_activated * en.actEnergyPerRow_pJ *
+                            kPico * pcs;
+    double bits_processed =
+        static_cast<double>(processed_bytes_per_pc) * 8.0;
+    double col_factor = writes_back ? 2.0 : 1.0; // read + write-back
+    res.energy.column = bits_processed * col_factor *
+                        en.colEnergyPerBit_pJ * kPico * pcs;
+    double io_bits = static_cast<double>(res.counts.regWrite +
+                                         res.counts.resultRead) *
+                     org.columnBytes * 8.0;
+    res.energy.io = io_bits * en.ioEnergyPerBit_pJ * kPico * pcs;
+    double values = bits_processed /
+                    (bitsPerValue(pimDesign.dataFormat));
+    res.energy.compute = values * computeEnergyPerValuePj(
+                             pimDesign.dataFormat) * kPico * pcs;
+    return res;
+}
+
+PimKernelResult
+PimComputeModel::stateUpdate(const StateUpdateShape &shape) const
+{
+    PIMBA_ASSERT(pimDesign.supportsStateUpdate,
+                 pimDesign.name, " cannot execute state updates");
+    const auto &org = hbmCfg.org;
+    StateLayout lay = computeStateLayout(shape, pimDesign.dataFormat,
+                                         hbmCfg);
+
+    double cols_per_comp = columnsPerCompSlot(
+        pimDesign.style, org.banksPerPseudoChannel(), true);
+    uint64_t comps = static_cast<uint64_t>(
+        std::ceil(static_cast<double>(lay.columnsPerPc) / cols_per_comp));
+
+    int pcs = org.totalPseudoChannels();
+    uint64_t reg_cmds = ceilDiv<uint64_t>(
+        ceilDiv<uint64_t>(lay.regWriteBytesTotal, pcs),
+        static_cast<uint64_t>(org.columnBytes));
+    uint64_t result_cmds = ceilDiv<uint64_t>(
+        ceilDiv<uint64_t>(lay.resultReadBytesTotal, pcs),
+        static_cast<uint64_t>(org.columnBytes));
+
+    return runPasses(lay.passes, comps, reg_cmds, result_cmds,
+                     lay.stateBytesPerPc, /*writes_back=*/true);
+}
+
+PimKernelResult
+PimComputeModel::attentionScore(const AttentionShape &shape) const
+{
+    PIMBA_ASSERT(pimDesign.supportsAttention,
+                 pimDesign.name, " cannot execute attention");
+    const auto &org = hbmCfg.org;
+    AttentionLayout lay = computeScoreLayout(shape, pimDesign.dataFormat,
+                                             hbmCfg);
+    double cols_per_comp = columnsPerCompSlot(
+        pimDesign.style, org.banksPerPseudoChannel(), false);
+    uint64_t comps = static_cast<uint64_t>(
+        std::ceil(static_cast<double>(lay.columnsPerPc) / cols_per_comp));
+    int pcs = org.totalPseudoChannels();
+    uint64_t reg_cmds = ceilDiv<uint64_t>(
+        ceilDiv<uint64_t>(lay.regWriteBytesTotal, pcs),
+        static_cast<uint64_t>(org.columnBytes));
+    uint64_t result_cmds = ceilDiv<uint64_t>(
+        ceilDiv<uint64_t>(lay.resultReadBytesTotal, pcs),
+        static_cast<uint64_t>(org.columnBytes));
+    return runPasses(lay.passes, comps, reg_cmds, result_cmds,
+                     lay.cacheBytesPerPc, /*writes_back=*/false);
+}
+
+PimKernelResult
+PimComputeModel::attentionAttend(const AttentionShape &shape) const
+{
+    PIMBA_ASSERT(pimDesign.supportsAttention,
+                 pimDesign.name, " cannot execute attention");
+    const auto &org = hbmCfg.org;
+    AttentionLayout lay = computeAttendLayout(shape, pimDesign.dataFormat,
+                                              hbmCfg);
+    double cols_per_comp = columnsPerCompSlot(
+        pimDesign.style, org.banksPerPseudoChannel(), false);
+    uint64_t comps = static_cast<uint64_t>(
+        std::ceil(static_cast<double>(lay.columnsPerPc) / cols_per_comp));
+    int pcs = org.totalPseudoChannels();
+    uint64_t reg_cmds = ceilDiv<uint64_t>(
+        ceilDiv<uint64_t>(lay.regWriteBytesTotal, pcs),
+        static_cast<uint64_t>(org.columnBytes));
+    uint64_t result_cmds = ceilDiv<uint64_t>(
+        ceilDiv<uint64_t>(lay.resultReadBytesTotal, pcs),
+        static_cast<uint64_t>(org.columnBytes));
+    return runPasses(lay.passes, comps, reg_cmds, result_cmds,
+                     lay.cacheBytesPerPc, /*writes_back=*/false);
+}
+
+} // namespace pimba

@@ -1,0 +1,222 @@
+#include "pim/spu.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "core/logging.h"
+
+namespace pimba {
+
+double
+SpuPipelineResult::throughputPerBankPair() const
+{
+    if (iterations == 0)
+        return 0.0;
+    return static_cast<double>(itemsProcessed) /
+           static_cast<double>(iterations);
+}
+
+namespace {
+
+/** Pimba: one SPU, two banks, alternating read/write (Fig. 8). */
+SpuPipelineResult
+simulateInterleaved(uint64_t num_items)
+{
+    SpuPipelineResult res;
+    uint64_t remaining[2] = {(num_items + 1) / 2, num_items / 2};
+    // Writes scheduled as (iteration_due, bank).
+    std::deque<std::pair<uint64_t, int>> in_flight;
+    uint64_t reads = 0;
+    uint64_t j = 0;
+    while (remaining[0] + remaining[1] > 0 || !in_flight.empty()) {
+        int read_bank = static_cast<int>(j % 2);
+        bool bank_written[2] = {false, false};
+        // Retire the item whose write-back is due this iteration.
+        if (!in_flight.empty() && in_flight.front().first <= j) {
+            bank_written[in_flight.front().second] = true;
+            in_flight.pop_front();
+            ++res.itemsProcessed;
+        }
+        // Read a fresh sub-chunk from the scheduled bank.
+        if (remaining[read_bank] > 0) {
+            if (bank_written[read_bank])
+                ++res.bankConflicts; // structural hazard (should not occur)
+            --remaining[read_bank];
+            in_flight.emplace_back(j + kSpuPipelineStages - 1, read_bank);
+            ++reads;
+        } else if (remaining[1 - read_bank] > 0 &&
+                   !bank_written[1 - read_bank]) {
+            // Tail: one bank drained first; keep feeding from the other
+            // when it is not busy writing.
+            --remaining[1 - read_bank];
+            in_flight.emplace_back(j + kSpuPipelineStages - 1,
+                                   1 - read_bank);
+            ++reads;
+        }
+        ++j;
+    }
+    res.iterations = j;
+    res.unitUtilization = j ? static_cast<double>(reads) / j : 0.0;
+    return res;
+}
+
+/** Per-bank pipelined: one unit, one bank; reads stall behind writes. */
+SpuPipelineResult
+simulatePerBank(uint64_t num_items)
+{
+    SpuPipelineResult res;
+    uint64_t remaining = num_items;
+    std::deque<uint64_t> in_flight; // write-due iterations
+    uint64_t reads = 0;
+    uint64_t j = 0;
+    while (remaining > 0 || !in_flight.empty()) {
+        if (!in_flight.empty() && in_flight.front() <= j) {
+            // The single row buffer is occupied by the write; no read.
+            in_flight.pop_front();
+            ++res.itemsProcessed;
+        } else if (remaining > 0) {
+            --remaining;
+            in_flight.push_back(j + kSpuPipelineStages - 1);
+            ++reads;
+        }
+        ++j;
+    }
+    res.iterations = j;
+    res.unitUtilization = j ? static_cast<double>(reads) / j : 0.0;
+    return res;
+}
+
+/** Time-multiplexed: one basic ALU per two banks, micro-op per slot. */
+SpuPipelineResult
+simulateTimeMux(uint64_t num_items)
+{
+    SpuPipelineResult res;
+    res.iterations = num_items * kTimeMuxSlotsPerColumn;
+    res.itemsProcessed = num_items;
+    // The shared ALU is busy every slot, but only one slot in
+    // kTimeMuxSlotsPerColumn consumes a fresh column.
+    res.unitUtilization = 1.0 / kTimeMuxSlotsPerColumn;
+    return res;
+}
+
+} // namespace
+
+SpuPipelineResult
+simulateSpuPipeline(PimStyle style, uint64_t num_items)
+{
+    switch (style) {
+      case PimStyle::PimbaInterleaved:
+        return simulateInterleaved(num_items);
+      case PimStyle::PerBankPipelined:
+        return simulatePerBank(num_items);
+      case PimStyle::TimeMultiplexed:
+      case PimStyle::TimeMultiplexedPerBank:
+        return simulateTimeMux(num_items);
+    }
+    PIMBA_PANIC("unknown PIM style");
+}
+
+double
+columnsPerCompSlot(PimStyle style, int banks_per_pc, bool is_state_update)
+{
+    switch (style) {
+      case PimStyle::PimbaInterleaved:
+        // banks/2 SPUs, each consuming one column per slot; attention has
+        // no write-back but the SPU still serves one of its two banks per
+        // slot, so the rate is identical (Section 6.2: the pipelined
+        // design's benefit is limited for attention).
+        return banks_per_pc / 2.0;
+      case PimStyle::PerBankPipelined:
+        // One unit per bank; state update halves duty for write-back.
+        return is_state_update ? banks_per_pc / 2.0
+                               : static_cast<double>(banks_per_pc);
+      case PimStyle::TimeMultiplexed:
+        // One ALU per two banks. State update costs
+        // kTimeMuxSlotsPerColumn micro-op slots per column; attention is
+        // the GEMV HBM-PIM was designed for (one MAC slot per column).
+        return is_state_update
+                   ? (banks_per_pc / 2.0) / kTimeMuxSlotsPerColumn
+                   : banks_per_pc / 2.0;
+      case PimStyle::TimeMultiplexedPerBank:
+        // Fig. 5's variant: every bank has its own basic ALU.
+        return is_state_update
+                   ? banks_per_pc / static_cast<double>(
+                         kTimeMuxSlotsPerColumn)
+                   : static_cast<double>(banks_per_pc);
+    }
+    PIMBA_PANIC("unknown PIM style");
+}
+
+SpeStepResult
+speProcessSubchunk(const MxGroup &state, const MxGroup &d, const MxGroup &k,
+                   const MxGroup &q, double v_elem, Rounding mode,
+                   Lfsr16 &lfsr)
+{
+    SpeStepResult out;
+    // Stage 2: decay product and outer-product column, in parallel.
+    MxGroup decayed = mxMultiply(state, d, mode, lfsr);
+    MxGroup outer = mxScale(k, v_elem, mode, lfsr);
+    // Stage 3: state update.
+    out.newState = mxAdd(decayed, outer, mode, lfsr);
+    // Stage 4: dot-product contribution while writing back.
+    out.dotPartial = mxDotProduct(out.newState, q);
+    return out;
+}
+
+void
+speStateUpdateHead(std::vector<double> &state, const std::vector<double> &d,
+                   const std::vector<double> &k, const std::vector<double> &q,
+                   const std::vector<double> &v, std::vector<double> &y,
+                   int dim_head, int dim_state, Rounding mode, Lfsr16 &lfsr)
+{
+    PIMBA_ASSERT(dim_head % kMxGroupSize == 0,
+                 "dim_head must be a multiple of the MX group size");
+    PIMBA_ASSERT(state.size() ==
+                     static_cast<size_t>(dim_head) * dim_state,
+                 "state size mismatch");
+    PIMBA_ASSERT(d.size() == static_cast<size_t>(dim_head) &&
+                     k.size() == static_cast<size_t>(dim_head) &&
+                     q.size() == static_cast<size_t>(dim_head),
+                 "operand size mismatch");
+    PIMBA_ASSERT(v.size() == static_cast<size_t>(dim_state),
+                 "v size mismatch");
+
+    const int groups = dim_head / kMxGroupSize;
+    y.assign(static_cast<size_t>(dim_state), 0.0);
+
+    // Operand registers are loaded once per chunk group (REG_WRITE).
+    std::vector<MxGroup> dg(groups), kg(groups), qg(groups);
+    for (int g = 0; g < groups; ++g) {
+        dg[g] = mxQuantize(d.data() + g * kMxGroupSize, Rounding::Nearest,
+                           lfsr);
+        kg[g] = mxQuantize(k.data() + g * kMxGroupSize, Rounding::Nearest,
+                           lfsr);
+        qg[g] = mxQuantize(q.data() + g * kMxGroupSize, Rounding::Nearest,
+                           lfsr);
+    }
+
+    // Stream sub-chunks: state column j, group g (row-major state:
+    // element (i, j) at i * dim_state + j, so gather/scatter per column).
+    double tmp[kMxGroupSize];
+    for (int j = 0; j < dim_state; ++j) {
+        double yj = 0.0;
+        for (int g = 0; g < groups; ++g) {
+            for (int e = 0; e < kMxGroupSize; ++e) {
+                int i = g * kMxGroupSize + e;
+                tmp[e] = state[static_cast<size_t>(i) * dim_state + j];
+            }
+            MxGroup s = mxQuantize(tmp, mode, lfsr);
+            SpeStepResult step =
+                speProcessSubchunk(s, dg[g], kg[g], qg[g], v[j], mode, lfsr);
+            for (int e = 0; e < kMxGroupSize; ++e) {
+                int i = g * kMxGroupSize + e;
+                state[static_cast<size_t>(i) * dim_state + j] =
+                    step.newState.value(e);
+            }
+            yj += step.dotPartial;
+        }
+        y[j] = yj;
+    }
+}
+
+} // namespace pimba

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * State-update Processing Unit models (paper Section 5.2, Fig. 8).
+ *
+ * Two complementary views of the SPU:
+ *
+ *  1. SpuPipelineSim — a cycle-level occupancy model of the four-stage
+ *     pipeline under the three candidate designs (Pimba's two-bank access
+ *     interleaving, per-bank pipelined, time-multiplexed). It verifies the
+ *     paper's structural claims: interleaving is hazard-free and sustains
+ *     one sub-chunk per iteration with half the units.
+ *
+ *  2. SpeFunctional — a bit-accurate functional model of the State-update
+ *     Processing Engine datapath built from the MX multiplier/adder and
+ *     dot-product unit of src/quant (Fig. 8 datapath, Fig. 9 units).
+ */
+
+#ifndef PIMBA_PIM_SPU_H
+#define PIMBA_PIM_SPU_H
+
+#include <cstdint>
+#include <vector>
+
+#include "quant/mx8.h"
+
+namespace pimba {
+
+/** Candidate in-memory compute organizations (Sections 4.1 and 5.2). */
+enum class PimStyle
+{
+    PimbaInterleaved,       ///< one SPU per two banks, access interleaving
+    PerBankPipelined,       ///< one pipelined unit per bank
+    TimeMultiplexed,        ///< HBM-PIM: one basic fp16 ALU per two banks
+    TimeMultiplexedPerBank, ///< Fig. 5's per-bank time-multiplexed design
+};
+
+/** Pipeline stages of the SPU (Fig. 8). */
+constexpr int kSpuPipelineStages = 4;
+
+/** Micro-op slots a time-multiplexed unit spends per column
+ *  (read+decay-mul, outer-product, add, MAC/write). */
+constexpr int kTimeMuxSlotsPerColumn = 4;
+
+/** Outcome of a pipeline occupancy simulation. */
+struct SpuPipelineResult
+{
+    uint64_t iterations = 0;     ///< total iterations consumed
+    uint64_t itemsProcessed = 0; ///< sub-chunks completed
+    uint64_t bankConflicts = 0;  ///< same-bank read+write in one iteration
+    double unitUtilization = 0;  ///< fraction of iterations with new input
+    /** Items completed per iteration per *bank pair* in steady state. */
+    double throughputPerBankPair() const;
+};
+
+/**
+ * Simulate one processing unit (and its one or two banks) draining
+ * @p num_items sub-chunks.
+ *
+ * @param style Design under test.
+ * @param num_items Sub-chunks to process (split evenly across the unit's
+ *                  banks for two-bank designs).
+ */
+SpuPipelineResult simulateSpuPipeline(PimStyle style, uint64_t num_items);
+
+/**
+ * Effective state columns processed per all-bank COMP slot in one
+ * pseudo-channel (the throughput constant the kernel models use).
+ *
+ * Pimba: banks/2 SPUs, one column each per slot. Per-bank pipelined:
+ * banks units at 50% duty (row buffer cannot read and write in the same
+ * slot). Time-multiplexed: banks/2 units needing kTimeMuxSlotsPerColumn
+ * slots per column.
+ *
+ * @param is_state_update State update needs write-back; attention (GEMV)
+ *                        does not, which changes the duty factors.
+ */
+double columnsPerCompSlot(PimStyle style, int banks_per_pc,
+                          bool is_state_update);
+
+/** Result of one SPE sub-chunk step. */
+struct SpeStepResult
+{
+    MxGroup newState; ///< updated state sub-chunk
+    double dotPartial = 0.0; ///< contribution to y for this state column
+};
+
+/**
+ * Bit-accurate SPE datapath for one sub-chunk iteration (Fig. 8):
+ * Stage 2 computes the decay product d ⊙ S and the outer-product column
+ * k * v_j in parallel, Stage 3 adds them, Stage 4 dots the updated
+ * sub-chunk with q.
+ *
+ * @param state Sub-chunk of the state column (16 dim_head elements).
+ * @param d Decay operand sub-chunk (aligned with @p state).
+ * @param k Key operand sub-chunk.
+ * @param q Query operand sub-chunk.
+ * @param v_elem The dim_state element of v for this state column.
+ */
+SpeStepResult speProcessSubchunk(const MxGroup &state, const MxGroup &d,
+                                 const MxGroup &k, const MxGroup &q,
+                                 double v_elem, Rounding mode,
+                                 Lfsr16 &lfsr);
+
+/**
+ * Run a full per-head state update S' = d ⊙ S + k v^T, y = S'^T q through
+ * the SPE group-by-group, exactly as the hardware would stream sub-chunks.
+ *
+ * @param state dim_head x dim_state state, row-major, updated in place as
+ *              MX8-rounded values.
+ * @param d,k,q dim_head operand vectors.
+ * @param v dim_state operand vector.
+ * @param[out] y dim_state output vector.
+ * @param dim_head Must be a multiple of kMxGroupSize.
+ */
+void speStateUpdateHead(std::vector<double> &state,
+                        const std::vector<double> &d,
+                        const std::vector<double> &k,
+                        const std::vector<double> &q,
+                        const std::vector<double> &v,
+                        std::vector<double> &y, int dim_head, int dim_state,
+                        Rounding mode, Lfsr16 &lfsr);
+
+} // namespace pimba
+
+#endif // PIMBA_PIM_SPU_H

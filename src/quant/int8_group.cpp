@@ -1,0 +1,59 @@
+#include "quant/int8_group.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace pimba {
+
+Int8Group
+int8Quantize(const double *v, int n, Rounding mode, Lfsr16 &lfsr)
+{
+    PIMBA_ASSERT(n > 0 && n <= kInt8GroupSize, "bad int8 group size ", n);
+    Int8Group g;
+
+    double amax = 0.0;
+    for (int i = 0; i < n; ++i)
+        amax = std::max(amax, std::fabs(v[i]));
+    if (amax == 0.0)
+        return g;
+
+    // The scale register is fp16 in the memory layout; round it the same
+    // way (always nearest: the scale is computed once per group, it is the
+    // codes that see the rounding-mode choice).
+    Lfsr16 scale_lfsr(1);
+    double scale = minifloatQuantize(amax / 127.0, fp16Spec(),
+                                     Rounding::Nearest, scale_lfsr);
+    if (scale == 0.0)
+        scale = fp16Spec().minSubnormal();
+    g.scale = scale;
+
+    for (int i = 0; i < n; ++i) {
+        double q = roundToGrid(v[i] / scale, mode, lfsr);
+        q = std::clamp(q, -127.0, 127.0);
+        g.codes[i] = static_cast<int8_t>(q);
+    }
+    return g;
+}
+
+void
+int8Dequantize(const Int8Group &g, double *out, int n)
+{
+    PIMBA_ASSERT(n > 0 && n <= kInt8GroupSize, "bad int8 group size ", n);
+    for (int i = 0; i < n; ++i)
+        out[i] = g.value(i);
+}
+
+void
+int8QuantizeSpan(double *v, size_t n, Rounding mode, Lfsr16 &lfsr)
+{
+    for (size_t base = 0; base < n; base += kInt8GroupSize) {
+        int len = static_cast<int>(
+            std::min<size_t>(kInt8GroupSize, n - base));
+        Int8Group g = int8Quantize(v + base, len, mode, lfsr);
+        int8Dequantize(g, v + base, len);
+    }
+}
+
+} // namespace pimba

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Group-scaled 8-bit integer codec.
+ *
+ * Section 3.2: "For the integer format, we use an 8-bit integer with a
+ * scaling factor across every 32 elements." The scale itself is stored in
+ * fp16 (like the KV-cache quantizers the paper cites), and both nearest
+ * and stochastic rounding are supported.
+ *
+ * The format is accurate (7-bit mantissa avoids swamping) but expensive in
+ * hardware: element-wise addition needs dequantize / requantize plus a max
+ * search for the new scale — that cost is what the area model charges in
+ * Fig. 6 / Section 4.2.
+ */
+
+#ifndef PIMBA_QUANT_INT8_GROUP_H
+#define PIMBA_QUANT_INT8_GROUP_H
+
+#include <cstdint>
+#include <vector>
+
+#include "quant/minifloat.h"
+#include "quant/rounding.h"
+
+namespace pimba {
+
+/** Number of elements sharing one scaling factor. */
+constexpr int kInt8GroupSize = 32;
+
+/** One quantized group: 32 int8 codes plus an fp16 scale. */
+struct Int8Group
+{
+    double scale = 0.0;               ///< fp16-rounded scale factor
+    int8_t codes[kInt8GroupSize] = {}; ///< quantized elements
+
+    /** Decoded value of element @p i. */
+    double value(int i) const { return scale * codes[i]; }
+};
+
+/**
+ * Quantize @p n values (n <= 32; missing elements treated as zero).
+ *
+ * scale = max|v| / 127 rounded to fp16; codes = round(v / scale).
+ */
+Int8Group int8Quantize(const double *v, int n, Rounding mode, Lfsr16 &lfsr);
+
+/** Decode a group back into @p out (n elements). */
+void int8Dequantize(const Int8Group &g, double *out, int n);
+
+/**
+ * Quantize-dequantize a whole span in groups of 32 (the operation the
+ * accuracy harness applies to the state after every update step).
+ */
+void int8QuantizeSpan(double *v, size_t n, Rounding mode, Lfsr16 &lfsr);
+
+} // namespace pimba
+
+#endif // PIMBA_QUANT_INT8_GROUP_H

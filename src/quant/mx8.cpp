@@ -1,0 +1,243 @@
+#include "quant/mx8.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace pimba {
+
+namespace {
+
+/** Clamp a rounded mantissa into the 6-bit sign-magnitude range. */
+int8_t
+clampMant(int64_t m)
+{
+    return static_cast<int8_t>(std::clamp<int64_t>(m, -kMxMantMax,
+                                                   kMxMantMax));
+}
+
+/** Exponent of the quantization grid: smallest E with amax <= 2^E. */
+int
+gridExponent(double amax)
+{
+    int e2 = 0;
+    std::frexp(amax, &e2); // amax = f * 2^e2, f in [0.5, 1)
+    return std::clamp(e2, kMxExpMin, kMxExpMax);
+}
+
+} // namespace
+
+double
+MxGroup::value(int i) const
+{
+    PIMBA_ASSERT(i >= 0 && i < kMxGroupSize, "mx element index ", i);
+    int mu = micro[i / kMxSubGroupSize];
+    return std::ldexp(static_cast<double>(mant[i]),
+                      sharedExp - mu - kMxMantFracBits);
+}
+
+void
+MxGroup::decode(double *out) const
+{
+    for (int i = 0; i < kMxGroupSize; ++i)
+        out[i] = value(i);
+}
+
+bool
+MxGroup::isZero() const
+{
+    for (int i = 0; i < kMxGroupSize; ++i)
+        if (mant[i] != 0)
+            return false;
+    return true;
+}
+
+MxGroup
+mxQuantize(const double *v, Rounding mode, Lfsr16 &lfsr)
+{
+    MxGroup g;
+
+    double amax = 0.0;
+    for (int i = 0; i < kMxGroupSize; ++i)
+        amax = std::max(amax, std::fabs(v[i]));
+    if (amax == 0.0 || !std::isfinite(amax))
+        return g; // all-zero group
+
+    int e = gridExponent(amax);
+    // If the largest magnitude would round past the top mantissa code,
+    // widen the grid by one exponent step instead of clamping it.
+    if (amax * std::ldexp(1.0, kMxMantFracBits - e) >
+            static_cast<double>(kMxMantMax) + 0.5 &&
+        e < kMxExpMax) {
+        ++e;
+    }
+    g.sharedExp = e;
+
+    for (int p = 0; p < kMxNumSubGroups; ++p) {
+        double pmax = std::max(std::fabs(v[2 * p]),
+                               std::fabs(v[2 * p + 1]));
+        // micro = 1 gives the pair a grid twice as fine; usable when the
+        // pair maximum fits the halved range (with margin for round-up).
+        double half_range =
+            std::ldexp(static_cast<double>(kMxMantMax), e - 1 -
+                       kMxMantFracBits);
+        int mu = (pmax <= half_range && e - 1 >= kMxExpMin) ? 1 : 0;
+        g.micro[p] = static_cast<uint8_t>(mu);
+
+        for (int j = 0; j < kMxSubGroupSize; ++j) {
+            int i = 2 * p + j;
+            double scaled = std::ldexp(v[i], kMxMantFracBits + mu - e);
+            double q = roundToGrid(scaled, mode, lfsr);
+            g.mant[i] = clampMant(static_cast<int64_t>(q));
+        }
+    }
+    return g;
+}
+
+void
+mxQuantizeSpan(double *v, size_t n, Rounding mode, Lfsr16 &lfsr)
+{
+    double tmp[kMxGroupSize];
+    for (size_t base = 0; base < n; base += kMxGroupSize) {
+        size_t len = std::min<size_t>(kMxGroupSize, n - base);
+        for (size_t i = 0; i < kMxGroupSize; ++i)
+            tmp[i] = (i < len) ? v[base + i] : 0.0;
+        MxGroup g = mxQuantize(tmp, mode, lfsr);
+        for (size_t i = 0; i < len; ++i)
+            v[base + i] = g.value(static_cast<int>(i));
+    }
+}
+
+MxGroup
+mxMultiply(const MxGroup &a, const MxGroup &b, Rounding mode, Lfsr16 &lfsr)
+{
+    MxGroup r;
+    if (a.isZero() || b.isZero())
+        return r;
+
+    int er = a.sharedExp + b.sharedExp;
+    if (er > kMxExpMax) {
+        // Saturating overflow: encode max-magnitude values.
+        r.sharedExp = kMxExpMax;
+        for (int i = 0; i < kMxGroupSize; ++i) {
+            int s = (a.mant[i] < 0) != (b.mant[i] < 0) ? -1 : 1;
+            r.mant[i] = (a.mant[i] != 0 && b.mant[i] != 0)
+                            ? static_cast<int8_t>(s * kMxMantMax)
+                            : 0;
+        }
+        return r;
+    }
+    if (er < kMxExpMin)
+        return r; // underflow flushes to zero
+
+    r.sharedExp = er;
+    for (int p = 0; p < kMxNumSubGroups; ++p) {
+        int mu_sum = a.micro[p] + b.micro[p];
+        int mu_r = std::min(mu_sum, 1);
+        int extra = (mu_sum == 2) ? 1 : 0; // unrepresentable micro of 2:
+                                           // keep 1 and shift mantissas
+        r.micro[p] = static_cast<uint8_t>(mu_r);
+        for (int j = 0; j < kMxSubGroupSize; ++j) {
+            int i = 2 * p + j;
+            int64_t prod = static_cast<int64_t>(a.mant[i]) *
+                           static_cast<int64_t>(b.mant[i]);
+            int64_t m = roundShift(prod, kMxMantFracBits + extra, mode,
+                                   lfsr);
+            r.mant[i] = clampMant(m);
+        }
+    }
+    return r;
+}
+
+MxGroup
+mxAdd(const MxGroup &a, const MxGroup &b, Rounding mode, Lfsr16 &lfsr)
+{
+    MxGroup r;
+    bool a_zero = a.isZero();
+    bool b_zero = b.isZero();
+    if (a_zero && b_zero)
+        return r;
+
+    int er;
+    if (a_zero) {
+        er = b.sharedExp;
+    } else if (b_zero) {
+        er = a.sharedExp;
+    } else {
+        er = std::max(a.sharedExp, b.sharedExp);
+    }
+
+    // Align both operands to er and micro 0, then add integer mantissas.
+    std::array<int64_t, kMxGroupSize> sum{};
+    bool overflow = false;
+    for (int i = 0; i < kMxGroupSize; ++i) {
+        int p = i / kMxSubGroupSize;
+        int64_t ma = 0;
+        int64_t mb = 0;
+        if (!a_zero && a.mant[i] != 0) {
+            int shift = (er - a.sharedExp) + a.micro[p];
+            ma = roundShift(a.mant[i], shift, mode, lfsr);
+        }
+        if (!b_zero && b.mant[i] != 0) {
+            int shift = (er - b.sharedExp) + b.micro[p];
+            mb = roundShift(b.mant[i], shift, mode, lfsr);
+        }
+        sum[i] = ma + mb;
+        if (std::abs(sum[i]) > kMxMantMax)
+            overflow = true;
+    }
+
+    if (overflow) {
+        // Carry-out: renormalize the group by one exponent step.
+        if (er < kMxExpMax) {
+            er += 1;
+            for (auto &s : sum)
+                s = roundShift(s, 1, mode, lfsr);
+        }
+    }
+
+    r.sharedExp = er;
+    for (int i = 0; i < kMxGroupSize; ++i)
+        r.mant[i] = clampMant(sum[i]);
+    // Result microexponents are always zero (paper, Section 5.3).
+    return r;
+}
+
+MxGroup
+mxScale(const MxGroup &a, double scalar, Rounding mode, Lfsr16 &lfsr)
+{
+    MxGroup s;
+    if (scalar == 0.0)
+        return s;
+    int e = gridExponent(std::fabs(scalar));
+    s.sharedExp = e;
+    double scaled = std::ldexp(scalar, kMxMantFracBits - e);
+    // The broadcast scalar register is encoded once with nearest rounding;
+    // the rounding-mode choice applies to the product mantissas.
+    Lfsr16 reg_lfsr(1);
+    int64_t m = static_cast<int64_t>(
+        roundToGrid(scaled, Rounding::Nearest, reg_lfsr));
+    for (int i = 0; i < kMxGroupSize; ++i)
+        s.mant[i] = clampMant(m);
+    return mxMultiply(a, s, mode, lfsr);
+}
+
+double
+mxDotProduct(const MxGroup &a, const MxGroup &b)
+{
+    double acc = 0.0;
+    for (int i = 0; i < kMxGroupSize; ++i) {
+        int p = i / kMxSubGroupSize;
+        int64_t prod = static_cast<int64_t>(a.mant[i]) *
+                       static_cast<int64_t>(b.mant[i]);
+        if (prod == 0)
+            continue;
+        int scale = a.sharedExp + b.sharedExp - a.micro[p] - b.micro[p] -
+                    2 * kMxMantFracBits;
+        acc += std::ldexp(static_cast<double>(prod), scale);
+    }
+    return acc;
+}
+
+} // namespace pimba

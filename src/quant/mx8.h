@@ -1,0 +1,122 @@
+/**
+ * @file
+ * MX8 block floating point: codec plus the bit-level MX Multiplier and
+ * MX Adder datapaths of the Pimba SPE (paper Section 5.3, Fig. 9).
+ *
+ * Format (Section 3.2): groups of 16 values share one 8-bit exponent;
+ * pairs of values within a group share a 1-bit microexponent; each element
+ * carries a sign and a 6-bit mantissa. Total = 8 + 8*1 + 16*7 = 128 bits
+ * for 16 values, i.e. an average of 8 bits per value — hence "MX8".
+ *
+ * Semantics used here (self-consistent fixed-point convention):
+ *
+ *   value(i) = mant[i] * 2^(sharedExp - micro[i/2] - kMantFracBits)
+ *
+ * with mant in [-63, 63] (sign-magnitude 6-bit) and micro in {0, 1}.
+ * The shared exponent is chosen so the largest group member uses the full
+ * mantissa range; a pair whose local maximum fits in half the group range
+ * takes micro = 1 and gains one bit of effective precision.
+ */
+
+#ifndef PIMBA_QUANT_MX8_H
+#define PIMBA_QUANT_MX8_H
+
+#include <array>
+#include <cstdint>
+
+#include "quant/rounding.h"
+
+namespace pimba {
+
+/** Elements per MX8 group. */
+constexpr int kMxGroupSize = 16;
+/** Elements per microexponent sub-group. */
+constexpr int kMxSubGroupSize = 2;
+/** Sub-groups (microexponents) per group. */
+constexpr int kMxNumSubGroups = kMxGroupSize / kMxSubGroupSize;
+/** Mantissa magnitude bits (excluding sign). */
+constexpr int kMxMantBits = 6;
+/** Fixed-point fraction position of the mantissa. */
+constexpr int kMxMantFracBits = 6;
+/** Maximum mantissa magnitude. */
+constexpr int kMxMantMax = (1 << kMxMantBits) - 1; // 63
+/** Shared-exponent clamp range (8-bit signed storage). */
+constexpr int kMxExpMin = -127;
+constexpr int kMxExpMax = 127;
+
+/** One MX8 group of 16 values. */
+struct MxGroup
+{
+    int sharedExp = kMxExpMin;                     ///< unbiased exponent E
+    std::array<uint8_t, kMxNumSubGroups> micro{};  ///< microexponents (0/1)
+    std::array<int8_t, kMxGroupSize> mant{};       ///< sign+6-bit mantissas
+
+    /** Decoded value of element @p i. */
+    double value(int i) const;
+
+    /** Decode all 16 elements into @p out. */
+    void decode(double *out) const;
+
+    /** True if every mantissa is zero. */
+    bool isZero() const;
+};
+
+/**
+ * Quantize 16 doubles into an MX8 group.
+ *
+ * @param v Input values (exactly kMxGroupSize of them).
+ * @param mode Rounding mode applied to the mantissas.
+ * @param lfsr Randomness source for stochastic rounding.
+ */
+MxGroup mxQuantize(const double *v, Rounding mode, Lfsr16 &lfsr);
+
+/** Quantize-dequantize a span in groups of 16 (tail zero-padded). */
+void mxQuantizeSpan(double *v, size_t n, Rounding mode, Lfsr16 &lfsr);
+
+/**
+ * MX Multiplier (Fig. 9a): element-wise product of two groups.
+ *
+ * Shared exponents add; microexponents add per sub-group, and a sum of 2
+ * (unrepresentable in one bit) is encoded as micro = 1 with the sub-group
+ * mantissas right-shifted by one. Mantissa products are rescaled back to
+ * 6 bits with the selected rounding.
+ */
+MxGroup mxMultiply(const MxGroup &a, const MxGroup &b, Rounding mode,
+                   Lfsr16 &lfsr);
+
+/**
+ * MX Adder (Fig. 9b): element-wise sum of two groups.
+ *
+ * The result exponent is the max of the operand exponents; the smaller
+ * group's mantissas are right-shifted by the difference ("CMP-delta" in
+ * the figure), every mantissa is further right-shifted by its own
+ * microexponent, and the result always carries microexponent 0. If any
+ * element sum overflows 6 bits the whole group renormalizes by one
+ * exponent step (carry-out handling; an implementation decision the paper
+ * leaves implicit).
+ */
+MxGroup mxAdd(const MxGroup &a, const MxGroup &b, Rounding mode,
+              Lfsr16 &lfsr);
+
+/**
+ * Broadcast-multiply: scale every element of @p a by MX-encoded scalar
+ * behaviour is obtained by building a group with all mantissas equal.
+ * Convenience used by the decay step d_t (broadcast along dim_state).
+ */
+MxGroup mxScale(const MxGroup &a, double scalar, Rounding mode,
+                Lfsr16 &lfsr);
+
+/**
+ * Dot Product Unit: exact integer multiply-accumulate over one group pair,
+ * returning the real-valued partial sum. The hardware accumulates partial
+ * dot products in a wide fixed-point accumulator; exact integer math in
+ * software models that (no intermediate rounding).
+ */
+double mxDotProduct(const MxGroup &a, const MxGroup &b);
+
+/** Per-value storage bits of MX8 (128 bits / 16 values). */
+constexpr double kMx8BitsPerValue = 8.0;
+
+} // namespace pimba
+
+#endif // PIMBA_QUANT_MX8_H

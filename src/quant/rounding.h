@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Rounding-mode definitions shared by every codec in src/quant.
+ *
+ * The paper (Section 3.2) studies round-to-nearest and stochastic rounding
+ * for each 8-bit format; stochastic rounding probabilistically preserves
+ * small-magnitude updates that would otherwise be swamped during the state
+ * "update" accumulation, and is implemented in hardware with an LFSR plus
+ * one adder (Section 4.2).
+ */
+
+#ifndef PIMBA_QUANT_ROUNDING_H
+#define PIMBA_QUANT_ROUNDING_H
+
+#include <cmath>
+#include <cstdint>
+
+#include "core/lfsr.h"
+
+namespace pimba {
+
+/** How codecs map an exact value onto the representable grid. */
+enum class Rounding
+{
+    Nearest,    ///< round-to-nearest, ties to even
+    Stochastic, ///< round up with probability equal to the fraction
+};
+
+/**
+ * Round @p x (in units of the destination ulp) to an integer grid point.
+ *
+ * @param x Exact value measured in destination ulps.
+ * @param mode Rounding mode.
+ * @param lfsr Randomness source for stochastic rounding.
+ */
+inline double
+roundToGrid(double x, Rounding mode, Lfsr16 &lfsr)
+{
+    if (mode == Rounding::Stochastic) {
+        double lo = std::floor(x);
+        double frac = x - lo;
+        return lo + ((lfsr.nextUnit() < frac) ? 1.0 : 0.0);
+    }
+    // Round-half-to-even.
+    double lo = std::floor(x);
+    double frac = x - lo;
+    if (frac > 0.5)
+        return lo + 1.0;
+    if (frac < 0.5)
+        return lo;
+    // Tie: pick the even neighbor.
+    return (std::fmod(lo, 2.0) == 0.0) ? lo : lo + 1.0;
+}
+
+/**
+ * Arithmetic right shift of a signed integer with explicit rounding of the
+ * discarded bits. Used by the MX adder/multiplier datapaths where mantissa
+ * alignment shifts are the rounding points.
+ *
+ * @param v Signed integer value.
+ * @param shift Non-negative shift amount (0 returns @p v unchanged).
+ */
+inline int64_t
+roundShift(int64_t v, int shift, Rounding mode, Lfsr16 &lfsr)
+{
+    if (shift <= 0)
+        return v << (-shift);
+    if (shift >= 63)
+        return 0;
+    // Operate on the magnitude so behaviour is symmetric in sign, the way
+    // a sign-magnitude datapath behaves.
+    uint64_t mag = static_cast<uint64_t>(v < 0 ? -v : v);
+    uint64_t keep = mag >> shift;
+    uint64_t rem = mag & ((uint64_t{1} << shift) - 1);
+    if (mode == Rounding::Stochastic) {
+        uint64_t r = lfsr.nextBits(shift > 32 ? 32 : shift);
+        if (shift > 32)
+            r = (r << (shift - 32)) | lfsr.nextBits(shift - 32);
+        if (rem + r >= (uint64_t{1} << shift))
+            keep += 1;
+    } else {
+        uint64_t half = uint64_t{1} << (shift - 1);
+        if (rem > half || (rem == half && (keep & 1)))
+            keep += 1;
+    }
+    int64_t out = static_cast<int64_t>(keep);
+    return v < 0 ? -out : out;
+}
+
+} // namespace pimba
+
+#endif // PIMBA_QUANT_ROUNDING_H

@@ -1,0 +1,180 @@
+#include "sim/serving_sim.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace pimba {
+
+namespace {
+
+constexpr const char *kEnergySuIo = "State update (I/O)";
+constexpr const char *kEnergySuCompute = "State update (Compute)";
+constexpr const char *kEnergyAttnIo = "Attention (I/O)";
+constexpr const char *kEnergyAttnCompute = "Attention (Compute)";
+constexpr const char *kEnergyGemm = "GEMM";
+constexpr const char *kEnergyOthers = "Others";
+
+} // namespace
+
+ServingSimulator::ServingSimulator(const SystemConfig &system)
+    : sys(system), gpuModel(system.gpu)
+{
+    if (auto design = sys.pim())
+        pimModel.emplace(sys.hbm, *design);
+}
+
+void
+ServingSimulator::addGpuCost(OpClass cls, const GpuKernelCost &cost,
+                             StepResult &acc) const
+{
+    acc.seconds += cost.seconds;
+    acc.latency.add(opClassName(cls), cost.seconds);
+    if (cls == OpClass::GEMM)
+        acc.energy.add(kEnergyGemm, cost.energyJ);
+    else
+        acc.energy.add(kEnergyOthers, cost.energyJ);
+}
+
+void
+ServingSimulator::runOp(const OpSpec &op, StepResult &acc) const
+{
+    const auto &gpu = sys.gpu;
+    switch (op.cls) {
+      case OpClass::GEMM:
+      case OpClass::CausalConv:
+      case OpClass::Discretization:
+      case OpClass::Others: {
+        addGpuCost(op.cls, gpuModel.kernel(op.flops, op.memBytes), acc);
+        return;
+      }
+      case OpClass::Communication: {
+        GpuKernelCost cost = gpuModel.allReduce(op.memBytes, sys.nGpus);
+        acc.seconds += cost.seconds;
+        acc.latency.add(opClassName(op.cls), cost.seconds);
+        acc.energy.add(kEnergyOthers, cost.energyJ);
+        return;
+      }
+      case OpClass::StateUpdate: {
+        if (sys.stateUpdateOnPim()) {
+            PimKernelResult r = pimModel->stateUpdate(op.su);
+            double secs = r.seconds + gpu.kernelLaunchOverhead;
+            acc.seconds += secs;
+            acc.latency.add(opClassName(op.cls), secs);
+            acc.energy.add(kEnergySuIo, (r.energy.activation +
+                                         r.energy.column + r.energy.io) *
+                                            sys.nGpus);
+            acc.energy.add(kEnergySuCompute, r.energy.compute * sys.nGpus);
+            return;
+        }
+        // GPU execution: the state is stored in this system's state
+        // format; operands/outputs move in fp16.
+        double state_vals = static_cast<double>(op.su.instances) *
+                            op.su.dimHead * op.su.dimState;
+        double state_bytes =
+            2.0 * state_vals * bitsPerValue(sys.stateFormat()) / 8.0;
+        double opnd_bytes = static_cast<double>(op.su.instances) *
+                            (3.0 * op.su.dimHead + 2.0 * op.su.dimState) *
+                            2.0;
+        GpuKernelCost cost = gpuModel.kernel(op.flops,
+                                             state_bytes + opnd_bytes);
+        acc.seconds += cost.seconds;
+        acc.latency.add(opClassName(op.cls), cost.seconds);
+        acc.energy.add(kEnergySuIo, (state_bytes + opnd_bytes) * 8.0 *
+                                        gpu.dramEnergyPerBit * sys.nGpus);
+        acc.energy.add(kEnergySuCompute,
+                       op.flops * gpu.computeEnergyPerFlop * sys.nGpus);
+        return;
+      }
+      case OpClass::Attention: {
+        // Softmax (and score normalization) always runs on the GPU,
+        // blocking between the score and attend phases (Section 5.6).
+        GpuKernelCost softmax = gpuModel.kernel(op.hostFlops,
+                                                op.hostBytes);
+        if (sys.attentionOnPim()) {
+            PimKernelResult score = pimModel->attentionScore(op.attn);
+            PimKernelResult attend = pimModel->attentionAttend(op.attn);
+            double secs = score.seconds + attend.seconds +
+                          softmax.seconds + gpu.kernelLaunchOverhead;
+            acc.seconds += secs;
+            acc.latency.add(opClassName(op.cls), secs);
+            double io = (score.energy.activation + score.energy.column +
+                         score.energy.io + attend.energy.activation +
+                         attend.energy.column + attend.energy.io) *
+                        sys.nGpus;
+            double cmp = (score.energy.compute + attend.energy.compute) *
+                         sys.nGpus;
+            acc.energy.add(kEnergyAttnIo, io);
+            acc.energy.add(kEnergyAttnCompute,
+                           cmp + softmax.energyJ * sys.nGpus);
+            return;
+        }
+        double kv_vals = static_cast<double>(op.attn.instances) *
+                         static_cast<double>(op.attn.seqLen) *
+                         op.attn.dimHead;
+        double kv_bytes = 2.0 * kv_vals * bitsPerValue(sys.kvFormat()) /
+                          8.0;
+        GpuKernelCost cost = gpuModel.kernel(op.flops, kv_bytes);
+        double secs = cost.seconds + softmax.seconds;
+        acc.seconds += secs;
+        acc.latency.add(opClassName(op.cls), secs);
+        acc.energy.add(kEnergyAttnIo,
+                       kv_bytes * 8.0 * gpu.dramEnergyPerBit * sys.nGpus);
+        acc.energy.add(kEnergyAttnCompute,
+                       (op.flops * gpu.computeEnergyPerFlop +
+                        softmax.energyJ) * sys.nGpus);
+        return;
+      }
+    }
+    PIMBA_PANIC("unknown op class");
+}
+
+StepResult
+ServingSimulator::generationStep(const ModelConfig &model, int batch,
+                                 uint64_t seq_len) const
+{
+    StepResult acc;
+    for (const auto &op : generationStepOps(model, batch, seq_len,
+                                            sys.nGpus))
+        runOp(op, acc);
+    return acc;
+}
+
+StepResult
+ServingSimulator::averagedStep(const ModelConfig &model, int batch,
+                               uint64_t input_len,
+                               uint64_t output_len) const
+{
+    // Attention latency/energy is affine in cache length; the average
+    // over [input_len, input_len + output_len) is the midpoint step.
+    uint64_t mid = input_len + output_len / 2;
+    return generationStep(model, batch, mid);
+}
+
+double
+ServingSimulator::generationThroughput(const ModelConfig &model, int batch,
+                                       uint64_t input_len,
+                                       uint64_t output_len) const
+{
+    StepResult step = averagedStep(model, batch, input_len, output_len);
+    PIMBA_ASSERT(step.seconds > 0, "zero step latency");
+    return static_cast<double>(batch) / step.seconds;
+}
+
+MemoryUsage
+ServingSimulator::memoryUsage(const ModelConfig &model, int batch,
+                              uint64_t seq_len) const
+{
+    MemoryUsage mem;
+    mem.weights = model.paramCount() * 2.0;
+    mem.state = batch * model.stateBytes(
+        bitsPerValue(sys.stateFormat()) / 8.0);
+    mem.kvCache = batch * static_cast<double>(seq_len) *
+                  model.kvBytesPerToken(bitsPerValue(sys.kvFormat()) / 8.0);
+    // Transient activations: a few residual-width buffers per request.
+    mem.activations = static_cast<double>(batch) * model.dModel * 16.0 *
+                      2.0;
+    return mem;
+}
+
+} // namespace pimba

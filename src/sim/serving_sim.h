@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Generation-phase serving simulator: maps each operation of a model's
+ * per-token operator graph onto the GPU roofline model or the PIM cycle
+ * model according to the system configuration, accumulating the latency
+ * and energy breakdowns the paper's Figures 3 and 12-16 report.
+ *
+ * GPU and PIM execute in a blocked manner (Section 5.6): per-token
+ * latency is the sum of the per-operation latencies, with the softmax
+ * between the attention score and attend phases charged to the GPU.
+ */
+
+#ifndef PIMBA_SIM_SERVING_SIM_H
+#define PIMBA_SIM_SERVING_SIM_H
+
+#include "core/stats.h"
+#include "gpu/gpu_kernels.h"
+#include "models/model_config.h"
+#include "pim/pim_compute.h"
+#include "sim/system.h"
+
+namespace pimba {
+
+/** Latency/energy outcome of one generation step (one token x batch). */
+struct StepResult
+{
+    double seconds = 0.0;   ///< per-token step latency
+    Breakdown latency;      ///< seconds per OpClass
+    Breakdown energy;       ///< joules per Fig. 14 category
+};
+
+/** Memory-footprint split of a serving configuration (bytes, total). */
+struct MemoryUsage
+{
+    double weights = 0.0;
+    double state = 0.0;
+    double kvCache = 0.0;
+    double activations = 0.0;
+
+    double total() const
+    {
+        return weights + state + kvCache + activations;
+    }
+};
+
+/** Serving simulator for one system configuration. */
+class ServingSimulator
+{
+  public:
+    explicit ServingSimulator(const SystemConfig &system);
+
+    /**
+     * Simulate one generation step at sequence position @p seq_len.
+     * All tensor-parallel shards run the same program; the returned
+     * numbers are per-token wall latency and whole-system energy.
+     */
+    StepResult generationStep(const ModelConfig &model, int batch,
+                              uint64_t seq_len) const;
+
+    /**
+     * Average generation step over the decode window. Both the GPU and
+     * PIM attention costs are affine in the cache length, so the window
+     * average equals the midpoint step.
+     */
+    StepResult averagedStep(const ModelConfig &model, int batch,
+                            uint64_t input_len, uint64_t output_len) const;
+
+    /** Generation throughput in tokens (words) per second. */
+    double generationThroughput(const ModelConfig &model, int batch,
+                                uint64_t input_len,
+                                uint64_t output_len) const;
+
+    /** Whole-system memory footprint at @p seq_len cached tokens. */
+    MemoryUsage memoryUsage(const ModelConfig &model, int batch,
+                            uint64_t seq_len) const;
+
+    const SystemConfig &system() const { return sys; }
+
+  private:
+    void runOp(const OpSpec &op, StepResult &acc) const;
+    void addGpuCost(OpClass cls, const GpuKernelCost &cost,
+                    StepResult &acc) const;
+
+    SystemConfig sys;
+    GpuKernelModel gpuModel;
+    std::optional<PimComputeModel> pimModel;
+};
+
+} // namespace pimba
+
+#endif // PIMBA_SIM_SERVING_SIM_H

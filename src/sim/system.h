@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Evaluated serving-system configurations (paper Section 6.1):
+ * GPU, GPU+Q (int8 state/KV on the GPU), GPU+PIM (HBM-PIM),
+ * Pimba, and the NeuPIMs-like attention-only PIM baseline (Fig. 15).
+ */
+
+#ifndef PIMBA_SIM_SYSTEM_H
+#define PIMBA_SIM_SYSTEM_H
+
+#include <optional>
+#include <string>
+
+#include "dram/hbm_config.h"
+#include "gpu/gpu_config.h"
+#include "pim/pim_compute.h"
+#include "quant/format.h"
+
+namespace pimba {
+
+/** The serving systems compared in the evaluation. */
+enum class SystemKind
+{
+    GPU,     ///< plain GPU, fp16 state and KV cache
+    GPU_Q,   ///< GPU with int8-quantized state/KV (Pimba's bit width)
+    GPU_PIM, ///< GPU + HBM-PIM (time-multiplexed fp16 PIM)
+    PIMBA,   ///< GPU + Pimba PIM (interleaved SPUs, MX8)
+    NEUPIMS, ///< GPU + per-bank attention-only PIM, fp16
+};
+
+/** Display name matching the paper's figure legends. */
+std::string systemName(SystemKind kind);
+
+/** Full system description. */
+struct SystemConfig
+{
+    SystemKind kind = SystemKind::GPU;
+    GpuConfig gpu;
+    HbmConfig hbm;
+    int nGpus = 1; ///< tensor-parallel degree (one PIM device per GPU)
+
+    /** PIM design used by this system (nullopt for GPU-only systems). */
+    std::optional<PimDesign> pim() const;
+
+    /** Storage format of the recurrent state. */
+    NumberFormat stateFormat() const;
+    /** Storage format of the KV cache. */
+    NumberFormat kvFormat() const;
+
+    /** True if state updates execute on the PIM. */
+    bool stateUpdateOnPim() const;
+    /** True if attention executes on the PIM. */
+    bool attentionOnPim() const;
+};
+
+/** Build a system around the A100/HBM2E (or given) platform. */
+SystemConfig makeSystem(SystemKind kind, int n_gpus = 1,
+                        const GpuConfig &gpu = a100Config(),
+                        const HbmConfig &hbm = hbm2eConfig());
+
+/** All four systems of Figs. 12-14. */
+std::vector<SystemKind> mainSystems();
+
+} // namespace pimba
+
+#endif // PIMBA_SIM_SYSTEM_H

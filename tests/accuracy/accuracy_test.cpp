@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests of the synthetic accuracy harness: the Fig. 4 / Table 2 shape
+ * must hold (fp8 swamps SU-LLM states, SR helps, int8/MX8 are near
+ * lossless, transformers are insensitive).
+ */
+
+#include <gtest/gtest.h>
+
+#include "accuracy/evaluate.h"
+
+namespace pimba {
+namespace {
+
+// Short streams keep the test fast; the benches use longer ones.
+constexpr size_t kSeq = 256;
+
+QuantSpec
+spec(NumberFormat f, Rounding r = Rounding::Nearest)
+{
+    return {f, r};
+}
+
+TEST(AccuracyHarness, DeterministicPerplexity)
+{
+    auto models = accuracyModels();
+    double a = evalPerplexity(models[0], spec(NumberFormat::MX8), kSeq);
+    double b = evalPerplexity(models[0], spec(NumberFormat::MX8), kSeq);
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(AccuracyHarness, Fp16MatchesFp64)
+{
+    for (const auto &m : accuracyModels()) {
+        double base = evalPerplexity(m, spec(NumberFormat::FP64), kSeq);
+        double fp16 = evalPerplexity(m, spec(NumberFormat::FP16), kSeq);
+        EXPECT_NEAR(fp16, base, base * 0.02) << m.name;
+    }
+}
+
+TEST(AccuracyHarness, Mx8NearLossless)
+{
+    // Table 2's takeaway: MX8(+SR) costs at most a few percent.
+    for (const auto &m : accuracyModels()) {
+        double base = evalPerplexity(m, spec(NumberFormat::FP64), kSeq);
+        double mx8 = evalPerplexity(
+            m, spec(NumberFormat::MX8, Rounding::Stochastic), kSeq);
+        EXPECT_LT(mx8, base * 1.12) << m.name;
+    }
+}
+
+TEST(AccuracyHarness, Int8NearLossless)
+{
+    for (const auto &m : accuracyModels()) {
+        double base = evalPerplexity(m, spec(NumberFormat::FP64), kSeq);
+        double int8 = evalPerplexity(m, spec(NumberFormat::INT8), kSeq);
+        EXPECT_LT(int8, base * 1.12) << m.name;
+    }
+}
+
+TEST(AccuracyHarness, Fp8SwampsSuLlms)
+{
+    // Fig. 4: 2-3 mantissa bits cannot absorb the state updates.
+    auto models = accuracyModels();
+    for (size_t i = 0; i < 4; ++i) { // RetNet, GLA, HGRN2, Mamba-2
+        double base = evalPerplexity(models[i],
+                                     spec(NumberFormat::FP64), kSeq);
+        double e5m2 = evalPerplexity(models[i],
+                                     spec(NumberFormat::E5M2), kSeq);
+        EXPECT_GT(e5m2, base * 1.05) << models[i].name;
+    }
+}
+
+TEST(AccuracyHarness, E5m2WorseThanE4m3)
+{
+    // Fewer mantissa bits, more swamping.
+    auto models = accuracyModels();
+    double e4m3 = evalPerplexity(models[0], spec(NumberFormat::E4M3),
+                                 kSeq);
+    double e5m2 = evalPerplexity(models[0], spec(NumberFormat::E5M2),
+                                 kSeq);
+    EXPECT_GT(e5m2, e4m3 * 0.98);
+}
+
+TEST(AccuracyHarness, StochasticRoundingRescuesFp8)
+{
+    // Fig. 4: SR has a substantial positive impact on SU-LLMs.
+    auto models = accuracyModels();
+    int improved = 0;
+    for (size_t i = 0; i < 4; ++i) {
+        double rn = evalPerplexity(models[i], spec(NumberFormat::E5M2),
+                                   kSeq);
+        double sr = evalPerplexity(
+            models[i], spec(NumberFormat::E5M2, Rounding::Stochastic),
+            kSeq);
+        improved += (sr < rn);
+    }
+    EXPECT_GE(improved, 3);
+}
+
+TEST(AccuracyHarness, TransformerInsensitiveToFormat)
+{
+    // Fig. 4: write-once KV caches tolerate every 8-bit format.
+    const auto opt = accuracyModels().back();
+    ASSERT_EQ(opt.name, "OPT");
+    double base = evalPerplexity(opt, spec(NumberFormat::FP64), kSeq);
+    for (auto f : {NumberFormat::E4M3, NumberFormat::E5M2,
+                   NumberFormat::INT8, NumberFormat::MX8}) {
+        double q = evalPerplexity(opt, spec(f), kSeq);
+        EXPECT_LT(q, base * 1.05) << formatName(f);
+    }
+}
+
+TEST(AccuracyHarness, TaskAccuracyInBand)
+{
+    // The synthetic tasks are calibrated to the paper's 40-85% band.
+    auto models = accuracyModels();
+    auto tasks = accuracyTasks();
+    double acc = evalTaskAccuracy(models[3], tasks[0],
+                                  spec(NumberFormat::FP64));
+    EXPECT_GE(acc, 35.0);
+    EXPECT_LE(acc, 100.0);
+}
+
+TEST(AccuracyHarness, Mx8SrTaskAccuracyCloseToBaseline)
+{
+    // Table 2: |Pimba - GPU| is within a few tenths of a point at full
+    // scale; the small synthetic models tolerate a wider band.
+    auto models = accuracyModels();
+    TaskSpec task = accuracyTasks()[0];
+    task.trials = 30;
+    double base = evalTaskAccuracy(models[0], task,
+                                   spec(NumberFormat::FP64));
+    double mx8 = evalTaskAccuracy(
+        models[0], task, spec(NumberFormat::MX8, Rounding::Stochastic));
+    EXPECT_NEAR(mx8, base, 15.0);
+}
+
+TEST(AccuracyHarness, Geomean)
+{
+    EXPECT_NEAR(geomean({4.0, 9.0}), 6.0, 1e-9);
+    EXPECT_NEAR(geomean({5.0}), 5.0, 1e-12);
+}
+
+TEST(AccuracyHarness, ModelsCoverPaperSet)
+{
+    auto models = accuracyModels();
+    ASSERT_EQ(models.size(), 6u);
+    EXPECT_EQ(models[0].name, "RetNet");
+    EXPECT_EQ(models[4].name, "Zamba2");
+    EXPECT_TRUE(models[4].cfg.hybridAttention);
+    EXPECT_TRUE(models[5].cfg.attentionOnly);
+}
+
+TEST(AccuracyHarness, StreamsAreReproducible)
+{
+    TinyLm lm(accuracyModels()[0].cfg);
+    auto a = lm.sampleStream(64, 0.7, 42);
+    auto b = lm.sampleStream(64, 0.7, 42);
+    EXPECT_EQ(a, b);
+    auto c = lm.sampleStream(64, 0.7, 43);
+    EXPECT_NE(a, c);
+}
+
+} // namespace
+} // namespace pimba

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the LFSR random sources.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/lfsr.h"
+
+namespace pimba {
+namespace {
+
+TEST(Lfsr16, ZeroSeedRemapped)
+{
+    Lfsr16 a(0);
+    Lfsr16 b(0xACE1u);
+    EXPECT_EQ(a.raw(), b.raw());
+}
+
+TEST(Lfsr16, ProducesBits)
+{
+    Lfsr16 lfsr(0x1234);
+    int ones = 0;
+    for (int i = 0; i < 1000; ++i)
+        ones += lfsr.nextBit();
+    // Roughly balanced bit stream.
+    EXPECT_GT(ones, 400);
+    EXPECT_LT(ones, 600);
+}
+
+TEST(Lfsr16, NeverReachesZero)
+{
+    Lfsr16 lfsr(0x0001);
+    for (int i = 0; i < 70000; ++i) {
+        lfsr.nextBit();
+        ASSERT_NE(lfsr.raw(), 0u);
+    }
+}
+
+TEST(Lfsr16, FullPeriod)
+{
+    // Maximal-length 16-bit LFSR visits all 2^16-1 non-zero states.
+    Lfsr16 lfsr(0x1);
+    uint16_t start = lfsr.raw();
+    uint64_t period = 0;
+    do {
+        lfsr.nextBit();
+        ++period;
+    } while (lfsr.raw() != start && period <= 70000);
+    EXPECT_EQ(period, 65535u);
+}
+
+TEST(Lfsr16, NextBitsWidth)
+{
+    Lfsr16 lfsr(0xBEEF);
+    for (int n = 1; n <= 16; ++n) {
+        uint32_t v = lfsr.nextBits(n);
+        EXPECT_LT(v, 1u << n) << "width " << n;
+    }
+}
+
+TEST(Lfsr16, NextUnitRange)
+{
+    Lfsr16 lfsr(0x7777);
+    double sum = 0.0;
+    for (int i = 0; i < 2000; ++i) {
+        double u = lfsr.nextUnit();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 2000.0, 0.5, 0.05);
+}
+
+TEST(Lfsr16, Deterministic)
+{
+    Lfsr16 a(0x4242), b(0x4242);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextBits(8), b.nextBits(8));
+}
+
+TEST(Lfsr32, UniformMean)
+{
+    Lfsr32 rng(99);
+    double sum = 0.0;
+    for (int i = 0; i < 5000; ++i)
+        sum += rng.nextUnit();
+    EXPECT_NEAR(sum / 5000.0, 0.5, 0.03);
+}
+
+TEST(Lfsr32, GaussianMoments)
+{
+    Lfsr32 rng(123);
+    double sum = 0.0, sq = 0.0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i) {
+        double g = rng.nextGaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.08);
+    EXPECT_NEAR(sq / n, 1.0, 0.1);
+}
+
+TEST(Lfsr32, DistinctSeedsDistinctStreams)
+{
+    Lfsr32 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 5);
+}
+
+} // namespace
+} // namespace pimba

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for accumulators, breakdowns and stat sets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/stats.h"
+#include "core/units.h"
+
+namespace pimba {
+namespace {
+
+TEST(Accumulator, Empty)
+{
+    Accumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_EQ(acc.mean(), 0.0);
+    EXPECT_EQ(acc.sum(), 0.0);
+}
+
+TEST(Accumulator, SingleSample)
+{
+    Accumulator acc;
+    acc.add(3.5);
+    EXPECT_EQ(acc.count(), 1u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(acc.min(), 3.5);
+    EXPECT_DOUBLE_EQ(acc.max(), 3.5);
+    EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, KnownMoments)
+{
+    Accumulator acc;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        acc.add(v);
+    EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(acc.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(acc.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+    EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Breakdown, AccumulatesByKey)
+{
+    Breakdown b;
+    b.add("x", 1.0);
+    b.add("y", 2.0);
+    b.add("x", 3.0);
+    EXPECT_DOUBLE_EQ(b.get("x"), 4.0);
+    EXPECT_DOUBLE_EQ(b.get("y"), 2.0);
+    EXPECT_DOUBLE_EQ(b.get("absent"), 0.0);
+    EXPECT_DOUBLE_EQ(b.total(), 6.0);
+}
+
+TEST(Breakdown, PreservesInsertionOrder)
+{
+    Breakdown b;
+    b.add("zeta", 1.0);
+    b.add("alpha", 1.0);
+    b.add("zeta", 1.0);
+    ASSERT_EQ(b.keys().size(), 2u);
+    EXPECT_EQ(b.keys()[0], "zeta");
+    EXPECT_EQ(b.keys()[1], "alpha");
+}
+
+TEST(Breakdown, Fraction)
+{
+    Breakdown b;
+    b.add("a", 1.0);
+    b.add("b", 3.0);
+    EXPECT_DOUBLE_EQ(b.fraction("a"), 0.25);
+    EXPECT_DOUBLE_EQ(b.fraction("b"), 0.75);
+    Breakdown empty;
+    EXPECT_DOUBLE_EQ(empty.fraction("a"), 0.0);
+}
+
+TEST(Breakdown, ScaleAndMerge)
+{
+    Breakdown a;
+    a.add("x", 2.0);
+    a.scale(0.5);
+    EXPECT_DOUBLE_EQ(a.get("x"), 1.0);
+
+    Breakdown b;
+    b.add("x", 1.0);
+    b.add("y", 5.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.get("x"), 2.0);
+    EXPECT_DOUBLE_EQ(a.get("y"), 5.0);
+}
+
+TEST(StatSet, IncSetGet)
+{
+    StatSet s;
+    s.inc("counter");
+    s.inc("counter", 4.0);
+    EXPECT_DOUBLE_EQ(s.get("counter"), 5.0);
+    s.set("counter", 1.0);
+    EXPECT_DOUBLE_EQ(s.get("counter"), 1.0);
+    EXPECT_DOUBLE_EQ(s.get("missing"), 0.0);
+    s.clear();
+    EXPECT_DOUBLE_EQ(s.get("counter"), 0.0);
+}
+
+TEST(StatSet, DumpContainsEntries)
+{
+    StatSet s;
+    s.set("alpha", 1.5);
+    std::string dump = s.dump();
+    EXPECT_NE(dump.find("alpha"), std::string::npos);
+    EXPECT_NE(dump.find("1.5"), std::string::npos);
+}
+
+TEST(Units, CycleConversions)
+{
+    EXPECT_DOUBLE_EQ(cyclesToSeconds(1512, 1.512e9), 1e-6);
+    EXPECT_EQ(secondsToCycles(1e-6, 1.512e9), 1512u);
+    // Rounds up.
+    EXPECT_EQ(secondsToCycles(1.0001e-9, 1e9), 2u);
+}
+
+TEST(Units, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(10, 3), 4);
+    EXPECT_EQ(ceilDiv(9, 3), 3);
+    EXPECT_EQ(ceilDiv<uint64_t>(1, 100), 1u);
+}
+
+} // namespace
+} // namespace pimba

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Unit tests for the table renderer and number formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/table.h"
+
+namespace pimba {
+namespace {
+
+TEST(Table, RendersHeaderAndRows)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"beta", "22"});
+    std::string s = t.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("22"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+    EXPECT_EQ(t.cols(), 2u);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, ColumnsAligned)
+{
+    Table t({"x", "longheader"});
+    t.addRow({"averylongcell", "y"});
+    std::string s = t.str();
+    // Each line should be at least as wide as the widest cells.
+    size_t first_nl = s.find('\n');
+    EXPECT_GE(first_nl, std::string("averylongcell").size());
+}
+
+TEST(TableDeath, RowWidthMismatch)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}
+
+TEST(Formatting, Fmt)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(Formatting, Ratio)
+{
+    EXPECT_EQ(fmtRatio(2.345, 2), "2.35x");
+    EXPECT_EQ(fmtRatio(1.0, 1), "1.0x");
+}
+
+TEST(Formatting, Percent)
+{
+    EXPECT_EQ(fmtPercent(0.5, 1), "50.0%");
+    EXPECT_EQ(fmtPercent(0.123, 1), "12.3%");
+}
+
+} // namespace
+} // namespace pimba

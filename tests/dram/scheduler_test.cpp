@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Tests of the PIM command scheduler against the Table 1 timing rules
+ * and the Fig. 11 overlap behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/pim_scheduler.h"
+
+namespace pimba {
+namespace {
+
+HbmConfig
+cfg()
+{
+    return hbm2eConfig();
+}
+
+TEST(PimScheduler, Act4RespectsFaw)
+{
+    auto c = cfg();
+    PimCommandScheduler s(c, true);
+    Cycles a0 = s.issueAct4();
+    Cycles a1 = s.issueAct4();
+    Cycles a2 = s.issueAct4();
+    EXPECT_GE(a1 - a0, static_cast<Cycles>(c.timing.tFAW));
+    EXPECT_GE(a2 - a1, static_cast<Cycles>(c.timing.tFAW));
+}
+
+TEST(PimScheduler, CompWaitsForTrcd)
+{
+    auto c = cfg();
+    PimCommandScheduler s(c);
+    Cycles act = s.issueAct4();
+    Cycles comp = s.issueComp();
+    EXPECT_GE(comp - act, static_cast<Cycles>(c.timing.tRCD));
+}
+
+TEST(PimScheduler, ConsecutiveCompsSpacedTccdL)
+{
+    auto c = cfg();
+    PimCommandScheduler s(c);
+    s.issueAct4();
+    Cycles prev = s.issueComp();
+    for (int i = 0; i < 10; ++i) {
+        Cycles next = s.issueComp();
+        ASSERT_GE(next - prev, static_cast<Cycles>(c.timing.tCCD_L));
+        prev = next;
+    }
+}
+
+TEST(PimScheduler, SteadyStateCompRateIsTccdL)
+{
+    // Within a pass, COMP throughput is exactly one per tCCD_L — this
+    // fixes the SPU frequency to busFreq / 4 (Table 1, Section 6.1).
+    auto c = cfg();
+    PimCommandScheduler s(c);
+    s.issueAct4();
+    Cycles first = s.issueComp();
+    Cycles last = first;
+    const int n = 100;
+    for (int i = 0; i < n; ++i)
+        last = s.issueComp();
+    EXPECT_EQ(last - first, static_cast<Cycles>(n * c.timing.tCCD_L));
+}
+
+TEST(PimScheduler, RegWritesFillFawGaps)
+{
+    // Fig. 11: REG_WRITEs slot between ACT4s without delaying them.
+    auto c = cfg();
+    PimCommandScheduler s(c, true);
+    Cycles a0 = s.issueAct4();
+    for (int i = 0; i < 8; ++i)
+        s.issueRegWrite();
+    Cycles a1 = s.issueAct4();
+    // The 8 REG_WRITEs (2 cycles each on the data bus) fit inside the
+    // tFAW = 30 cycle window, so ACT4 spacing stays at tFAW.
+    EXPECT_EQ(a1 - a0, static_cast<Cycles>(c.timing.tFAW));
+}
+
+TEST(PimScheduler, RegWritesSerializeOnDataBus)
+{
+    auto c = cfg();
+    PimCommandScheduler s(c, true);
+    Cycles r0 = s.issueRegWrite();
+    Cycles r1 = s.issueRegWrite();
+    EXPECT_GE(r1 - r0, static_cast<Cycles>(c.timing.burstCycles));
+}
+
+TEST(PimScheduler, PrechargeRespectsTrasAndTwr)
+{
+    auto c = cfg();
+    PimCommandScheduler s(c);
+    Cycles act = s.issueAct4();
+    Cycles comp = s.issueComp();
+    Cycles pre = s.issuePrecharges();
+    EXPECT_GE(pre - act, static_cast<Cycles>(c.timing.tRAS));
+    EXPECT_GE(pre - comp, static_cast<Cycles>(c.timing.tWR));
+}
+
+TEST(PimScheduler, NextAct4WaitsForTrp)
+{
+    auto c = cfg();
+    PimCommandScheduler s(c);
+    s.issueAct4();
+    s.issueComp();
+    Cycles pre = s.issuePrecharges();
+    Cycles act = s.issueAct4();
+    EXPECT_GE(act - pre, static_cast<Cycles>(c.timing.tRP));
+}
+
+TEST(PimScheduler, ResultReadAfterCompDelay)
+{
+    auto c = cfg();
+    PimCommandScheduler s(c);
+    s.issueAct4();
+    Cycles comp = s.issueComp();
+    s.issuePrecharges();
+    Cycles rr = s.issueResultRead();
+    EXPECT_GE(rr - comp, static_cast<Cycles>(
+                  std::max(c.timing.tRTP_L, c.timing.tWR)));
+}
+
+TEST(PimScheduler, ResultReadOverlapsPrechargeWindow)
+{
+    // Fig. 11: RESULT_READ only needs the data bus, so it issues inside
+    // the tRP window after PRECHARGES rather than after it.
+    auto c = cfg();
+    PimCommandScheduler s(c);
+    s.issueAct4();
+    for (int i = 0; i < 16; ++i)
+        s.issueComp(); // spread COMPs so tWR is satisfied by the time
+    Cycles pre = s.issuePrecharges();
+    Cycles rr = s.issueResultRead();
+    EXPECT_LT(rr, pre + static_cast<Cycles>(c.timing.tRP));
+}
+
+TEST(PimScheduler, RefreshRequiresPrechargedBanks)
+{
+    auto c = cfg();
+    PimCommandScheduler s(c);
+    s.issueAct4();
+    EXPECT_DEATH(s.maybeRefresh(), "precharged");
+}
+
+TEST(PimScheduler, RefreshIssuedWhenDue)
+{
+    auto c = cfg();
+    PimCommandScheduler s(c, true);
+    // Run passes until we cross tREFI.
+    int refreshes = 0;
+    while (s.finishCycle() < static_cast<Cycles>(2 * c.timing.tREFI)) {
+        refreshes += s.maybeRefresh();
+        s.issueAct4();
+        for (int i = 0; i < 32; ++i)
+            s.issueComp();
+        s.issuePrecharges();
+    }
+    EXPECT_GE(refreshes, 1);
+    EXPECT_GE(s.counts().refresh, 1u);
+}
+
+TEST(PimScheduler, CompWithoutActDies)
+{
+    auto c = cfg();
+    PimCommandScheduler s(c);
+    EXPECT_DEATH(s.issueComp(), "no activated rows");
+}
+
+TEST(PimScheduler, CountsTrackIssues)
+{
+    auto c = cfg();
+    PimCommandScheduler s(c);
+    s.issueAct4();
+    s.issueRegWrite();
+    s.issueComp();
+    s.issueComp();
+    s.issuePrecharges();
+    s.issueResultRead();
+    const auto &n = s.counts();
+    EXPECT_EQ(n.act4, 1u);
+    EXPECT_EQ(n.regWrite, 1u);
+    EXPECT_EQ(n.comp, 2u);
+    EXPECT_EQ(n.precharges, 1u);
+    EXPECT_EQ(n.resultRead, 1u);
+}
+
+TEST(PimScheduler, TraceRecordsWhenEnabled)
+{
+    auto c = cfg();
+    PimCommandScheduler s(c, true);
+    s.issueAct4();
+    s.issueComp();
+    ASSERT_EQ(s.trace().size(), 2u);
+    EXPECT_EQ(s.trace()[0].cmd, DramCommand::ACT4);
+    EXPECT_EQ(s.trace()[1].cmd, DramCommand::COMP);
+    EXPECT_LE(s.trace()[0].cycle, s.trace()[1].cycle);
+}
+
+TEST(PimScheduler, FinishCoversPrechargeTail)
+{
+    auto c = cfg();
+    PimCommandScheduler s(c);
+    s.issueAct4();
+    s.issueComp();
+    Cycles pre = s.issuePrecharges();
+    EXPECT_GE(s.finishCycle(), pre + static_cast<Cycles>(c.timing.tRP));
+}
+
+TEST(PimScheduler, FinishSecondsUsesBusClock)
+{
+    auto c = cfg();
+    PimCommandScheduler s(c);
+    s.issueAct4();
+    EXPECT_NEAR(s.finishSeconds(),
+                static_cast<double>(s.finishCycle()) / c.busFreqHz,
+                1e-15);
+}
+
+TEST(HbmConfig, Table1Values)
+{
+    auto c = hbm2eConfig();
+    EXPECT_EQ(c.timing.tRP, 14);
+    EXPECT_EQ(c.timing.tRAS, 34);
+    EXPECT_EQ(c.timing.tCCD_S, 2);
+    EXPECT_EQ(c.timing.tCCD_L, 4);
+    EXPECT_EQ(c.timing.tWR, 16);
+    EXPECT_EQ(c.timing.tRTP_S, 4);
+    EXPECT_EQ(c.timing.tRTP_L, 6);
+    EXPECT_EQ(c.timing.tREFI, 3900);
+    EXPECT_EQ(c.timing.tFAW, 30);
+    EXPECT_EQ(c.org.banksPerBankGroup, 4);
+    EXPECT_EQ(c.org.bankGroupsPerPseudoChannel, 4);
+    EXPECT_DOUBLE_EQ(c.busFreqHz, 1.512e9);
+}
+
+TEST(HbmConfig, PimFrequencyIsBusOverTccdL)
+{
+    // 1.512 GHz / 4 = 378 MHz (Table 1); HBM3: 2.626 GHz / 4 = 656.5 MHz.
+    EXPECT_NEAR(hbm2eConfig().pimFreqHz(), 378e6, 1e3);
+    EXPECT_NEAR(hbm3Config().pimFreqHz(), 656.5e6, 1e3);
+}
+
+TEST(HbmConfig, BandwidthMatchesGpu)
+{
+    // 40 channels of HBM2E approximate the A100's ~2 TB/s; the internal
+    // all-bank bandwidth exceeds the channel bandwidth by banks/2x
+    // tCCD ratio (the PIM opportunity, Section 2.3).
+    auto c = hbm2eConfig();
+    EXPECT_NEAR(c.channelBandwidth(), 1.935e12, 0.01e12);
+    EXPECT_GT(c.internalBandwidth(), 7.0 * c.channelBandwidth());
+}
+
+} // namespace
+} // namespace pimba

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests of the PIM state / KV-cache data-layout math (Section 5.1(3)).
+ */
+
+#include <gtest/gtest.h>
+
+#include "pim/data_layout.h"
+
+namespace pimba {
+namespace {
+
+TEST(StateLayout, BytesAndColumns)
+{
+    HbmConfig hbm = hbm2eConfig();
+    StateUpdateShape shape{1024, 64, 128};
+    StateLayout lay = computeStateLayout(shape, NumberFormat::MX8, hbm);
+    // 1024 instances x 64 x 128 values x 1 byte.
+    EXPECT_EQ(lay.totalStateBytes, 1024ull * 64 * 128);
+    int pcs = hbm.org.totalPseudoChannels();
+    EXPECT_EQ(lay.stateBytesPerPc,
+              ceilDiv<uint64_t>(lay.totalStateBytes, pcs));
+    EXPECT_EQ(lay.columnsPerPc,
+              ceilDiv<uint64_t>(lay.stateBytesPerPc, 32));
+}
+
+TEST(StateLayout, Fp16DoublesBytes)
+{
+    HbmConfig hbm = hbm2eConfig();
+    StateUpdateShape shape{128, 64, 128};
+    StateLayout mx = computeStateLayout(shape, NumberFormat::MX8, hbm);
+    StateLayout fp = computeStateLayout(shape, NumberFormat::FP16, hbm);
+    EXPECT_EQ(fp.totalStateBytes, 2 * mx.totalStateBytes);
+    EXPECT_EQ(fp.elemsPerColumn, mx.elemsPerColumn / 2);
+}
+
+TEST(StateLayout, PassesCoverRows)
+{
+    HbmConfig hbm = hbm2eConfig();
+    StateUpdateShape shape{4096, 64, 128};
+    StateLayout lay = computeStateLayout(shape, NumberFormat::MX8, hbm);
+    int banks = hbm.org.banksPerPseudoChannel();
+    EXPECT_GE(lay.passes * banks, lay.rowsPerPc);
+    EXPECT_LT((lay.passes - 1) * banks, lay.rowsPerPc);
+}
+
+TEST(StateLayout, SubchunksPerStateColumn)
+{
+    HbmConfig hbm = hbm2eConfig();
+    // dim_head 64 at 1 B/value -> 2 sub-chunks per 32 B column.
+    StateLayout lay = computeStateLayout({1, 64, 128},
+                                         NumberFormat::MX8, hbm);
+    EXPECT_EQ(lay.elemsPerColumn, 32);
+    EXPECT_EQ(lay.subchunksPerStateColumn, 2);
+}
+
+TEST(StateLayout, OperandTraffic)
+{
+    HbmConfig hbm = hbm2eConfig();
+    StateUpdateShape shape{10, 64, 128};
+    StateLayout lay = computeStateLayout(shape, NumberFormat::MX8, hbm);
+    // d, q, k (64 each) + v (128) per instance at 1 B/value.
+    EXPECT_EQ(lay.regWriteBytesTotal, 10ull * (3 * 64 + 128));
+    // Results drained as fp16: dim_state values x 2 B.
+    EXPECT_EQ(lay.resultReadBytesTotal, 10ull * 128 * 2);
+}
+
+TEST(StateLayout, MinimumOnePass)
+{
+    HbmConfig hbm = hbm2eConfig();
+    StateLayout lay = computeStateLayout({1, 16, 16},
+                                         NumberFormat::MX8, hbm);
+    EXPECT_GE(lay.passes, 1u);
+}
+
+TEST(AttentionLayout, ScoreTraffic)
+{
+    HbmConfig hbm = hbm2eConfig();
+    AttentionShape shape{8, 128, 2048};
+    AttentionLayout lay = computeScoreLayout(shape, NumberFormat::MX8,
+                                             hbm);
+    EXPECT_EQ(lay.cacheBytesTotal, 8ull * 2048 * 128);
+    // Queries in: dim_head per instance; scores out: one per token.
+    EXPECT_EQ(lay.regWriteBytesTotal, 8ull * 128);
+    EXPECT_EQ(lay.resultReadBytesTotal, 8ull * 2048 * 2);
+}
+
+TEST(AttentionLayout, AttendTrafficMirrorsScore)
+{
+    HbmConfig hbm = hbm2eConfig();
+    AttentionShape shape{8, 128, 2048};
+    AttentionLayout sc = computeScoreLayout(shape, NumberFormat::MX8,
+                                            hbm);
+    AttentionLayout at = computeAttendLayout(shape, NumberFormat::MX8,
+                                             hbm);
+    EXPECT_EQ(sc.cacheBytesTotal, at.cacheBytesTotal);
+    // Attend loads scores (seq) and drains outputs (dim_head).
+    EXPECT_EQ(at.regWriteBytesTotal, 8ull * 2048);
+    EXPECT_EQ(at.resultReadBytesTotal, 8ull * 128 * 2);
+}
+
+TEST(AttentionLayout, GrowsWithSequence)
+{
+    HbmConfig hbm = hbm2eConfig();
+    AttentionLayout a = computeScoreLayout({8, 128, 1024},
+                                           NumberFormat::FP16, hbm);
+    AttentionLayout b = computeScoreLayout({8, 128, 2048},
+                                           NumberFormat::FP16, hbm);
+    EXPECT_EQ(b.cacheBytesTotal, 2 * a.cacheBytesTotal);
+    EXPECT_GE(b.passes, a.passes);
+}
+
+} // namespace
+} // namespace pimba

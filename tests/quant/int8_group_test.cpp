@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests of the group-scaled int8 codec (Section 3.2's integer format).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "quant/int8_group.h"
+
+namespace pimba {
+namespace {
+
+TEST(Int8Group, ZeroGroup)
+{
+    Lfsr16 lfsr(1);
+    double v[4] = {0, 0, 0, 0};
+    Int8Group g = int8Quantize(v, 4, Rounding::Nearest, lfsr);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(g.value(i), 0.0);
+}
+
+TEST(Int8Group, MaxValueUsesFullRange)
+{
+    Lfsr16 lfsr(1);
+    double v[2] = {127.0, -127.0};
+    Int8Group g = int8Quantize(v, 2, Rounding::Nearest, lfsr);
+    EXPECT_EQ(g.codes[0], 127);
+    EXPECT_EQ(g.codes[1], -127);
+    EXPECT_NEAR(g.value(0), 127.0, 0.05);
+}
+
+TEST(Int8Group, RelativeErrorBound)
+{
+    Lfsr16 lfsr(9);
+    Lfsr32 rng(5);
+    std::vector<double> v(kInt8GroupSize);
+    double amax = 0.0;
+    for (auto &x : v) {
+        x = rng.nextGaussian();
+        amax = std::max(amax, std::fabs(x));
+    }
+    Int8Group g = int8Quantize(v.data(), kInt8GroupSize,
+                               Rounding::Nearest, lfsr);
+    for (int i = 0; i < kInt8GroupSize; ++i) {
+        // Absolute error bounded by ~half a code step (plus fp16 scale
+        // rounding slack).
+        EXPECT_NEAR(g.value(i), v[i], amax / 127.0 * 0.51 + amax * 1e-3);
+    }
+}
+
+TEST(Int8Group, ScaleIsFp16Representable)
+{
+    Lfsr16 lfsr(2);
+    double v[1] = {0.333};
+    Int8Group g = int8Quantize(v, 1, Rounding::Nearest, lfsr);
+    // fp16 values have at most 11 significant bits; re-rounding the
+    // scale must not change it.
+    Lfsr16 l2(3);
+    EXPECT_DOUBLE_EQ(
+        minifloatQuantize(g.scale, fp16Spec(), Rounding::Nearest, l2),
+        g.scale);
+}
+
+TEST(Int8Group, SpanQuantizeIdempotent)
+{
+    Lfsr16 lfsr(7);
+    Lfsr32 rng(17);
+    std::vector<double> v(70);
+    for (auto &x : v)
+        x = rng.nextGaussian() * 3.0;
+    std::vector<double> once = v;
+    int8QuantizeSpan(once.data(), once.size(), Rounding::Nearest, lfsr);
+    std::vector<double> twice = once;
+    int8QuantizeSpan(twice.data(), twice.size(), Rounding::Nearest, lfsr);
+    for (size_t i = 0; i < v.size(); ++i)
+        ASSERT_DOUBLE_EQ(once[i], twice[i]) << "index " << i;
+}
+
+TEST(Int8Group, StochasticUnbiased)
+{
+    Lfsr16 lfsr(0xABCD);
+    double sum = 0.0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+        double v[2] = {1.0, 0.3};
+        Int8Group g = int8Quantize(v, 2, Rounding::Stochastic, lfsr);
+        sum += g.value(1);
+    }
+    EXPECT_NEAR(sum / n, 0.3, 0.002);
+}
+
+TEST(Int8Group, GroupwiseScaling)
+{
+    // Two groups with very different ranges keep independent scales.
+    Lfsr16 lfsr(4);
+    std::vector<double> v(64, 0.0);
+    for (int i = 0; i < 32; ++i)
+        v[i] = 1000.0 * ((i % 2) ? 1 : -1);
+    for (int i = 32; i < 64; ++i)
+        v[i] = 0.001 * ((i % 2) ? 1 : -1);
+    int8QuantizeSpan(v.data(), v.size(), Rounding::Nearest, lfsr);
+    EXPECT_NEAR(std::fabs(v[0]), 1000.0, 5.0);
+    EXPECT_NEAR(std::fabs(v[40]), 0.001, 1e-5);
+}
+
+TEST(Int8GroupDeath, BadGroupSize)
+{
+    Lfsr16 lfsr(1);
+    double v[1] = {1.0};
+    EXPECT_DEATH(int8Quantize(v, 0, Rounding::Nearest, lfsr),
+                 "group size");
+    EXPECT_DEATH(int8Quantize(v, 33, Rounding::Nearest, lfsr),
+                 "group size");
+}
+
+} // namespace
+} // namespace pimba

@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Bit-level tests of the MX8 codec and the MX Multiplier / MX Adder
+ * datapaths (paper Section 5.3, Fig. 9).
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "quant/mx8.h"
+
+namespace pimba {
+namespace {
+
+std::array<double, kMxGroupSize>
+ramp(double scale = 1.0)
+{
+    std::array<double, kMxGroupSize> v{};
+    for (int i = 0; i < kMxGroupSize; ++i)
+        v[i] = scale * (i - 7.5) / 8.0;
+    return v;
+}
+
+TEST(Mx8Codec, ZeroGroup)
+{
+    Lfsr16 lfsr(1);
+    std::array<double, kMxGroupSize> v{};
+    MxGroup g = mxQuantize(v.data(), Rounding::Nearest, lfsr);
+    EXPECT_TRUE(g.isZero());
+    for (int i = 0; i < kMxGroupSize; ++i)
+        EXPECT_EQ(g.value(i), 0.0);
+}
+
+TEST(Mx8Codec, SharedExponentCoversMax)
+{
+    Lfsr16 lfsr(1);
+    auto v = ramp(3.0);
+    MxGroup g = mxQuantize(v.data(), Rounding::Nearest, lfsr);
+    // Largest magnitude must be representable: |max| <= 2^sharedExp.
+    double amax = 0.0;
+    for (double x : v)
+        amax = std::max(amax, std::fabs(x));
+    EXPECT_LE(amax, std::ldexp(1.0, g.sharedExp));
+    EXPECT_GT(amax, std::ldexp(1.0, g.sharedExp - 1));
+}
+
+TEST(Mx8Codec, RelativeErrorWithinMantissaGrid)
+{
+    Lfsr16 lfsr(5);
+    Lfsr32 rng(3);
+    for (int trial = 0; trial < 100; ++trial) {
+        std::array<double, kMxGroupSize> v{};
+        double amax = 0.0;
+        for (auto &x : v) {
+            x = rng.nextGaussian();
+            amax = std::max(amax, std::fabs(x));
+        }
+        MxGroup g = mxQuantize(v.data(), Rounding::Nearest, lfsr);
+        for (int i = 0; i < kMxGroupSize; ++i) {
+            // Worst-case grid step: group scale / 2^6 (micro = 0).
+            double ulp = std::ldexp(1.0, g.sharedExp - kMxMantFracBits);
+            ASSERT_NEAR(g.value(i), v[i], 0.5 * ulp + 1e-12);
+        }
+    }
+}
+
+TEST(Mx8Codec, MicroexponentRefinesSmallPairs)
+{
+    Lfsr16 lfsr(1);
+    std::array<double, kMxGroupSize> v{};
+    v[0] = 1.0;       // pins the shared exponent
+    v[2] = 0.01;      // small pair -> micro = 1 for pair 1
+    v[3] = 0.012;
+    MxGroup g = mxQuantize(v.data(), Rounding::Nearest, lfsr);
+    EXPECT_EQ(g.micro[0], 0);
+    EXPECT_EQ(g.micro[1], 1);
+    // The refined pair has half the grid step of the coarse pair.
+    double err_coarse = std::ldexp(1.0, g.sharedExp - kMxMantFracBits);
+    EXPECT_NEAR(g.value(2), 0.01, err_coarse / 2.0);
+}
+
+TEST(Mx8Codec, IdempotentProjection)
+{
+    Lfsr16 lfsr(9);
+    Lfsr32 rng(21);
+    std::array<double, kMxGroupSize> v{};
+    for (auto &x : v)
+        x = rng.nextGaussian() * 4.0;
+    MxGroup g1 = mxQuantize(v.data(), Rounding::Nearest, lfsr);
+    std::array<double, kMxGroupSize> d1{};
+    g1.decode(d1.data());
+    MxGroup g2 = mxQuantize(d1.data(), Rounding::Nearest, lfsr);
+    std::array<double, kMxGroupSize> d2{};
+    g2.decode(d2.data());
+    for (int i = 0; i < kMxGroupSize; ++i)
+        ASSERT_DOUBLE_EQ(d1[i], d2[i]);
+}
+
+TEST(Mx8Codec, SpanHandlesTail)
+{
+    Lfsr16 lfsr(3);
+    std::vector<double> v(20, 1.0);
+    v[19] = -2.0;
+    mxQuantizeSpan(v.data(), v.size(), Rounding::Nearest, lfsr);
+    EXPECT_NEAR(v[0], 1.0, 0.05);
+    EXPECT_NEAR(v[19], -2.0, 0.05);
+}
+
+TEST(Mx8Codec, StochasticUnbiased)
+{
+    Lfsr16 lfsr(0x7F7F);
+    double sum = 0.0;
+    const int n = 4000;
+    std::array<double, kMxGroupSize> v{};
+    v[0] = 1.0; // pins exponent; element 1 sits off-grid
+    for (int i = 0; i < n; ++i) {
+        v[1] = 0.3;
+        MxGroup g = mxQuantize(v.data(), Rounding::Stochastic, lfsr);
+        sum += g.value(1);
+    }
+    EXPECT_NEAR(sum / n, 0.3, 0.004);
+}
+
+// --- MX Multiplier (Fig. 9a) ---
+
+TEST(MxMultiplier, ElementwiseProduct)
+{
+    Lfsr16 lfsr(1);
+    auto a = ramp(2.0);
+    auto b = ramp(1.0);
+    MxGroup ga = mxQuantize(a.data(), Rounding::Nearest, lfsr);
+    MxGroup gb = mxQuantize(b.data(), Rounding::Nearest, lfsr);
+    MxGroup prod = mxMultiply(ga, gb, Rounding::Nearest, lfsr);
+    for (int i = 0; i < kMxGroupSize; ++i) {
+        double expect = ga.value(i) * gb.value(i);
+        double tol = std::ldexp(1.0, prod.sharedExp - kMxMantFracBits);
+        ASSERT_NEAR(prod.value(i), expect, tol) << "elem " << i;
+    }
+}
+
+TEST(MxMultiplier, ExponentsAdd)
+{
+    Lfsr16 lfsr(1);
+    std::array<double, kMxGroupSize> a{}, b{};
+    a.fill(2.0); // exponent 2 (2.0 <= 2^2, > 2^1... grid exponent = 2)
+    b.fill(4.0);
+    MxGroup ga = mxQuantize(a.data(), Rounding::Nearest, lfsr);
+    MxGroup gb = mxQuantize(b.data(), Rounding::Nearest, lfsr);
+    MxGroup prod = mxMultiply(ga, gb, Rounding::Nearest, lfsr);
+    EXPECT_EQ(prod.sharedExp, ga.sharedExp + gb.sharedExp);
+    EXPECT_NEAR(prod.value(0), 8.0, 0.26);
+}
+
+TEST(MxMultiplier, MicroexponentSaturationShiftsMantissa)
+{
+    // Both operands with micro = 1 in a pair: the product keeps micro=1
+    // and right-shifts mantissas once (Section 5.3) — the value must
+    // still be correct to within the coarser grid.
+    Lfsr16 lfsr(1);
+    std::array<double, kMxGroupSize> a{}, b{};
+    a[0] = 1.0;
+    a[2] = 0.2; // small pair -> micro 1
+    a[3] = 0.2;
+    b = a;
+    MxGroup ga = mxQuantize(a.data(), Rounding::Nearest, lfsr);
+    MxGroup gb = mxQuantize(b.data(), Rounding::Nearest, lfsr);
+    ASSERT_EQ(ga.micro[1], 1);
+    MxGroup prod = mxMultiply(ga, gb, Rounding::Nearest, lfsr);
+    EXPECT_EQ(prod.micro[1], 1);
+    double tol = std::ldexp(1.0, prod.sharedExp - kMxMantFracBits);
+    EXPECT_NEAR(prod.value(2), 0.04, tol);
+}
+
+TEST(MxMultiplier, ZeroAnnihilates)
+{
+    Lfsr16 lfsr(1);
+    auto a = ramp();
+    std::array<double, kMxGroupSize> z{};
+    MxGroup ga = mxQuantize(a.data(), Rounding::Nearest, lfsr);
+    MxGroup gz = mxQuantize(z.data(), Rounding::Nearest, lfsr);
+    EXPECT_TRUE(mxMultiply(ga, gz, Rounding::Nearest, lfsr).isZero());
+    EXPECT_TRUE(mxMultiply(gz, ga, Rounding::Nearest, lfsr).isZero());
+}
+
+// --- MX Adder (Fig. 9b) ---
+
+TEST(MxAdder, ElementwiseSumSameExponent)
+{
+    Lfsr16 lfsr(1);
+    auto a = ramp(1.0);
+    auto b = ramp(0.5);
+    MxGroup ga = mxQuantize(a.data(), Rounding::Nearest, lfsr);
+    MxGroup gb = mxQuantize(b.data(), Rounding::Nearest, lfsr);
+    MxGroup sum = mxAdd(ga, gb, Rounding::Nearest, lfsr);
+    for (int i = 0; i < kMxGroupSize; ++i) {
+        double expect = ga.value(i) + gb.value(i);
+        double tol = 1.5 * std::ldexp(1.0, sum.sharedExp -
+                                      kMxMantFracBits);
+        ASSERT_NEAR(sum.value(i), expect, tol) << "elem " << i;
+    }
+}
+
+TEST(MxAdder, ResultExponentIsMax)
+{
+    Lfsr16 lfsr(1);
+    std::array<double, kMxGroupSize> a{}, b{};
+    a.fill(8.0);
+    b.fill(0.125);
+    MxGroup ga = mxQuantize(a.data(), Rounding::Nearest, lfsr);
+    MxGroup gb = mxQuantize(b.data(), Rounding::Nearest, lfsr);
+    MxGroup sum = mxAdd(ga, gb, Rounding::Nearest, lfsr);
+    EXPECT_GE(sum.sharedExp, std::max(ga.sharedExp, gb.sharedExp));
+    EXPECT_NEAR(sum.value(0), 8.125, 0.3);
+}
+
+TEST(MxAdder, ResultMicroexponentsAreZero)
+{
+    Lfsr16 lfsr(1);
+    std::array<double, kMxGroupSize> a{};
+    a[0] = 1.0;
+    a[2] = 0.1;
+    a[3] = 0.1;
+    MxGroup ga = mxQuantize(a.data(), Rounding::Nearest, lfsr);
+    MxGroup sum = mxAdd(ga, ga, Rounding::Nearest, lfsr);
+    for (int p = 0; p < kMxNumSubGroups; ++p)
+        EXPECT_EQ(sum.micro[p], 0) << "pair " << p;
+}
+
+TEST(MxAdder, CarryOutRenormalizes)
+{
+    Lfsr16 lfsr(1);
+    std::array<double, kMxGroupSize> a{};
+    a.fill(1.96875); // mantissa near full scale
+    MxGroup ga = mxQuantize(a.data(), Rounding::Nearest, lfsr);
+    MxGroup sum = mxAdd(ga, ga, Rounding::Nearest, lfsr);
+    EXPECT_NEAR(sum.value(0), 2.0 * ga.value(0), 0.13);
+    EXPECT_EQ(sum.sharedExp, ga.sharedExp + 1);
+}
+
+TEST(MxAdder, SwampingLosesTinyAddendWithNearest)
+{
+    // The paper's core numerical observation: with round-to-nearest a
+    // small addend below half an ulp of the large operand vanishes.
+    Lfsr16 lfsr(1);
+    std::array<double, kMxGroupSize> big{}, small{};
+    big.fill(1.0);
+    small.fill(0.004); // < (2^-6)/2 of the big operand's grid
+    MxGroup gb = mxQuantize(big.data(), Rounding::Nearest, lfsr);
+    MxGroup gs = mxQuantize(small.data(), Rounding::Nearest, lfsr);
+    MxGroup sum = mxAdd(gb, gs, Rounding::Nearest, lfsr);
+    for (int i = 0; i < kMxGroupSize; ++i)
+        ASSERT_DOUBLE_EQ(sum.value(i), gb.value(i));
+}
+
+TEST(MxAdder, StochasticPreservesTinyAddendInExpectation)
+{
+    // ...and stochastic rounding preserves it on average (Section 3.2).
+    std::array<double, kMxGroupSize> big{}, small{};
+    big.fill(1.0);
+    small.fill(0.004);
+    Lfsr16 ql(2);
+    MxGroup gb = mxQuantize(big.data(), Rounding::Nearest, ql);
+    MxGroup gs = mxQuantize(small.data(), Rounding::Nearest, ql);
+    Lfsr16 lfsr(0x1357);
+    double sum0 = 0.0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+        MxGroup sum = mxAdd(gb, gs, Rounding::Stochastic, lfsr);
+        sum0 += sum.value(0);
+    }
+    double expected = gb.value(0) + gs.value(0);
+    EXPECT_NEAR(sum0 / n, expected, 0.002);
+    EXPECT_GT(sum0 / n, gb.value(0) + 0.001); // strictly above swamped
+}
+
+TEST(MxAdder, ZeroIdentity)
+{
+    Lfsr16 lfsr(1);
+    auto a = ramp(2.0);
+    std::array<double, kMxGroupSize> z{};
+    MxGroup ga = mxQuantize(a.data(), Rounding::Nearest, lfsr);
+    MxGroup gz = mxQuantize(z.data(), Rounding::Nearest, lfsr);
+    MxGroup sum = mxAdd(ga, gz, Rounding::Nearest, lfsr);
+    for (int i = 0; i < kMxGroupSize; ++i) {
+        // Micro-exponent folding may coarsen by at most one grid step.
+        double tol = std::ldexp(1.0, ga.sharedExp - kMxMantFracBits);
+        ASSERT_NEAR(sum.value(i), ga.value(i), tol);
+    }
+}
+
+// --- Scale and Dot Product units ---
+
+TEST(MxScale, BroadcastMultiply)
+{
+    Lfsr16 lfsr(1);
+    auto a = ramp(1.0);
+    MxGroup ga = mxQuantize(a.data(), Rounding::Nearest, lfsr);
+    MxGroup scaled = mxScale(ga, 0.5, Rounding::Nearest, lfsr);
+    for (int i = 0; i < kMxGroupSize; ++i) {
+        double tol = std::ldexp(1.0, scaled.sharedExp - kMxMantFracBits);
+        ASSERT_NEAR(scaled.value(i), 0.5 * ga.value(i), tol);
+    }
+}
+
+TEST(MxScale, ZeroScalar)
+{
+    Lfsr16 lfsr(1);
+    auto a = ramp(1.0);
+    MxGroup ga = mxQuantize(a.data(), Rounding::Nearest, lfsr);
+    EXPECT_TRUE(mxScale(ga, 0.0, Rounding::Nearest, lfsr).isZero());
+}
+
+TEST(MxDotProduct, MatchesDecodedDot)
+{
+    Lfsr16 lfsr(17);
+    Lfsr32 rng(31);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::array<double, kMxGroupSize> a{}, b{};
+        for (auto &x : a)
+            x = rng.nextGaussian();
+        for (auto &x : b)
+            x = rng.nextGaussian();
+        MxGroup ga = mxQuantize(a.data(), Rounding::Nearest, lfsr);
+        MxGroup gb = mxQuantize(b.data(), Rounding::Nearest, lfsr);
+        double expect = 0.0;
+        for (int i = 0; i < kMxGroupSize; ++i)
+            expect += ga.value(i) * gb.value(i);
+        // The dot-product unit accumulates exactly (wide accumulator).
+        ASSERT_NEAR(mxDotProduct(ga, gb), expect, 1e-9);
+    }
+}
+
+TEST(Mx8Property, QuantizeErrorShrinksWithMagnitudeSpread)
+{
+    // Groups with uniform magnitudes quantize better than groups with
+    // one outlier (the shared exponent is set by the outlier).
+    Lfsr16 lfsr(3);
+    std::array<double, kMxGroupSize> uniform{}, outlier{};
+    uniform.fill(1.0);
+    outlier.fill(0.01);
+    outlier[0] = 1.0;
+    MxGroup gu = mxQuantize(uniform.data(), Rounding::Nearest, lfsr);
+    MxGroup go = mxQuantize(outlier.data(), Rounding::Nearest, lfsr);
+    double err_u = std::fabs(gu.value(5) - 1.0) / 1.0;
+    double err_o = std::fabs(go.value(5) - 0.01) / 0.01;
+    EXPECT_LE(err_u, err_o + 1e-12);
+}
+
+} // namespace
+} // namespace pimba

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * System-level tests: the serving simulator must reproduce the paper's
+ * qualitative results (Figs. 3, 12-15) as invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/serving_sim.h"
+
+namespace pimba {
+namespace {
+
+ServingSimulator
+sim(SystemKind kind, int n_gpus = 1)
+{
+    return ServingSimulator(makeSystem(kind, n_gpus));
+}
+
+TEST(ServingSim, StateUpdateDominatesGpuAtLargeBatch)
+{
+    // Fig. 3: RetNet batch 128 spends ~74% of latency in state updates.
+    auto step = sim(SystemKind::GPU).generationStep(retnet2p7b(), 128, 1);
+    double frac = step.latency.fraction("StateUpdate");
+    EXPECT_GT(frac, 0.60);
+    EXPECT_LT(frac, 0.85);
+}
+
+TEST(ServingSim, StateUpdateFractionGrowsWithBatch)
+{
+    auto s32 = sim(SystemKind::GPU).generationStep(retnet2p7b(), 32, 1);
+    auto s128 = sim(SystemKind::GPU).generationStep(retnet2p7b(), 128, 1);
+    EXPECT_GT(s128.latency.fraction("StateUpdate"),
+              s32.latency.fraction("StateUpdate"));
+}
+
+TEST(ServingSim, PimbaOutperformsAllBaselines)
+{
+    // Fig. 12, per cell: Pimba >= GPU+PIM, GPU+Q, GPU.
+    for (const auto &model :
+         {retnet2p7b(), mamba2_2p7b(), zamba2_7b()}) {
+        double gpu = sim(SystemKind::GPU)
+                         .generationThroughput(model, 128, 2048, 2048);
+        double gpuq = sim(SystemKind::GPU_Q)
+                          .generationThroughput(model, 128, 2048, 2048);
+        double gpupim = sim(SystemKind::GPU_PIM)
+                            .generationThroughput(model, 128, 2048, 2048);
+        double pimba = sim(SystemKind::PIMBA)
+                           .generationThroughput(model, 128, 2048, 2048);
+        EXPECT_GT(pimba, gpupim) << model.name;
+        EXPECT_GT(pimba, gpuq) << model.name;
+        EXPECT_GT(gpupim, gpu) << model.name;
+        EXPECT_GT(gpuq, gpu) << model.name;
+    }
+}
+
+TEST(ServingSim, PimbaSpeedupInPaperRange)
+{
+    // Average gains: ~1.9x over GPU, ~1.4x over GPU+PIM (Section 6.2);
+    // individual cells range up to 4.1x.
+    double gpu = sim(SystemKind::GPU)
+                     .generationThroughput(retnet2p7b(), 128, 2048, 2048);
+    double pimba = sim(SystemKind::PIMBA)
+                       .generationThroughput(retnet2p7b(), 128, 2048,
+                                             2048);
+    EXPECT_GT(pimba / gpu, 1.5);
+    EXPECT_LT(pimba / gpu, 4.5);
+}
+
+TEST(ServingSim, StateUpdateLatencyReduction)
+{
+    // Fig. 13: Pimba cuts state-update latency by ~an order of
+    // magnitude vs GPU and by several x vs GPU+PIM.
+    ModelConfig m = scaleModel(retnet2p7b(), 70e9);
+    auto gpu = sim(SystemKind::GPU, 8).generationStep(m, 128, 3072);
+    auto gpupim = sim(SystemKind::GPU_PIM, 8).generationStep(m, 128,
+                                                             3072);
+    auto pimba = sim(SystemKind::PIMBA, 8).generationStep(m, 128, 3072);
+    double su_gpu = gpu.latency.get("StateUpdate");
+    double su_gpupim = gpupim.latency.get("StateUpdate");
+    double su_pimba = pimba.latency.get("StateUpdate");
+    EXPECT_GT(su_gpu / su_pimba, 6.0);
+    EXPECT_LT(su_gpu / su_pimba, 20.0);
+    EXPECT_GT(su_gpupim / su_pimba, 3.0);
+    EXPECT_LT(su_gpupim / su_pimba, 10.0);
+}
+
+TEST(ServingSim, AttentionLatencyReduction)
+{
+    // Fig. 13 (OPT): attention gains are smaller than state-update
+    // gains (~6.3x vs GPU, ~2.1x vs GPU+PIM).
+    ModelConfig m = scaleModel(opt7b(), 70e9);
+    auto gpu = sim(SystemKind::GPU, 8).generationStep(m, 128, 3072);
+    auto gpupim = sim(SystemKind::GPU_PIM, 8).generationStep(m, 128,
+                                                             3072);
+    auto pimba = sim(SystemKind::PIMBA, 8).generationStep(m, 128, 3072);
+    double at_gpu = gpu.latency.get("Attention");
+    double at_gpupim = gpupim.latency.get("Attention");
+    double at_pimba = pimba.latency.get("Attention");
+    EXPECT_GT(at_gpu / at_pimba, 3.0);
+    EXPECT_LT(at_gpu / at_pimba, 10.0);
+    EXPECT_GT(at_gpupim / at_pimba, 1.4);
+    EXPECT_LT(at_gpupim / at_pimba, 3.0);
+}
+
+TEST(ServingSim, GemmStaysOnGpu)
+{
+    // Offloading must not change the GEMM time (it stays on the GPU).
+    ModelConfig m = mamba2_2p7b();
+    auto gpu = sim(SystemKind::GPU).generationStep(m, 64, 2048);
+    auto pimba = sim(SystemKind::PIMBA).generationStep(m, 64, 2048);
+    EXPECT_NEAR(pimba.latency.get("GEMM"), gpu.latency.get("GEMM"),
+                1e-9);
+}
+
+TEST(ServingSim, EnergyAdvantage)
+{
+    // Fig. 14: Pimba ~2.2x lower energy than GPU, ~1.3x vs GPU+PIM.
+    ModelConfig m = scaleModel(retnet2p7b(), 70e9);
+    auto gpu = sim(SystemKind::GPU, 8).generationStep(m, 128, 3072);
+    auto gpupim = sim(SystemKind::GPU_PIM, 8).generationStep(m, 128,
+                                                             3072);
+    auto pimba = sim(SystemKind::PIMBA, 8).generationStep(m, 128, 3072);
+    EXPECT_GT(gpu.energy.total() / pimba.energy.total(), 1.4);
+    EXPECT_GT(gpupim.energy.total() / pimba.energy.total(), 1.05);
+}
+
+TEST(ServingSim, SuLlmThroughputIndependentOfSeqLen)
+{
+    // Post-transformers have constant per-token cost (Section 2.2).
+    auto a = sim(SystemKind::GPU).generationStep(mamba2_2p7b(), 64, 128);
+    auto b = sim(SystemKind::GPU).generationStep(mamba2_2p7b(), 64,
+                                                 8192);
+    EXPECT_NEAR(a.seconds, b.seconds, a.seconds * 1e-9);
+}
+
+TEST(ServingSim, TransformerLatencyGrowsWithSeqLen)
+{
+    auto a = sim(SystemKind::GPU).generationStep(opt7b(), 64, 1024);
+    auto b = sim(SystemKind::GPU).generationStep(opt7b(), 64, 4096);
+    EXPECT_GT(b.seconds, a.seconds * 1.5);
+}
+
+TEST(ServingSim, MemoryUsagePimbaBelowNeupims)
+{
+    // Fig. 15: MX8 state + KV vs fp16 halves the variable footprint.
+    ModelConfig m = scaleModel(zamba2_7b(), 70e9);
+    auto pimba = sim(SystemKind::PIMBA, 8).memoryUsage(m, 128, 2048);
+    auto neupims = sim(SystemKind::NEUPIMS, 8).memoryUsage(m, 128, 2048);
+    EXPECT_LT(pimba.total(), neupims.total());
+    EXPECT_NEAR(pimba.state * 2.0, neupims.state, neupims.state * 0.1);
+    EXPECT_DOUBLE_EQ(pimba.weights, neupims.weights);
+}
+
+TEST(ServingSim, NeupimsRunsStateUpdateOnGpu)
+{
+    SystemConfig cfg = makeSystem(SystemKind::NEUPIMS);
+    EXPECT_FALSE(cfg.stateUpdateOnPim());
+    EXPECT_TRUE(cfg.attentionOnPim());
+    // So Pimba beats it on SU-heavy hybrid workloads.
+    ModelConfig m = zamba2_7b();
+    auto pimba = sim(SystemKind::PIMBA).generationStep(m, 128, 1024);
+    auto neupims = sim(SystemKind::NEUPIMS).generationStep(m, 128, 1024);
+    EXPECT_LT(pimba.seconds, neupims.seconds);
+}
+
+TEST(ServingSim, H100TrendsMatchA100)
+{
+    // Fig. 16: the ordering carries over to the H100 platform.
+    SystemConfig pimba =
+        makeSystem(SystemKind::PIMBA, 1, h100Config(), hbm3Config());
+    SystemConfig gpu =
+        makeSystem(SystemKind::GPU, 1, h100Config(), hbm3Config());
+    double tp = ServingSimulator(pimba).generationThroughput(
+        mamba2_2p7b(), 128, 2048, 2048);
+    double tg = ServingSimulator(gpu).generationThroughput(
+        mamba2_2p7b(), 128, 2048, 2048);
+    EXPECT_GT(tp / tg, 1.2);
+}
+
+TEST(ServingSim, AveragedStepIsMidpoint)
+{
+    ServingSimulator s = sim(SystemKind::GPU);
+    auto avg = s.averagedStep(opt7b(), 32, 2048, 2048);
+    auto mid = s.generationStep(opt7b(), 32, 3072);
+    EXPECT_DOUBLE_EQ(avg.seconds, mid.seconds);
+}
+
+TEST(ServingSim, BreakdownKeysMatchFigureLegends)
+{
+    auto step = sim(SystemKind::GPU).generationStep(zamba2_7b(), 32,
+                                                    2048);
+    for (const char *key : {"StateUpdate", "Attention", "Discretization",
+                            "CausalConv", "GEMM", "Others"})
+        EXPECT_GT(step.latency.get(key), 0.0) << key;
+}
+
+TEST(ServingSim, SystemNames)
+{
+    EXPECT_EQ(systemName(SystemKind::GPU), "GPU");
+    EXPECT_EQ(systemName(SystemKind::GPU_Q), "GPU+Q");
+    EXPECT_EQ(systemName(SystemKind::GPU_PIM), "GPU+PIM");
+    EXPECT_EQ(systemName(SystemKind::PIMBA), "Pimba");
+    EXPECT_EQ(systemName(SystemKind::NEUPIMS), "NeuPIMs");
+}
+
+} // namespace
+} // namespace pimba
