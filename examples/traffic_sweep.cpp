@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Find each system's saturation point under open-loop Poisson traffic:
+ * geometrically grow the arrival rate until the SLO breaks, then bisect
+ * to the highest rate at which >= 95% of requests still meet the SLO.
+ * Prints one line per system — the request-level analogue of the
+ * paper's throughput comparison.
+ */
+
+#include <cstdio>
+
+#include "core/table.h"
+#include "serving/workload.h"
+
+using namespace pimba;
+
+namespace {
+
+ServingMetrics
+serveAtRate(SystemKind kind, const ModelConfig &model, double rate)
+{
+    OpenLoopWorkload w;
+    w.numRequests = 96;
+    return servePoisson(kind, model, rate, w);
+}
+
+/** Highest Poisson rate at which >= 95% of requests meet the SLO. */
+double
+saturationRate(SystemKind kind, const ModelConfig &model,
+               ServingMetrics &at_knee)
+{
+    double lo = 0.5;
+    ServingMetrics m = serveAtRate(kind, model, lo);
+    if (!sustainsSlo(m)) {
+        at_knee = m;
+        return 0.0;
+    }
+    double hi = lo;
+    while (hi < 512.0) {
+        hi *= 2.0;
+        if (!sustainsSlo(serveAtRate(kind, model, hi)))
+            break;
+        lo = hi;
+    }
+    for (int i = 0; i < 6; ++i) {
+        double mid = 0.5 * (lo + hi);
+        if (sustainsSlo(serveAtRate(kind, model, mid)))
+            lo = mid;
+        else
+            hi = mid;
+    }
+    at_knee = serveAtRate(kind, model, lo);
+    return lo;
+}
+
+} // namespace
+
+int
+main()
+{
+    ModelConfig model = mamba2_2p7b();
+    printf("=== Saturation sweep: %s, Poisson, input 512 / output 256 "
+           "===\n", model.name.c_str());
+    Table t({"system", "saturation req/s", "tok/s", "TTFT p95",
+             "TPOT p95"});
+    double gpuRate = 0.0;
+    for (SystemKind kind :
+         {SystemKind::GPU, SystemKind::GPU_Q, SystemKind::GPU_PIM,
+          SystemKind::PIMBA, SystemKind::NEUPIMS}) {
+        ServingMetrics knee;
+        double rate = saturationRate(kind, model, knee);
+        if (kind == SystemKind::GPU)
+            gpuRate = rate;
+        t.addRow({systemName(kind), fmt(rate, 2),
+                  fmt(knee.tokensPerSec, 0), fmt(knee.ttft.p95, 3),
+                  fmt(knee.tpot.p95, 4)});
+        fprintf(stderr, "  %s done\n", systemName(kind).c_str());
+    }
+    printf("%s\n", t.str().c_str());
+    if (gpuRate > 0.0)
+        printf("(rates relative to GPU = 1.00x at %s req/s)\n",
+               fmt(gpuRate, 2).c_str());
+    return 0;
+}

@@ -71,6 +71,30 @@ Breakdown::merge(const Breakdown &other)
         add(key, other.get(key));
 }
 
+double
+percentile(std::vector<double> samples, double q)
+{
+    std::sort(samples.begin(), samples.end());
+    return percentileSorted(samples, q);
+}
+
+double
+percentileSorted(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    if (q <= 0.0)
+        return sorted.front();
+    if (q >= 100.0)
+        return sorted.back();
+    double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+    auto lo = static_cast<size_t>(rank);
+    double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= sorted.size())
+        return sorted.back();
+    return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
 void
 StatSet::inc(const std::string &name, double v)
 {

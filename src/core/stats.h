@@ -77,6 +77,16 @@ class Breakdown
     std::vector<std::string> order;
 };
 
+/**
+ * Percentile of a sample set with linear interpolation between order
+ * statistics. @p q is in [0, 100]; the samples need not be sorted.
+ * Returns 0 for an empty sample set.
+ */
+double percentile(std::vector<double> samples, double q);
+
+/** percentile() for samples already sorted ascending (no copy/sort). */
+double percentileSorted(const std::vector<double> &sorted, double q);
+
 /** Registry of named scalar statistics with dump support. */
 class StatSet
 {

@@ -1,0 +1,219 @@
+#include "serving/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "core/logging.h"
+
+namespace pimba {
+
+namespace {
+
+/// Cache-length bucket width for the decode-step memo. Attention cost is
+/// affine in cache length, so quantizing to the bucket center bounds the
+/// per-step error at half a bucket of KV traffic while making rate
+/// sweeps O(distinct buckets) instead of O(iterations) model walks.
+constexpr uint64_t kSeqBucket = 64;
+
+} // namespace
+
+ServingEngine::ServingEngine(const ServingSimulator &sim_,
+                             const ModelConfig &model_, EngineConfig cfg_)
+    : sim(sim_), model(model_), cfg(cfg_)
+{
+    PIMBA_ASSERT(cfg.maxBatch >= 1, "batch cap must be positive");
+    PIMBA_ASSERT(cfg.prefillChunk >= 1, "prefill chunk must be positive");
+}
+
+double
+ServingEngine::decodeSeconds(int batch, uint64_t mean_seq)
+{
+    uint64_t bucket = mean_seq / kSeqBucket;
+    uint64_t key = (static_cast<uint64_t>(batch) << 32) | bucket;
+    auto it = decodeCache.find(key);
+    if (it != decodeCache.end())
+        return it->second;
+    uint64_t seq = bucket * kSeqBucket + kSeqBucket / 2;
+    double secs = sim.generationStep(model, batch, seq).seconds;
+    decodeCache.emplace(key, secs);
+    return secs;
+}
+
+double
+ServingEngine::prefillSeconds(uint64_t chunk, uint64_t seq_pos)
+{
+    // Attention inside a prefill chunk is affine in the base cache
+    // position, so bucketing the position mirrors the decode memo.
+    uint64_t bucket = seq_pos / kSeqBucket;
+    uint64_t key = (chunk << 32) | bucket;
+    auto it = prefillCache.find(key);
+    if (it != prefillCache.end())
+        return it->second;
+    double secs =
+        sim.prefillStep(model, chunk, bucket * kSeqBucket).seconds;
+    prefillCache.emplace(key, secs);
+    return secs;
+}
+
+ServingReport
+ServingEngine::run(const std::vector<Request> &trace)
+{
+    std::vector<Request> sorted = trace;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const Request &a, const Request &b) {
+                         return a.arrival < b.arrival;
+                     });
+
+    ServingReport report;
+    report.memoryBudget = cfg.memoryBudget > 0.0
+                              ? cfg.memoryBudget
+                              : sim.system().gpu.memCapacity *
+                                    sim.system().nGpus;
+    const double weights = sim.memoryUsage(model, 1, 0).weights;
+    PIMBA_ASSERT(weights < report.memoryBudget,
+                 "model weights alone exceed the memory budget");
+
+    size_t next = 0;
+    double now = 0.0;
+    double reserved = 0.0;
+    std::deque<Request> waiting;
+    std::vector<RequestState> running;
+
+    while (report.completed.size() < sorted.size()) {
+        // Reveal arrivals up to the current simulated time.
+        while (next < sorted.size() && sorted[next].arrival <= now)
+            waiting.push_back(sorted[next++]);
+
+        if (running.empty() && waiting.empty()) {
+            // Idle: jump to the next arrival.
+            now = sorted[next].arrival;
+            continue;
+        }
+
+        // FCFS admission under the reservation budget.
+        while (!waiting.empty() &&
+               running.size() < static_cast<size_t>(cfg.maxBatch)) {
+            const Request &r = waiting.front();
+            PIMBA_ASSERT(r.inputLen >= 1 && r.outputLen >= 1,
+                         "request ", r.id, " has empty prompt or output");
+            double peak =
+                sim.requestFootprint(model, r.inputLen + r.outputLen);
+            if (weights + reserved + peak > report.memoryBudget)
+                break;
+            RequestState rs;
+            rs.req = r;
+            rs.phase = RequestPhase::Prefill;
+            rs.reservedBytes = peak;
+            rs.admitted = now;
+            reserved += peak;
+            running.push_back(rs);
+            waiting.pop_front();
+        }
+        if (running.empty()) {
+            PIMBA_FATAL("request ", waiting.front().id, " needs ",
+                        sim.requestFootprint(
+                            model, waiting.front().inputLen +
+                                       waiting.front().outputLen),
+                        " bytes and can never fit the budget of ",
+                        report.memoryBudget, " bytes");
+        }
+        report.peakReserved = std::max(report.peakReserved,
+                                       weights + reserved);
+        report.peakBatch = std::max(report.peakBatch,
+                                    static_cast<int>(running.size()));
+
+        // Build one iteration: a decode step over every decode-resident
+        // request plus at most one prefill chunk (oldest first), run
+        // blocked back-to-back like the step simulator's GPU/PIM phases.
+        double iterSeconds = 0.0;
+
+        std::vector<size_t> decodeIdx;
+        uint64_t seqSum = 0;
+        for (size_t i = 0; i < running.size(); ++i) {
+            if (running[i].phase == RequestPhase::Decode) {
+                decodeIdx.push_back(i);
+                seqSum += running[i].cachedTokens();
+            }
+        }
+        if (!decodeIdx.empty()) {
+            uint64_t meanSeq = seqSum / decodeIdx.size();
+            iterSeconds += decodeSeconds(
+                static_cast<int>(decodeIdx.size()), meanSeq);
+        }
+
+        size_t prefillIdx = running.size();
+        uint64_t chunk = 0;
+        for (size_t i = 0; i < running.size(); ++i) {
+            if (running[i].phase == RequestPhase::Prefill) {
+                prefillIdx = i;
+                chunk = std::min<uint64_t>(
+                    cfg.prefillChunk,
+                    running[i].req.inputLen - running[i].prefilled);
+                iterSeconds += prefillSeconds(chunk,
+                                              running[i].prefilled);
+                ++report.prefillChunks;
+                break;
+            }
+        }
+
+        PIMBA_ASSERT(iterSeconds > 0.0, "iteration made no progress");
+        now += iterSeconds;
+        ++report.iterations;
+
+        // Apply the iteration's token production.
+        for (size_t i : decodeIdx) {
+            ++running[i].generated;
+            ++report.generatedTokens;
+        }
+        if (prefillIdx < running.size()) {
+            RequestState &rs = running[prefillIdx];
+            rs.prefilled += chunk;
+            if (rs.prefillDone()) {
+                // The final prefill chunk emits the first output token.
+                rs.generated = 1;
+                rs.firstToken = now;
+                rs.phase = RequestPhase::Decode;
+                ++report.generatedTokens;
+            }
+        }
+
+        // Memory high-water mark at the end of the iteration, before
+        // completions release their reservations.
+        double usage = weights;
+        for (const auto &rs : running)
+            usage += sim.requestFootprint(model, rs.cachedTokens());
+        report.peakMemory = std::max(report.peakMemory, usage);
+        PIMBA_ASSERT(usage <= report.memoryBudget + 1.0,
+                     "memory budget exceeded: ", usage, " > ",
+                     report.memoryBudget);
+
+        // Retire completed requests and free their reservations.
+        for (size_t i = 0; i < running.size();) {
+            RequestState &rs = running[i];
+            if (!rs.done()) {
+                ++i;
+                continue;
+            }
+            rs.finished = now;
+            CompletedRequest done;
+            done.req = rs.req;
+            done.ttft = rs.firstToken - rs.req.arrival;
+            done.latency = rs.finished - rs.req.arrival;
+            done.tpot = rs.req.outputLen > 1
+                            ? (rs.finished - rs.firstToken) /
+                                  static_cast<double>(rs.req.outputLen - 1)
+                            : 0.0;
+            report.completed.push_back(done);
+            reserved -= rs.reservedBytes;
+            running.erase(running.begin() + i);
+        }
+    }
+
+    report.makespan = now;
+    report.metrics = computeMetrics(report.completed, report.makespan,
+                                    cfg.slo);
+    return report;
+}
+
+} // namespace pimba

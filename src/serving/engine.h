@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Event-driven, request-level continuous-batching serving engine.
+ *
+ * The engine layers an iteration-level (Orca-style) scheduler on top of
+ * the per-step analytic ServingSimulator: every iteration it admits
+ * waiting requests FCFS under an HBM memory budget, runs at most one
+ * prefill chunk interleaved with one decode step over all
+ * decode-resident requests (GPU and PIM execute blocked, matching the
+ * step simulator), advances the simulated clock by the modeled iteration
+ * latency, and retires requests whose outputs are complete, releasing
+ * their memory reservation.
+ *
+ * Admission is reservation-based: a request is admitted only if its
+ * *peak* footprint (recurrent state + KV cache at input+output tokens +
+ * activations, via ServingSimulator::requestFootprint) fits under the
+ * budget alongside the weights and every already-admitted reservation.
+ * Admitted requests therefore never have to be preempted, and actual
+ * usage can never exceed the budget.
+ */
+
+#ifndef PIMBA_SERVING_ENGINE_H
+#define PIMBA_SERVING_ENGINE_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "serving/metrics.h"
+#include "serving/request.h"
+#include "sim/serving_sim.h"
+
+namespace pimba {
+
+/** Scheduler/engine tunables. */
+struct EngineConfig
+{
+    int maxBatch = 128;          ///< concurrently admitted request cap
+                                 ///  (prefill- and decode-phase combined)
+    uint64_t prefillChunk = 512; ///< prompt tokens per prefill iteration
+    /** HBM budget in bytes; 0 selects memCapacity x nGpus of the system. */
+    double memoryBudget = 0.0;
+    SloConfig slo;
+};
+
+/** Outcome of one engine run over a trace. */
+struct ServingReport
+{
+    std::vector<CompletedRequest> completed; ///< in completion order
+    ServingMetrics metrics;
+    double makespan = 0.0;     ///< seconds, trace start to last token
+    uint64_t iterations = 0;   ///< scheduler iterations executed
+    uint64_t generatedTokens = 0;
+    uint64_t prefillChunks = 0;
+    double peakMemory = 0.0;   ///< max bytes resident at any iteration
+    double peakReserved = 0.0; ///< max bytes reserved by admission
+    double memoryBudget = 0.0; ///< the budget the run enforced
+    int peakBatch = 0;         ///< max concurrently admitted requests
+};
+
+/** Request-level continuous-batching engine for one system + model. */
+class ServingEngine
+{
+  public:
+    ServingEngine(const ServingSimulator &sim, const ModelConfig &model,
+                  EngineConfig cfg = {});
+
+    /** Serve @p trace to completion and report fleet metrics. */
+    ServingReport run(const std::vector<Request> &trace);
+
+    const EngineConfig &config() const { return cfg; }
+
+  private:
+    /** Decode-step latency, memoized by (batch, cache-length bucket). */
+    double decodeSeconds(int batch, uint64_t mean_seq);
+    /** Prefill-chunk latency, memoized by (chunk, position bucket). */
+    double prefillSeconds(uint64_t chunk, uint64_t seq_pos);
+
+    ServingSimulator sim;
+    ModelConfig model;
+    EngineConfig cfg;
+    std::unordered_map<uint64_t, double> decodeCache;
+    std::unordered_map<uint64_t, double> prefillCache;
+};
+
+} // namespace pimba
+
+#endif // PIMBA_SERVING_ENGINE_H

@@ -1,0 +1,81 @@
+#include "serving/metrics.h"
+
+#include <algorithm>
+
+#include "core/stats.h"
+
+namespace pimba {
+
+LatencySummary
+summarizeLatency(const std::vector<double> &samples)
+{
+    LatencySummary s;
+    if (samples.empty())
+        return s;
+    Accumulator acc;
+    for (double x : samples)
+        acc.add(x);
+    s.mean = acc.mean();
+    s.max = acc.max();
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    s.p50 = percentileSorted(sorted, 50.0);
+    s.p95 = percentileSorted(sorted, 95.0);
+    s.p99 = percentileSorted(sorted, 99.0);
+    return s;
+}
+
+ServingMetrics
+computeMetrics(const std::vector<CompletedRequest> &done, double makespan,
+               const SloConfig &slo)
+{
+    ServingMetrics m;
+    m.requests = done.size();
+    m.makespan = makespan;
+
+    std::vector<double> ttft, tpot, latency;
+    ttft.reserve(done.size());
+    tpot.reserve(done.size());
+    latency.reserve(done.size());
+    uint64_t good = 0;
+    for (const auto &c : done) {
+        m.generatedTokens += c.req.outputLen;
+        ttft.push_back(c.ttft);
+        tpot.push_back(c.tpot);
+        latency.push_back(c.latency);
+        if (c.ttft <= slo.ttft && c.tpot <= slo.tpot)
+            ++good;
+    }
+    m.sloViolations = m.requests - good;
+    m.ttft = summarizeLatency(ttft);
+    m.tpot = summarizeLatency(tpot);
+    m.latency = summarizeLatency(latency);
+    if (makespan > 0.0) {
+        m.tokensPerSec = static_cast<double>(m.generatedTokens) / makespan;
+        m.requestsPerSec = static_cast<double>(m.requests) / makespan;
+        m.goodput = static_cast<double>(good) / makespan;
+    }
+    return m;
+}
+
+std::vector<std::string>
+metricsHeader()
+{
+    return {"",          "tok/s",    "req/s",    "goodput",
+            "TTFT p50",  "TTFT p95", "TPOT p95", "lat p99"};
+}
+
+std::vector<std::string>
+metricsRow(const std::string &label, const ServingMetrics &m)
+{
+    return {label,
+            fmt(m.tokensPerSec, 1),
+            fmt(m.requestsPerSec, 2),
+            fmt(m.goodput, 2),
+            fmt(m.ttft.p50, 3),
+            fmt(m.ttft.p95, 3),
+            fmt(m.tpot.p95, 4),
+            fmt(m.latency.p99, 2)};
+}
+
+} // namespace pimba

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fleet-level serving metrics: TTFT/TPOT/end-to-end latency percentile
+ * summaries, sustained token throughput, and goodput under a per-request
+ * SLO (a request counts toward goodput only if both its TTFT and its
+ * TPOT meet the target, the criterion used by request-level serving
+ * studies). Rendered through the core Table infrastructure.
+ */
+
+#ifndef PIMBA_SERVING_METRICS_H
+#define PIMBA_SERVING_METRICS_H
+
+#include <string>
+#include <vector>
+
+#include "core/table.h"
+#include "serving/request.h"
+
+namespace pimba {
+
+/** Per-request latency service-level objective. */
+struct SloConfig
+{
+    double ttft = 1.0;  ///< seconds to first token
+    double tpot = 0.02; ///< seconds per subsequent token
+};
+
+/** Percentile summary of one latency population (seconds). */
+struct LatencySummary
+{
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+};
+
+/** Summarize a sample vector into mean/p50/p95/p99/max. */
+LatencySummary summarizeLatency(const std::vector<double> &samples);
+
+/** Fleet metrics over one engine run. */
+struct ServingMetrics
+{
+    uint64_t requests = 0;        ///< completed requests
+    uint64_t generatedTokens = 0; ///< output tokens produced
+    double makespan = 0.0;        ///< first arrival to last completion
+    double tokensPerSec = 0.0;    ///< sustained generation throughput
+    double requestsPerSec = 0.0;  ///< completion rate
+    double goodput = 0.0;         ///< SLO-meeting completions per second
+    uint64_t sloViolations = 0;   ///< completions missing the SLO
+    LatencySummary ttft;
+    LatencySummary tpot;
+    LatencySummary latency;
+};
+
+/** Aggregate completed-request records into fleet metrics. */
+ServingMetrics computeMetrics(const std::vector<CompletedRequest> &done,
+                              double makespan, const SloConfig &slo);
+
+/** Header matching metricsRow() for rate/system sweep tables. */
+std::vector<std::string> metricsHeader();
+
+/** One sweep-table row: label column followed by the key metrics. */
+std::vector<std::string> metricsRow(const std::string &label,
+                                    const ServingMetrics &m);
+
+} // namespace pimba
+
+#endif // PIMBA_SERVING_METRICS_H

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Request model of the request-level serving engine: one trace entry per
+ * inference request (arrival time plus prompt/output lengths), the
+ * engine-side lifecycle bookkeeping, and the per-request latency record
+ * emitted on completion. This is the request-level regime the paper's
+ * throughput studies (Figs. 12-16) and the NeuPIMs baseline assume, as
+ * opposed to the steady-state per-step model of ServingSimulator.
+ */
+
+#ifndef PIMBA_SERVING_REQUEST_H
+#define PIMBA_SERVING_REQUEST_H
+
+#include <cstdint>
+
+namespace pimba {
+
+/** One inference request of a serving trace. */
+struct Request
+{
+    uint64_t id = 0;
+    double arrival = 0.0;   ///< seconds since trace start
+    uint64_t inputLen = 0;  ///< prompt tokens (prefill)
+    uint64_t outputLen = 1; ///< tokens to generate (>= 1)
+};
+
+/**
+ * Phase of an *admitted* request. Waiting requests live in the engine's
+ * arrival queue and finished ones leave the batch as CompletedRequest
+ * records, so only the two resident phases need a state.
+ */
+enum class RequestPhase
+{
+    Prefill, ///< admitted, prompt tokens still being processed
+    Decode,  ///< generating output tokens
+};
+
+/** Engine-side bookkeeping for one admitted request. */
+struct RequestState
+{
+    Request req;
+    RequestPhase phase = RequestPhase::Prefill;
+    uint64_t prefilled = 0;  ///< prompt tokens already processed
+    uint64_t generated = 0;  ///< output tokens already produced
+    double reservedBytes = 0.0; ///< peak footprint held against the budget
+    double admitted = -1.0;
+    double firstToken = -1.0; ///< absolute time of the first output token
+    double finished = -1.0;
+
+    /** Tokens currently held in the cache (prompt + generated). */
+    uint64_t cachedTokens() const { return prefilled + generated; }
+    bool prefillDone() const { return prefilled >= req.inputLen; }
+    bool done() const { return generated >= req.outputLen; }
+};
+
+/** Latency record of one completed request. */
+struct CompletedRequest
+{
+    Request req;
+    double ttft = 0.0;    ///< time to first token (includes queueing)
+    double tpot = 0.0;    ///< mean inter-token time after the first
+    double latency = 0.0; ///< arrival to last token
+};
+
+} // namespace pimba
+
+#endif // PIMBA_SERVING_REQUEST_H

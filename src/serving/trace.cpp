@@ -1,0 +1,74 @@
+#include "serving/trace.h"
+
+#include <cmath>
+
+#include "core/lfsr.h"
+#include "core/logging.h"
+
+namespace pimba {
+
+namespace {
+
+uint64_t
+sampleLength(LengthDistribution dist, uint64_t lo, uint64_t hi,
+             Lfsr32 &rng)
+{
+    if (dist == LengthDistribution::Fixed || hi <= lo)
+        return lo;
+    uint64_t span = hi - lo + 1;
+    return lo + static_cast<uint64_t>(rng.nextUnit() *
+                                      static_cast<double>(span));
+}
+
+} // namespace
+
+std::vector<Request>
+generateTrace(const TraceConfig &cfg)
+{
+    PIMBA_ASSERT(cfg.ratePerSec > 0.0, "arrival rate must be positive");
+    PIMBA_ASSERT(cfg.numRequests > 0, "empty trace");
+    PIMBA_ASSERT(cfg.inputLen >= 1, "requests need a non-empty prompt");
+    PIMBA_ASSERT(cfg.outputLen >= 1, "requests must generate a token");
+    if (cfg.lengths == LengthDistribution::Uniform) {
+        PIMBA_ASSERT(cfg.inputLenMax == 0 ||
+                         cfg.inputLenMax >= cfg.inputLen,
+                     "uniform input-length bounds are inverted");
+        PIMBA_ASSERT(cfg.outputLenMax == 0 ||
+                         cfg.outputLenMax >= cfg.outputLen,
+                     "uniform output-length bounds are inverted");
+    }
+
+    // Separate streams so changing the length distribution does not
+    // perturb the arrival times (and vice versa).
+    Lfsr32 arrivalRng(cfg.seed);
+    Lfsr32 lengthRng(cfg.seed ^ 0x9E3779B9u);
+
+    std::vector<Request> trace;
+    trace.reserve(cfg.numRequests);
+    double clock = 0.0;
+    for (int i = 0; i < cfg.numRequests; ++i) {
+        Request r;
+        r.id = static_cast<uint64_t>(i);
+        if (i > 0) {
+            double gap = 1.0 / cfg.ratePerSec;
+            if (cfg.arrivals == ArrivalProcess::Poisson) {
+                // Inverse-CDF exponential; clamp the uniform away from
+                // 1.0 so the log stays finite.
+                double u = std::min(arrivalRng.nextUnit(),
+                                    1.0 - 1e-12);
+                gap = -std::log(1.0 - u) / cfg.ratePerSec;
+            }
+            clock += gap;
+        }
+        r.arrival = clock;
+        r.inputLen = sampleLength(cfg.lengths, cfg.inputLen,
+                                  cfg.inputLenMax, lengthRng);
+        r.outputLen = sampleLength(cfg.lengths, cfg.outputLen,
+                                   cfg.outputLenMax, lengthRng);
+        PIMBA_ASSERT(r.outputLen >= 1, "sampled zero output length");
+        trace.push_back(r);
+    }
+    return trace;
+}
+
+} // namespace pimba

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Synthetic request-trace generators. Arrival processes: Poisson (the
+ * standard open-loop serving-traffic model) and fixed-rate; length
+ * distributions: fixed and uniform. All randomness flows through the
+ * repo's seeded Lfsr32, so every trace is a pure function of its
+ * TraceConfig — the same config always reproduces the same trace.
+ */
+
+#ifndef PIMBA_SERVING_TRACE_H
+#define PIMBA_SERVING_TRACE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "serving/request.h"
+
+namespace pimba {
+
+/** Inter-arrival process of the synthetic trace. */
+enum class ArrivalProcess
+{
+    Poisson, ///< exponential inter-arrival times at the given mean rate
+    Fixed,   ///< deterministic 1/rate spacing
+};
+
+/** Prompt/output length distribution. */
+enum class LengthDistribution
+{
+    Fixed,   ///< every request uses inputLen / outputLen exactly
+    Uniform, ///< integer-uniform in [len, lenMax] per request
+};
+
+/** Full description of a synthetic trace. */
+struct TraceConfig
+{
+    ArrivalProcess arrivals = ArrivalProcess::Poisson;
+    double ratePerSec = 1.0; ///< mean request arrival rate
+    int numRequests = 64;
+
+    LengthDistribution lengths = LengthDistribution::Fixed;
+    uint64_t inputLen = 2048;    ///< fixed value or uniform lower bound
+    uint64_t outputLen = 2048;   ///< fixed value or uniform lower bound
+    uint64_t inputLenMax = 0;    ///< uniform upper bound (0: == inputLen)
+    uint64_t outputLenMax = 0;   ///< uniform upper bound (0: == outputLen)
+
+    uint32_t seed = 0x5EED0001u; ///< LFSR seed; same seed, same trace
+};
+
+/**
+ * Generate the trace described by @p cfg: requests with ids 0..n-1 in
+ * non-decreasing arrival order starting at time 0.
+ */
+std::vector<Request> generateTrace(const TraceConfig &cfg);
+
+} // namespace pimba
+
+#endif // PIMBA_SERVING_TRACE_H

@@ -1,0 +1,34 @@
+#include "serving/workload.h"
+
+namespace pimba {
+
+ServingMetrics
+servePoisson(SystemKind kind, const ModelConfig &model, double rate,
+             const OpenLoopWorkload &w)
+{
+    TraceConfig tc;
+    tc.arrivals = ArrivalProcess::Poisson;
+    tc.ratePerSec = rate;
+    tc.numRequests = w.numRequests;
+    tc.inputLen = w.inputLen;
+    tc.outputLen = w.outputLen;
+    tc.seed = w.seed;
+
+    ServingSimulator sim(makeSystem(kind));
+    EngineConfig ec;
+    ec.maxBatch = w.maxBatch;
+    ServingEngine engine(sim, model, ec);
+    return engine.run(generateTrace(tc)).metrics;
+}
+
+bool
+sustainsSlo(const ServingMetrics &m, double fraction)
+{
+    if (m.requests == 0)
+        return false;
+    uint64_t good = m.requests - m.sloViolations;
+    return static_cast<double>(good) >=
+           fraction * static_cast<double>(m.requests);
+}
+
+} // namespace pimba

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Canonical open-loop Poisson workload shared by the serving bench, the
+ * traffic-sweep example, and the goodput regression tests, so all three
+ * measure the same thing. Also defines the saturation criterion: a
+ * system sustains a rate when (nearly) every request meets the SLO —
+ * judged on the per-request compliance fraction, not on goodput vs the
+ * offered rate, whose makespan denominator includes the post-arrival
+ * drain of the final batch.
+ */
+
+#ifndef PIMBA_SERVING_WORKLOAD_H
+#define PIMBA_SERVING_WORKLOAD_H
+
+#include "serving/engine.h"
+#include "serving/trace.h"
+
+namespace pimba {
+
+/** Shape of the canonical open-loop experiment. */
+struct OpenLoopWorkload
+{
+    int numRequests = 64;
+    uint64_t inputLen = 512;
+    uint64_t outputLen = 256;
+    int maxBatch = 64;
+    uint32_t seed = 0x5EED0001u;
+};
+
+/** Serve @p w at Poisson rate @p rate on @p kind and report metrics. */
+ServingMetrics servePoisson(SystemKind kind, const ModelConfig &model,
+                            double rate,
+                            const OpenLoopWorkload &w = {});
+
+/**
+ * True if at least @p fraction of the completed requests met the SLO —
+ * the saturation test used by the bench and the sweep example.
+ */
+bool sustainsSlo(const ServingMetrics &m, double fraction = 0.95);
+
+} // namespace pimba
+
+#endif // PIMBA_SERVING_WORKLOAD_H

@@ -151,6 +151,15 @@ ServingSimulator::averagedStep(const ModelConfig &model, int batch,
     return generationStep(model, batch, mid);
 }
 
+StepResult
+ServingSimulator::prefillStep(const ModelConfig &model, uint64_t tokens,
+                              uint64_t seq_pos) const
+{
+    PIMBA_ASSERT(tokens > 0, "empty prefill chunk");
+    return generationStep(model, static_cast<int>(tokens),
+                          seq_pos + tokens / 2);
+}
+
 double
 ServingSimulator::generationThroughput(const ModelConfig &model, int batch,
                                        uint64_t input_len,
@@ -175,6 +184,14 @@ ServingSimulator::memoryUsage(const ModelConfig &model, int batch,
     mem.activations = static_cast<double>(batch) * model.dModel * 16.0 *
                       2.0;
     return mem;
+}
+
+double
+ServingSimulator::requestFootprint(const ModelConfig &model,
+                                   uint64_t seq_len) const
+{
+    MemoryUsage one = memoryUsage(model, 1, seq_len);
+    return one.state + one.kvCache + one.activations;
 }
 
 } // namespace pimba

@@ -65,6 +65,18 @@ class ServingSimulator
     StepResult averagedStep(const ModelConfig &model, int batch,
                             uint64_t input_len, uint64_t output_len) const;
 
+    /**
+     * Simulate one prefill chunk: @p tokens prompt tokens of a single
+     * request whose cache already holds @p seq_pos tokens. The chunk's
+     * tokens flow through the same operator graph as a decode batch of
+     * the same size (identical GEMM/state-update work per token), and
+     * causal attention inside the chunk is affine in cache length, so
+     * the chunk costs one generation step of batch @p tokens at the
+     * midpoint cache position.
+     */
+    StepResult prefillStep(const ModelConfig &model, uint64_t tokens,
+                           uint64_t seq_pos) const;
+
     /** Generation throughput in tokens (words) per second. */
     double generationThroughput(const ModelConfig &model, int batch,
                                 uint64_t input_len,
@@ -72,6 +84,15 @@ class ServingSimulator
 
     /** Whole-system memory footprint at @p seq_len cached tokens. */
     MemoryUsage memoryUsage(const ModelConfig &model, int batch,
+                            uint64_t seq_len) const;
+
+    /**
+     * Memory a single request pins at @p seq_len cached tokens:
+     * recurrent state + KV cache + transient activations, excluding the
+     * (request-independent) weights. This is the unit the serving
+     * engine's admission control reserves against the HBM budget.
+     */
+    double requestFootprint(const ModelConfig &model,
                             uint64_t seq_len) const;
 
     const SystemConfig &system() const { return sys; }

@@ -114,6 +114,35 @@ TEST(StatSet, DumpContainsEntries)
     EXPECT_NE(dump.find("1.5"), std::string::npos);
 }
 
+TEST(Percentile, EmptyAndSingleSample)
+{
+    EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+    EXPECT_DOUBLE_EQ(percentile({3.0}, 0.0), 3.0);
+    EXPECT_DOUBLE_EQ(percentile({3.0}, 99.0), 3.0);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStatistics)
+{
+    std::vector<double> v = {4.0, 1.0, 3.0, 2.0}; // unsorted on purpose
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);
+    EXPECT_DOUBLE_EQ(percentile(v, 25.0), 1.75);
+}
+
+TEST(Percentile, TailOrderingHolds)
+{
+    std::vector<double> v;
+    for (int i = 1; i <= 1000; ++i)
+        v.push_back(static_cast<double>(i));
+    double p50 = percentile(v, 50.0);
+    double p95 = percentile(v, 95.0);
+    double p99 = percentile(v, 99.0);
+    EXPECT_LT(p50, p95);
+    EXPECT_LT(p95, p99);
+    EXPECT_NEAR(p99, 990.0, 1.0);
+}
+
 TEST(Units, CycleConversions)
 {
     EXPECT_DOUBLE_EQ(cyclesToSeconds(1512, 1.512e9), 1e-6);

@@ -165,9 +165,11 @@ TEST(OpGraph, StateUpdateShapeMatchesModel)
 TEST(OpGraph, AttentionSeqLenPropagates)
 {
     auto ops = generationStepOps(opt7b(), 16, 4096);
-    for (const auto &op : ops)
-        if (op.cls == OpClass::Attention)
+    for (const auto &op : ops) {
+        if (op.cls == OpClass::Attention) {
             EXPECT_EQ(op.attn.seqLen, 4096u);
+        }
+    }
 }
 
 TEST(OpGraph, BatchScalesStateUpdateLinearly)

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Admission-control memory tests: the engine must never let resident
+ * footprint exceed the budget, must serialize when the budget only fits
+ * one request, and must account KV-cache growth for attention models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serving/engine.h"
+#include "serving/trace.h"
+
+namespace pimba {
+namespace {
+
+TraceConfig
+burstTrace(int n, uint64_t input, uint64_t output)
+{
+    TraceConfig tc;
+    tc.arrivals = ArrivalProcess::Fixed;
+    tc.ratePerSec = 1000.0; // near-simultaneous burst
+    tc.numRequests = n;
+    tc.inputLen = input;
+    tc.outputLen = output;
+    return tc;
+}
+
+TEST(ServingMemory, BudgetNeverExceededUnderTightBudget)
+{
+    ModelConfig model = opt2p7b(); // KV cache grows per token
+    ServingSimulator sim(makeSystem(SystemKind::GPU));
+
+    double weights = sim.memoryUsage(model, 1, 0).weights;
+    double per_req = sim.requestFootprint(model, 256 + 64);
+    EngineConfig ec;
+    ec.memoryBudget = weights + 3.5 * per_req; // fits 3 requests
+
+    ServingEngine engine(sim, model, ec);
+    auto rep = engine.run(generateTrace(burstTrace(12, 256, 64)));
+
+    EXPECT_EQ(rep.completed.size(), 12u);
+    EXPECT_LE(rep.peakMemory, ec.memoryBudget);
+    EXPECT_LE(rep.peakReserved, ec.memoryBudget);
+    EXPECT_LE(rep.peakBatch, 3);
+    EXPECT_EQ(rep.peakBatch, 3);
+}
+
+TEST(ServingMemory, BudgetForOneRequestSerializes)
+{
+    ModelConfig model = opt2p7b();
+    ServingSimulator sim(makeSystem(SystemKind::GPU));
+    double weights = sim.memoryUsage(model, 1, 0).weights;
+    EngineConfig ec;
+    ec.memoryBudget = weights + 1.5 * sim.requestFootprint(model,
+                                                           128 + 16);
+    ServingEngine engine(sim, model, ec);
+    auto rep = engine.run(generateTrace(burstTrace(5, 128, 16)));
+    EXPECT_EQ(rep.completed.size(), 5u);
+    EXPECT_EQ(rep.peakBatch, 1);
+}
+
+TEST(ServingMemory, DefaultBudgetIsDeviceCapacity)
+{
+    SystemConfig sys = makeSystem(SystemKind::PIMBA, 2);
+    ServingSimulator sim(sys);
+    ServingEngine engine(sim, mamba2_2p7b());
+    auto rep = engine.run(generateTrace(burstTrace(4, 64, 4)));
+    EXPECT_DOUBLE_EQ(rep.memoryBudget,
+                     sys.gpu.memCapacity * sys.nGpus);
+}
+
+TEST(ServingMemory, FootprintGrowsWithKvForAttentionOnly)
+{
+    ServingSimulator sim(makeSystem(SystemKind::GPU));
+    ModelConfig attn = opt2p7b();
+    ModelConfig ssm = mamba2_2p7b();
+    EXPECT_GT(sim.requestFootprint(attn, 4096),
+              sim.requestFootprint(attn, 512));
+    // Pure SSMs hold constant per-request state, independent of length.
+    EXPECT_DOUBLE_EQ(sim.requestFootprint(ssm, 4096),
+                     sim.requestFootprint(ssm, 512));
+}
+
+TEST(ServingMemory, QuantizedStateAdmitsLargerBatches)
+{
+    // Same budget, same burst: Pimba's MX8 state/KV is half the fp16
+    // footprint, so admission fits more concurrent requests than GPU.
+    ModelConfig model = opt2p7b();
+    ServingSimulator gpu(makeSystem(SystemKind::GPU));
+    ServingSimulator pimba(makeSystem(SystemKind::PIMBA));
+    double weights = gpu.memoryUsage(model, 1, 0).weights;
+    double budget = weights + 4.0 * gpu.requestFootprint(model, 2048 + 256);
+
+    EngineConfig ec;
+    ec.memoryBudget = budget;
+    auto trace = generateTrace(burstTrace(16, 2048, 256));
+    auto gpuRep = ServingEngine(gpu, model, ec).run(trace);
+    auto pimbaRep = ServingEngine(pimba, model, ec).run(trace);
+    EXPECT_GT(pimbaRep.peakBatch, gpuRep.peakBatch);
+}
+
+TEST(ServingMemoryDeathTest, OversizedRequestIsFatal)
+{
+    ModelConfig model = opt2p7b();
+    ServingSimulator sim(makeSystem(SystemKind::GPU));
+    EngineConfig ec;
+    // Budget covers the weights but not even one request's KV cache.
+    ec.memoryBudget = sim.memoryUsage(model, 1, 0).weights +
+                      0.5 * sim.requestFootprint(model, 4096 + 512);
+    ServingEngine engine(sim, model, ec);
+    auto trace = generateTrace(burstTrace(1, 4096, 512));
+    EXPECT_EXIT(engine.run(trace), testing::ExitedWithCode(1),
+                "can never fit");
+}
+
+} // namespace
+} // namespace pimba

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Trace-generator tests: seeded determinism, arrival-process statistics,
+ * and length-distribution bounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serving/trace.h"
+
+namespace pimba {
+namespace {
+
+TEST(Trace, SameSeedReproducesIdenticalTrace)
+{
+    TraceConfig cfg;
+    cfg.arrivals = ArrivalProcess::Poisson;
+    cfg.lengths = LengthDistribution::Uniform;
+    cfg.inputLen = 64;
+    cfg.inputLenMax = 512;
+    cfg.outputLen = 16;
+    cfg.outputLenMax = 128;
+    cfg.numRequests = 200;
+    cfg.seed = 12345;
+
+    auto a = generateTrace(cfg);
+    auto b = generateTrace(cfg);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, b[i].id);
+        EXPECT_DOUBLE_EQ(a[i].arrival, b[i].arrival);
+        EXPECT_EQ(a[i].inputLen, b[i].inputLen);
+        EXPECT_EQ(a[i].outputLen, b[i].outputLen);
+    }
+}
+
+TEST(Trace, DifferentSeedsDiffer)
+{
+    TraceConfig cfg;
+    cfg.numRequests = 50;
+    cfg.seed = 1;
+    auto a = generateTrace(cfg);
+    cfg.seed = 2;
+    auto b = generateTrace(cfg);
+    bool any_diff = false;
+    for (size_t i = 0; i < a.size(); ++i)
+        any_diff |= a[i].arrival != b[i].arrival;
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Trace, FixedRateSpacingIsExact)
+{
+    TraceConfig cfg;
+    cfg.arrivals = ArrivalProcess::Fixed;
+    cfg.ratePerSec = 4.0;
+    cfg.numRequests = 10;
+    auto trace = generateTrace(cfg);
+    for (size_t i = 0; i < trace.size(); ++i)
+        EXPECT_NEAR(trace[i].arrival, static_cast<double>(i) * 0.25,
+                    1e-12);
+}
+
+TEST(Trace, PoissonMeanInterarrivalMatchesRate)
+{
+    TraceConfig cfg;
+    cfg.arrivals = ArrivalProcess::Poisson;
+    cfg.ratePerSec = 8.0;
+    cfg.numRequests = 4000;
+    auto trace = generateTrace(cfg);
+    double span = trace.back().arrival - trace.front().arrival;
+    double mean_gap = span / static_cast<double>(trace.size() - 1);
+    EXPECT_NEAR(mean_gap, 1.0 / cfg.ratePerSec,
+                0.1 / cfg.ratePerSec); // within 10% at n = 4000
+}
+
+TEST(Trace, ArrivalsSortedAndIdsSequential)
+{
+    TraceConfig cfg;
+    cfg.numRequests = 100;
+    auto trace = generateTrace(cfg);
+    EXPECT_DOUBLE_EQ(trace.front().arrival, 0.0);
+    for (size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(trace[i].id, i);
+        if (i > 0) {
+            EXPECT_GE(trace[i].arrival, trace[i - 1].arrival);
+        }
+    }
+}
+
+TEST(Trace, FixedLengthsAreExact)
+{
+    TraceConfig cfg;
+    cfg.lengths = LengthDistribution::Fixed;
+    cfg.inputLen = 777;
+    cfg.outputLen = 33;
+    cfg.numRequests = 20;
+    for (const auto &r : generateTrace(cfg)) {
+        EXPECT_EQ(r.inputLen, 777u);
+        EXPECT_EQ(r.outputLen, 33u);
+    }
+}
+
+TEST(Trace, UniformLengthsStayInBounds)
+{
+    TraceConfig cfg;
+    cfg.lengths = LengthDistribution::Uniform;
+    cfg.inputLen = 100;
+    cfg.inputLenMax = 200;
+    cfg.outputLen = 10;
+    cfg.outputLenMax = 40;
+    cfg.numRequests = 500;
+    bool input_varies = false;
+    uint64_t first_input = 0;
+    for (const auto &r : generateTrace(cfg)) {
+        EXPECT_GE(r.inputLen, 100u);
+        EXPECT_LE(r.inputLen, 200u);
+        EXPECT_GE(r.outputLen, 10u);
+        EXPECT_LE(r.outputLen, 40u);
+        if (r.id == 0)
+            first_input = r.inputLen;
+        else
+            input_varies |= r.inputLen != first_input;
+    }
+    EXPECT_TRUE(input_varies);
+}
+
+} // namespace
+} // namespace pimba
