@@ -17,20 +17,28 @@ using namespace pimba;
 namespace {
 
 ServingMetrics
-serveAtRate(SystemKind kind, const ModelConfig &model, double rate)
+serveAtRate(SystemKind kind, const ModelConfig &model, double rate,
+            SchedulerPolicy policy)
 {
     OpenLoopWorkload w;
     w.numRequests = 96;
+    w.policy = policy;
+    // Uniform lengths (mean 512/256): length variance is what lets SJF
+    // reorder relative to FCFS; fixed lengths would make them identical.
+    w.inputLen = 256;
+    w.inputLenMax = 768;
+    w.outputLen = 128;
+    w.outputLenMax = 384;
     return servePoisson(kind, model, rate, w);
 }
 
 /** Highest Poisson rate at which >= 95% of requests meet the SLO. */
 double
 saturationRate(SystemKind kind, const ModelConfig &model,
-               ServingMetrics &at_knee)
+               SchedulerPolicy policy, ServingMetrics &at_knee)
 {
     double lo = 0.5;
-    ServingMetrics m = serveAtRate(kind, model, lo);
+    ServingMetrics m = serveAtRate(kind, model, lo, policy);
     if (!sustainsSlo(m)) {
         at_knee = m;
         return 0.0;
@@ -38,18 +46,18 @@ saturationRate(SystemKind kind, const ModelConfig &model,
     double hi = lo;
     while (hi < 512.0) {
         hi *= 2.0;
-        if (!sustainsSlo(serveAtRate(kind, model, hi)))
+        if (!sustainsSlo(serveAtRate(kind, model, hi, policy)))
             break;
         lo = hi;
     }
     for (int i = 0; i < 6; ++i) {
         double mid = 0.5 * (lo + hi);
-        if (sustainsSlo(serveAtRate(kind, model, mid)))
+        if (sustainsSlo(serveAtRate(kind, model, mid, policy)))
             lo = mid;
         else
             hi = mid;
     }
-    at_knee = serveAtRate(kind, model, lo);
+    at_knee = serveAtRate(kind, model, lo, policy);
     return lo;
 }
 
@@ -59,26 +67,29 @@ int
 main()
 {
     ModelConfig model = mamba2_2p7b();
-    printf("=== Saturation sweep: %s, Poisson, input 512 / output 256 "
-           "===\n", model.name.c_str());
-    Table t({"system", "saturation req/s", "tok/s", "TTFT p95",
-             "TPOT p95"});
+    printf("=== Saturation sweep: %s, Poisson, uniform input "
+           "256..768 / output 128..384 ===\n", model.name.c_str());
+    Table t({"system", "policy", "saturation req/s", "tok/s",
+             "TTFT p95", "TPOT p95"});
     double gpuRate = 0.0;
     for (SystemKind kind :
          {SystemKind::GPU, SystemKind::GPU_Q, SystemKind::GPU_PIM,
           SystemKind::PIMBA, SystemKind::NEUPIMS}) {
-        ServingMetrics knee;
-        double rate = saturationRate(kind, model, knee);
-        if (kind == SystemKind::GPU)
-            gpuRate = rate;
-        t.addRow({systemName(kind), fmt(rate, 2),
-                  fmt(knee.tokensPerSec, 0), fmt(knee.ttft.p95, 3),
-                  fmt(knee.tpot.p95, 4)});
+        for (SchedulerPolicy policy : allPolicies()) {
+            ServingMetrics knee;
+            double rate = saturationRate(kind, model, policy, knee);
+            if (kind == SystemKind::GPU &&
+                policy == SchedulerPolicy::FCFS)
+                gpuRate = rate;
+            t.addRow({systemName(kind), policyName(policy), fmt(rate, 2),
+                      fmt(knee.tokensPerSec, 0), fmt(knee.ttft.p95, 3),
+                      fmt(knee.tpot.p95, 4)});
+        }
         fprintf(stderr, "  %s done\n", systemName(kind).c_str());
     }
     printf("%s\n", t.str().c_str());
     if (gpuRate > 0.0)
-        printf("(rates relative to GPU = 1.00x at %s req/s)\n",
+        printf("(rates relative to GPU fcfs = 1.00x at %s req/s)\n",
                fmt(gpuRate, 2).c_str());
     return 0;
 }

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Paged KV/state block manager for the serving engine.
+ *
+ * Instead of reserving each request's peak footprint at admission, the
+ * engine allocates fixed-size memory blocks on demand as tokens are
+ * cached (vLLM-style paged allocation). A BlockMapper translates a
+ * request's cached-token count into a block demand for one model +
+ * system — the per-request fixed bytes (recurrent state + transient
+ * activations) plus per-token KV bytes, quantized to blocks — and the
+ * BlockManager tracks which request holds how many blocks of the pool.
+ *
+ * The manager is pure bookkeeping (block counts, not addresses): the
+ * simulator has no real memory, so fragmentation is not modeled and a
+ * request either gets its blocks or triggers preemption in the engine.
+ */
+
+#ifndef PIMBA_SERVING_BLOCK_MANAGER_H
+#define PIMBA_SERVING_BLOCK_MANAGER_H
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace pimba {
+
+/** Token-count to block-demand mapping for one model + system. */
+struct BlockMapper
+{
+    double blockBytes = 0.0;  ///< bytes of pool one block represents
+    uint64_t blockTokens = 0; ///< KV tokens per block (0: no per-token cost)
+    uint64_t fixedBlocks = 0; ///< state + activation blocks per request
+
+    /**
+     * Build a mapper from a request's fixed footprint (recurrent state +
+     * transient activations, bytes) and its per-cached-token KV bytes.
+     * Pure-SSM models have @p bytes_per_token == 0; their requests cost a
+     * constant @c fixedBlocks regardless of sequence length.
+     */
+    static BlockMapper make(double fixed_bytes, double bytes_per_token,
+                            uint64_t block_tokens);
+
+    /** Blocks a request needs with @p cached_tokens tokens resident. */
+    uint64_t blocksFor(uint64_t cached_tokens) const;
+};
+
+/**
+ * Counting allocator over a fixed pool of equally-sized blocks. Tracks
+ * the per-request holdings so the engine can grow an allocation as a
+ * request caches tokens and release it on completion or eviction.
+ * Double allocation, shrink, and double release are invariant
+ * violations (panic), not recoverable errors.
+ */
+class BlockManager
+{
+  public:
+    explicit BlockManager(uint64_t total_blocks);
+
+    uint64_t totalBlocks() const { return total; }
+    uint64_t usedBlocks() const { return used; }
+    uint64_t freeBlocks() const { return total - used; }
+    /** Fraction of the pool currently allocated, in [0, 1]. */
+    double utilization() const;
+
+    bool resident(uint64_t req_id) const;
+    /** Blocks currently held by @p req_id (0 if not resident). */
+    uint64_t holding(uint64_t req_id) const;
+
+    /**
+     * Admit @p req_id with @p blocks initial blocks. Returns false
+     * (allocating nothing) when the pool cannot cover the demand.
+     */
+    bool allocate(uint64_t req_id, uint64_t blocks);
+
+    /**
+     * Grow @p req_id's allocation to @p target_blocks (monotone; the
+     * engine never shrinks a live request). Returns false, allocating
+     * nothing, when the pool cannot cover the growth.
+     */
+    bool growTo(uint64_t req_id, uint64_t target_blocks);
+
+    /** Release every block @p req_id holds (completion or eviction). */
+    void release(uint64_t req_id);
+
+  private:
+    uint64_t total;
+    uint64_t used = 0;
+    std::unordered_map<uint64_t, uint64_t> held;
+};
+
+} // namespace pimba
+
+#endif // PIMBA_SERVING_BLOCK_MANAGER_H

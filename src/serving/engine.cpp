@@ -10,11 +10,19 @@ namespace pimba {
 
 namespace {
 
-/// Cache-length bucket width for the decode-step memo. Attention cost is
+/// Cache-length bucket width for the step memos. Attention cost is
 /// affine in cache length, so quantizing to the bucket center bounds the
 /// per-step error at half a bucket of KV traffic while making rate
 /// sweeps O(distinct buckets) instead of O(iterations) model walks.
 constexpr uint64_t kSeqBucket = 64;
+
+/// Evaluation point of a memo bucket: its center, used uniformly by the
+/// decode, prefill, and fused memos so the three stay comparable.
+uint64_t
+bucketCenter(uint64_t seq)
+{
+    return (seq / kSeqBucket) * kSeqBucket + kSeqBucket / 2;
+}
 
 } // namespace
 
@@ -24,6 +32,21 @@ ServingEngine::ServingEngine(const ServingSimulator &sim_,
 {
     PIMBA_ASSERT(cfg.maxBatch >= 1, "batch cap must be positive");
     PIMBA_ASSERT(cfg.prefillChunk >= 1, "prefill chunk must be positive");
+    PIMBA_ASSERT(cfg.blockTokens >= 1, "block size must be positive");
+    if (cfg.iterTokenBudget == 0)
+        cfg.iterTokenBudget =
+            static_cast<uint64_t>(cfg.maxBatch) + cfg.prefillChunk;
+    if (cfg.policy == SchedulerPolicy::Sarathi) {
+        // The fused-step memo packs (decode batch, prefill tokens) into
+        // its key; reject configs that could overflow it mid-run.
+        PIMBA_ASSERT(cfg.maxBatch < (1 << 12),
+                     "Sarathi requires maxBatch < 4096");
+        PIMBA_ASSERT(cfg.iterTokenBudget < (1ull << 16),
+                     "Sarathi requires an iteration token budget "
+                     "< 65536");
+    }
+    sched = makeScheduler(cfg.policy, cfg.prefillChunk,
+                          cfg.iterTokenBudget);
 }
 
 double
@@ -34,8 +57,8 @@ ServingEngine::decodeSeconds(int batch, uint64_t mean_seq)
     auto it = decodeCache.find(key);
     if (it != decodeCache.end())
         return it->second;
-    uint64_t seq = bucket * kSeqBucket + kSeqBucket / 2;
-    double secs = sim.generationStep(model, batch, seq).seconds;
+    double secs =
+        sim.generationStep(model, batch, bucketCenter(mean_seq)).seconds;
     decodeCache.emplace(key, secs);
     return secs;
 }
@@ -44,15 +67,41 @@ double
 ServingEngine::prefillSeconds(uint64_t chunk, uint64_t seq_pos)
 {
     // Attention inside a prefill chunk is affine in the base cache
-    // position, so bucketing the position mirrors the decode memo.
+    // position, so bucketing the position mirrors the decode memo —
+    // including evaluating at the bucket *center*, matching
+    // decodeSeconds (the seed evaluated this memo at the bucket floor,
+    // biasing prefill cost low by half a bucket).
     uint64_t bucket = seq_pos / kSeqBucket;
     uint64_t key = (chunk << 32) | bucket;
     auto it = prefillCache.find(key);
     if (it != prefillCache.end())
         return it->second;
     double secs =
-        sim.prefillStep(model, chunk, bucket * kSeqBucket).seconds;
+        sim.prefillStep(model, chunk, bucketCenter(seq_pos)).seconds;
     prefillCache.emplace(key, secs);
+    return secs;
+}
+
+double
+ServingEngine::mixedSeconds(int decode_batch, uint64_t decode_seq,
+                            uint64_t prefill_tokens, uint64_t prefill_pos)
+{
+    uint64_t db = static_cast<uint64_t>(decode_batch);
+    uint64_t dbucket = decode_seq / kSeqBucket;
+    uint64_t pbucket = prefill_pos / kSeqBucket;
+    PIMBA_ASSERT(db < (1ull << 12) && prefill_tokens < (1ull << 16) &&
+                     dbucket < (1ull << 18) && pbucket < (1ull << 18),
+                 "fused-step memo key overflow");
+    uint64_t key = (db << 52) | (prefill_tokens << 36) |
+                   (dbucket << 18) | pbucket;
+    auto it = mixedCache.find(key);
+    if (it != mixedCache.end())
+        return it->second;
+    double secs = sim.mixedStep(model, decode_batch,
+                                bucketCenter(decode_seq), prefill_tokens,
+                                bucketCenter(prefill_pos))
+                      .seconds;
+    mixedCache.emplace(key, secs);
     return secs;
 }
 
@@ -66,6 +115,7 @@ ServingEngine::run(const std::vector<Request> &trace)
                      });
 
     ServingReport report;
+    report.policy = cfg.policy;
     report.memoryBudget = cfg.memoryBudget > 0.0
                               ? cfg.memoryBudget
                               : sim.system().gpu.memCapacity *
@@ -74,11 +124,27 @@ ServingEngine::run(const std::vector<Request> &trace)
     PIMBA_ASSERT(weights < report.memoryBudget,
                  "model weights alone exceed the memory budget");
 
+    // Carve the post-weights pool into blocks. The mapper quantizes a
+    // request's fixed (state + activation) and per-token KV demand.
+    const double fixedBytes = sim.requestFootprint(model, 0);
+    const double perTokenBytes =
+        sim.requestFootprint(model, 1) - fixedBytes;
+    const BlockMapper mapper =
+        BlockMapper::make(fixedBytes, perTokenBytes, cfg.blockTokens);
+    const uint64_t totalBlocks = static_cast<uint64_t>(
+        (report.memoryBudget - weights) / mapper.blockBytes);
+    if (totalBlocks == 0)
+        PIMBA_FATAL("budget of ", report.memoryBudget,
+                    " bytes leaves no room for a single ",
+                    mapper.blockBytes, "-byte block past the weights");
+    BlockManager blocks(totalBlocks);
+    report.totalBlocks = totalBlocks;
+
     size_t next = 0;
     double now = 0.0;
-    double reserved = 0.0;
+    double utilSum = 0.0;
     std::deque<Request> waiting;
-    std::vector<RequestState> running;
+    std::vector<RequestState> running; // kept in admission order
 
     while (report.completed.size() < sorted.size()) {
         // Reveal arrivals up to the current simulated time.
@@ -91,84 +157,154 @@ ServingEngine::run(const std::vector<Request> &trace)
             continue;
         }
 
-        // FCFS admission under the reservation budget.
+        // Policy-ordered admission. A request is admitted when its
+        // whole prompt (plus the first output token) could be cached
+        // into the free blocks *after* honoring the pledges already
+        // made to resident prompts — a watermark that keeps co-resident
+        // prefills from evicting each other. Only the fixed state
+        // blocks are allocated up front; KV blocks follow the tokens as
+        // they are actually cached, and decode growth past the pledge
+        // is what eviction handles.
         while (!waiting.empty() &&
                running.size() < static_cast<size_t>(cfg.maxBatch)) {
-            const Request &r = waiting.front();
+            size_t pick = sched->pickAdmission(waiting);
+            const Request &r = waiting[pick];
             PIMBA_ASSERT(r.inputLen >= 1 && r.outputLen >= 1,
                          "request ", r.id, " has empty prompt or output");
-            double peak =
-                sim.requestFootprint(model, r.inputLen + r.outputLen);
-            if (weights + reserved + peak > report.memoryBudget)
+            uint64_t outstanding = 0;
+            for (const RequestState &rs : running) {
+                uint64_t held = blocks.holding(rs.req.id);
+                if (rs.pledgedBlocks > held)
+                    outstanding += rs.pledgedBlocks - held;
+            }
+            uint64_t pledge = mapper.blocksFor(r.inputLen + 1);
+            if (outstanding + pledge > blocks.freeBlocks())
                 break;
+            bool ok = blocks.allocate(r.id, mapper.blocksFor(0));
+            PIMBA_ASSERT(ok, "admission allocation failed");
             RequestState rs;
             rs.req = r;
             rs.phase = RequestPhase::Prefill;
-            rs.reservedBytes = peak;
+            rs.pledgedBlocks = pledge;
             rs.admitted = now;
-            reserved += peak;
             running.push_back(rs);
-            waiting.pop_front();
+            waiting.erase(waiting.begin() +
+                          static_cast<std::ptrdiff_t>(pick));
         }
         if (running.empty()) {
-            PIMBA_FATAL("request ", waiting.front().id, " needs ",
-                        sim.requestFootprint(
-                            model, waiting.front().inputLen +
-                                       waiting.front().outputLen),
-                        " bytes and can never fit the budget of ",
+            const Request &r = waiting[sched->pickAdmission(waiting)];
+            PIMBA_FATAL("request ", r.id, " needs ",
+                        mapper.blocksFor(r.inputLen + 1),
+                        " blocks and can never fit the pool of ",
+                        totalBlocks, " blocks under the budget of ",
                         report.memoryBudget, " bytes");
         }
-        report.peakReserved = std::max(report.peakReserved,
-                                       weights + reserved);
         report.peakBatch = std::max(report.peakBatch,
                                     static_cast<int>(running.size()));
 
-        // Build one iteration: a decode step over every decode-resident
-        // request plus at most one prefill chunk (oldest first), run
-        // blocked back-to-back like the step simulator's GPU/PIM phases.
-        double iterSeconds = 0.0;
+        // Let the policy compose the iteration, then allocate the
+        // blocks its token production needs. Under memory pressure the
+        // most recently admitted resident is preempted by eviction —
+        // blocks freed, cached tokens discarded, re-queued at the head
+        // of the waiting line to recompute — and the iteration is
+        // re-planned over the survivors.
+        IterationPlan plan;
+        while (true) {
+            plan = sched->planIteration(running);
+            PIMBA_ASSERT(!plan.empty(), "iteration made no progress");
 
-        std::vector<size_t> decodeIdx;
-        uint64_t seqSum = 0;
-        for (size_t i = 0; i < running.size(); ++i) {
-            if (running[i].phase == RequestPhase::Decode) {
-                decodeIdx.push_back(i);
-                seqSum += running[i].cachedTokens();
+            uint64_t extra = 0;
+            std::vector<std::pair<uint64_t, uint64_t>> grows;
+            auto demand = [&](const RequestState &rs, uint64_t cached) {
+                uint64_t target = mapper.blocksFor(cached);
+                uint64_t cur = blocks.holding(rs.req.id);
+                if (target > cur) {
+                    grows.emplace_back(rs.req.id, target);
+                    extra += target - cur;
+                }
+            };
+            for (size_t i : plan.decodeIdx)
+                demand(running[i], running[i].cachedTokens() + 1);
+            for (const PrefillSlice &s : plan.prefill) {
+                const RequestState &rs = running[s.idx];
+                uint64_t cached = rs.prefilled + s.tokens;
+                if (cached >= rs.req.inputLen)
+                    cached = rs.req.inputLen + 1; // first output token
+                demand(rs, cached);
             }
-        }
-        if (!decodeIdx.empty()) {
-            uint64_t meanSeq = seqSum / decodeIdx.size();
-            iterSeconds += decodeSeconds(
-                static_cast<int>(decodeIdx.size()), meanSeq);
-        }
-
-        size_t prefillIdx = running.size();
-        uint64_t chunk = 0;
-        for (size_t i = 0; i < running.size(); ++i) {
-            if (running[i].phase == RequestPhase::Prefill) {
-                prefillIdx = i;
-                chunk = std::min<uint64_t>(
-                    cfg.prefillChunk,
-                    running[i].req.inputLen - running[i].prefilled);
-                iterSeconds += prefillSeconds(chunk,
-                                              running[i].prefilled);
-                ++report.prefillChunks;
+            if (extra <= blocks.freeBlocks()) {
+                for (const auto &[id, target] : grows) {
+                    bool ok = blocks.growTo(id, target);
+                    PIMBA_ASSERT(ok, "planned growth failed");
+                }
                 break;
             }
+
+            if (running.size() == 1)
+                PIMBA_FATAL("request ", running[0].req.id,
+                            " can never fit: it alone outgrows the pool "
+                            "of ", totalBlocks, " blocks under the "
+                            "budget of ", report.memoryBudget, " bytes");
+            // running is kept in admission order, so the back is the
+            // most recently admitted resident (lowest priority).
+            RequestState victim = running.back();
+            running.pop_back();
+            blocks.release(victim.req.id);
+            ++report.preemptions;
+            report.recomputedTokens +=
+                victim.prefilled + victim.generated;
+            // Its generated tokens are discarded and will be recomputed;
+            // report.generatedTokens counts delivered tokens only.
+            report.generatedTokens -= victim.generated;
+            waiting.push_front(victim.req);
         }
+
+        // Cost the iteration: either a fused step (Sarathi) or decode
+        // and prefill steps run blocked back-to-back (seed behavior).
+        int decodeBatch = static_cast<int>(plan.decodeIdx.size());
+        uint64_t decodeMean = 0;
+        if (decodeBatch > 0) {
+            uint64_t seqSum = 0;
+            for (size_t i : plan.decodeIdx)
+                seqSum += running[i].cachedTokens();
+            decodeMean = seqSum / static_cast<uint64_t>(decodeBatch);
+        }
+        uint64_t prefillTokens = 0;
+        uint64_t prefillPosWeighted = 0;
+        for (const PrefillSlice &s : plan.prefill) {
+            prefillTokens += s.tokens;
+            prefillPosWeighted +=
+                s.tokens * (running[s.idx].prefilled + s.tokens / 2);
+        }
+
+        double iterSeconds = 0.0;
+        if (plan.fused) {
+            uint64_t prefillMean =
+                prefillTokens > 0 ? prefillPosWeighted / prefillTokens
+                                  : 0;
+            iterSeconds = mixedSeconds(decodeBatch, decodeMean,
+                                       prefillTokens, prefillMean);
+        } else {
+            if (decodeBatch > 0)
+                iterSeconds += decodeSeconds(decodeBatch, decodeMean);
+            for (const PrefillSlice &s : plan.prefill)
+                iterSeconds +=
+                    prefillSeconds(s.tokens, running[s.idx].prefilled);
+        }
+        report.prefillChunks += plan.prefill.size();
 
         PIMBA_ASSERT(iterSeconds > 0.0, "iteration made no progress");
         now += iterSeconds;
         ++report.iterations;
 
         // Apply the iteration's token production.
-        for (size_t i : decodeIdx) {
+        for (size_t i : plan.decodeIdx) {
             ++running[i].generated;
             ++report.generatedTokens;
         }
-        if (prefillIdx < running.size()) {
-            RequestState &rs = running[prefillIdx];
-            rs.prefilled += chunk;
+        for (const PrefillSlice &s : plan.prefill) {
+            RequestState &rs = running[s.idx];
+            rs.prefilled += s.tokens;
             if (rs.prefillDone()) {
                 // The final prefill chunk emits the first output token.
                 rs.generated = 1;
@@ -178,17 +314,19 @@ ServingEngine::run(const std::vector<Request> &trace)
             }
         }
 
-        // Memory high-water mark at the end of the iteration, before
-        // completions release their reservations.
-        double usage = weights;
-        for (const auto &rs : running)
-            usage += sim.requestFootprint(model, rs.cachedTokens());
+        // Block-pool and memory high-water marks for this iteration.
+        double util = blocks.utilization();
+        utilSum += util;
+        report.peakBlockUtil = std::max(report.peakBlockUtil, util);
+        double usage =
+            weights + static_cast<double>(blocks.usedBlocks()) *
+                          mapper.blockBytes;
         report.peakMemory = std::max(report.peakMemory, usage);
         PIMBA_ASSERT(usage <= report.memoryBudget + 1.0,
                      "memory budget exceeded: ", usage, " > ",
                      report.memoryBudget);
 
-        // Retire completed requests and free their reservations.
+        // Retire completed requests and free their blocks.
         for (size_t i = 0; i < running.size();) {
             RequestState &rs = running[i];
             if (!rs.done()) {
@@ -205,12 +343,20 @@ ServingEngine::run(const std::vector<Request> &trace)
                                   static_cast<double>(rs.req.outputLen - 1)
                             : 0.0;
             report.completed.push_back(done);
-            reserved -= rs.reservedBytes;
-            running.erase(running.begin() + i);
+            blocks.release(rs.req.id);
+            running.erase(running.begin() +
+                          static_cast<std::ptrdiff_t>(i));
         }
     }
 
+    PIMBA_ASSERT(blocks.usedBlocks() == 0,
+                 "block pool leaked at drain: ", blocks.usedBlocks(),
+                 " blocks still allocated");
     report.makespan = now;
+    report.avgBlockUtil =
+        report.iterations > 0
+            ? utilSum / static_cast<double>(report.iterations)
+            : 0.0;
     report.metrics = computeMetrics(report.completed, report.makespan,
                                     cfg.slo);
     return report;

@@ -1,33 +1,39 @@
 /**
  * @file
- * Event-driven, request-level continuous-batching serving engine.
+ * Event-driven, request-level continuous-batching serving engine over a
+ * paged block manager and a pluggable scheduling policy.
  *
  * The engine layers an iteration-level (Orca-style) scheduler on top of
- * the per-step analytic ServingSimulator: every iteration it admits
- * waiting requests FCFS under an HBM memory budget, runs at most one
- * prefill chunk interleaved with one decode step over all
- * decode-resident requests (GPU and PIM execute blocked, matching the
- * step simulator), advances the simulated clock by the modeled iteration
- * latency, and retires requests whose outputs are complete, releasing
- * their memory reservation.
+ * the per-step analytic ServingSimulator. Every iteration it admits
+ * waiting requests in the policy's order, lets the policy compose the
+ * iteration (decode steps over every decode-resident request plus one
+ * or more prefill chunks, optionally fused into a single launch),
+ * advances the simulated clock by the modeled iteration latency, and
+ * retires requests whose outputs are complete.
  *
- * Admission is reservation-based: a request is admitted only if its
- * *peak* footprint (recurrent state + KV cache at input+output tokens +
- * activations, via ServingSimulator::requestFootprint) fits under the
- * budget alongside the weights and every already-admitted reservation.
- * Admitted requests therefore never have to be preempted, and actual
- * usage can never exceed the budget.
+ * Memory is paged, not reserved: admission only requires that the
+ * request's prompt could be cached into the currently free blocks, and
+ * blocks are then allocated on demand as tokens are actually cached
+ * (vLLM-style). When growth outruns the pool, the engine preempts the
+ * most recently admitted resident by eviction — its blocks are freed,
+ * its cached tokens are discarded, and it re-queues at the head of the
+ * waiting line to recompute from scratch on re-admission. Actual usage
+ * therefore never exceeds the budget, without the seed engine's
+ * peak-footprint over-reservation.
  */
 
 #ifndef PIMBA_SERVING_ENGINE_H
 #define PIMBA_SERVING_ENGINE_H
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "serving/block_manager.h"
 #include "serving/metrics.h"
 #include "serving/request.h"
+#include "serving/scheduler.h"
 #include "sim/serving_sim.h"
 
 namespace pimba {
@@ -37,9 +43,21 @@ struct EngineConfig
 {
     int maxBatch = 128;          ///< concurrently admitted request cap
                                  ///  (prefill- and decode-phase combined)
-    uint64_t prefillChunk = 512; ///< prompt tokens per prefill iteration
+    uint64_t prefillChunk = 512; ///< prompt tokens per prefill chunk
     /** HBM budget in bytes; 0 selects memCapacity x nGpus of the system. */
     double memoryBudget = 0.0;
+    /** Cached tokens per KV block of the paged allocator. */
+    uint64_t blockTokens = 16;
+    /**
+     * Per-iteration new-token budget (decode + prefill) for the Sarathi
+     * policy; 0 resolves to maxBatch + prefillChunk so a full decode
+     * batch always leaves one chunk's worth of prefill budget. Decode
+     * is never throttled — see makeScheduler(). The Sarathi policy's
+     * fused-step memo requires maxBatch < 4096 and a resolved budget
+     * < 65536 (checked at engine construction).
+     */
+    uint64_t iterTokenBudget = 0;
+    SchedulerPolicy policy = SchedulerPolicy::FCFS;
     SloConfig slo;
 };
 
@@ -50,12 +68,18 @@ struct ServingReport
     ServingMetrics metrics;
     double makespan = 0.0;     ///< seconds, trace start to last token
     uint64_t iterations = 0;   ///< scheduler iterations executed
-    uint64_t generatedTokens = 0;
+    uint64_t generatedTokens = 0; ///< delivered tokens (evictions net out)
     uint64_t prefillChunks = 0;
+    uint64_t preemptions = 0;  ///< evictions under memory pressure
+    /** Prompt + output tokens discarded by evictions (recompute debt). */
+    uint64_t recomputedTokens = 0;
     double peakMemory = 0.0;   ///< max bytes resident at any iteration
-    double peakReserved = 0.0; ///< max bytes reserved by admission
     double memoryBudget = 0.0; ///< the budget the run enforced
     int peakBatch = 0;         ///< max concurrently admitted requests
+    uint64_t totalBlocks = 0;  ///< block-pool size the run was given
+    double peakBlockUtil = 0.0; ///< max fraction of the pool allocated
+    double avgBlockUtil = 0.0;  ///< iteration-averaged pool allocation
+    SchedulerPolicy policy = SchedulerPolicy::FCFS;
 };
 
 /** Request-level continuous-batching engine for one system + model. */
@@ -75,12 +99,17 @@ class ServingEngine
     double decodeSeconds(int batch, uint64_t mean_seq);
     /** Prefill-chunk latency, memoized by (chunk, position bucket). */
     double prefillSeconds(uint64_t chunk, uint64_t seq_pos);
+    /** Fused-iteration latency, memoized like the two above. */
+    double mixedSeconds(int decode_batch, uint64_t decode_seq,
+                        uint64_t prefill_tokens, uint64_t prefill_pos);
 
     ServingSimulator sim;
     ModelConfig model;
     EngineConfig cfg;
+    std::unique_ptr<Scheduler> sched;
     std::unordered_map<uint64_t, double> decodeCache;
     std::unordered_map<uint64_t, double> prefillCache;
+    std::unordered_map<uint64_t, double> mixedCache;
 };
 
 } // namespace pimba

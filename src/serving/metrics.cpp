@@ -41,7 +41,12 @@ computeMetrics(const std::vector<CompletedRequest> &done, double makespan,
     for (const auto &c : done) {
         m.generatedTokens += c.req.outputLen;
         ttft.push_back(c.ttft);
-        tpot.push_back(c.tpot);
+        // Single-token requests have no inter-token gap; their tpot of
+        // 0.0 would drag the TPOT percentiles down, so they are
+        // excluded from the summary sample. The SLO check below keeps
+        // them: with no decode steps there is no TPOT to violate.
+        if (c.req.outputLen > 1)
+            tpot.push_back(c.tpot);
         latency.push_back(c.latency);
         if (c.ttft <= slo.ttft && c.tpot <= slo.tpot)
             ++good;

@@ -49,6 +49,10 @@ struct ServingMetrics
     double goodput = 0.0;         ///< SLO-meeting completions per second
     uint64_t sloViolations = 0;   ///< completions missing the SLO
     LatencySummary ttft;
+    /** TPOT over requests with >= 2 output tokens only: single-token
+     *  requests have no inter-token gap and would skew the percentiles
+     *  toward zero. They still count for the SLO (trivially compliant —
+     *  there is no decode step to miss the per-token target). */
     LatencySummary tpot;
     LatencySummary latency;
 };

@@ -27,7 +27,9 @@ struct Request
 /**
  * Phase of an *admitted* request. Waiting requests live in the engine's
  * arrival queue and finished ones leave the batch as CompletedRequest
- * records, so only the two resident phases need a state.
+ * records, so only the two resident phases need a state. A request
+ * preempted by eviction leaves the batch entirely — its bookkeeping is
+ * discarded and rebuilt from scratch (recompute) on re-admission.
  */
 enum class RequestPhase
 {
@@ -42,8 +44,11 @@ struct RequestState
     RequestPhase phase = RequestPhase::Prefill;
     uint64_t prefilled = 0;  ///< prompt tokens already processed
     uint64_t generated = 0;  ///< output tokens already produced
-    double reservedBytes = 0.0; ///< peak footprint held against the budget
-    double admitted = -1.0;
+    /** Blocks admission promised this request (prompt + first token);
+     *  outstanding pledges gate further admissions so co-resident
+     *  prompts can always be cached without evicting each other. */
+    uint64_t pledgedBlocks = 0;
+    double admitted = -1.0;  ///< absolute admission time (eviction order)
     double firstToken = -1.0; ///< absolute time of the first output token
     double finished = -1.0;
 

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Pluggable iteration-level scheduling policies for the serving engine.
+ *
+ * A Scheduler makes the two decisions that shape every engine
+ * iteration: which waiting request to admit next, and how to compose
+ * the iteration's batch out of the resident requests (which decode
+ * steps run, which prefill chunks run, and whether the two are fused
+ * into one launch). Three policies ship:
+ *
+ *  - FCFS: arrival-order admission, at most one prefill chunk per
+ *    iteration run as a separate step — the seed engine's behavior.
+ *  - SJF: shortest-job-first admission (by total input+output tokens,
+ *    an oracle the simulator legitimately has); iteration composition
+ *    as FCFS.
+ *  - Sarathi: arrival-order admission, but each iteration packs
+ *    multiple prefill chunks *together with* the decode batch under a
+ *    per-iteration token budget and fuses them into a single step, so
+ *    a long prompt neither stalls decodes nor head-of-line blocks the
+ *    prompts behind it (Sarathi-style chunked-prefill piggybacking).
+ */
+
+#ifndef PIMBA_SERVING_SCHEDULER_H
+#define PIMBA_SERVING_SCHEDULER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serving/request.h"
+
+namespace pimba {
+
+/** Selectable scheduling policy. */
+enum class SchedulerPolicy
+{
+    FCFS,    ///< arrival order, one prefill chunk per iteration
+    SJF,     ///< shortest total job first, one prefill chunk per iteration
+    Sarathi, ///< fused decode + budgeted multi-request prefill chunks
+};
+
+/** Human-readable policy name ("fcfs", "sjf", "sarathi"). */
+std::string policyName(SchedulerPolicy policy);
+
+/** All policies, for sweeps and tests. */
+const std::vector<SchedulerPolicy> &allPolicies();
+
+/** One prefill chunk scheduled for the coming iteration. */
+struct PrefillSlice
+{
+    size_t idx = 0;      ///< index into the engine's running vector
+    uint64_t tokens = 0; ///< prompt tokens to process this iteration
+};
+
+/** Composition of one engine iteration. */
+struct IterationPlan
+{
+    std::vector<size_t> decodeIdx;    ///< decode-phase running indices
+    std::vector<PrefillSlice> prefill; ///< prefill chunks this iteration
+    /** Cost decode + prefill as one fused step instead of separate
+     *  back-to-back steps (amortizes the per-step weight pass). */
+    bool fused = false;
+
+    bool empty() const { return decodeIdx.empty() && prefill.empty(); }
+};
+
+/** Iteration-level scheduling policy. */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    virtual SchedulerPolicy policy() const = 0;
+
+    /**
+     * Index into @p waiting of the request to try admitting next.
+     * Admission is head-of-line: if the picked request does not fit,
+     * the engine stops admitting rather than skipping it.
+     */
+    virtual size_t pickAdmission(
+        const std::deque<Request> &waiting) const = 0;
+
+    /** Compose the coming iteration over the resident requests. */
+    virtual IterationPlan planIteration(
+        const std::vector<RequestState> &running) const = 0;
+};
+
+/**
+ * Build a scheduler. @p prefill_chunk caps one request's prompt tokens
+ * per iteration. @p token_budget sizes the Sarathi policy's iteration:
+ * decode tokens (one per decode-phase resident) are never throttled and
+ * count against the budget first; only the *remainder* is packed with
+ * prefill chunks. An iteration whose decode batch alone reaches the
+ * budget therefore runs over budget and schedules no prefill. The
+ * one-chunk policies ignore the budget.
+ */
+std::unique_ptr<Scheduler> makeScheduler(SchedulerPolicy policy,
+                                         uint64_t prefill_chunk,
+                                         uint64_t token_budget);
+
+} // namespace pimba
+
+#endif // PIMBA_SERVING_SCHEDULER_H

@@ -1,5 +1,6 @@
 #include "serving/trace.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/lfsr.h"
@@ -16,8 +17,11 @@ sampleLength(LengthDistribution dist, uint64_t lo, uint64_t hi,
     if (dist == LengthDistribution::Fixed || hi <= lo)
         return lo;
     uint64_t span = hi - lo + 1;
-    return lo + static_cast<uint64_t>(rng.nextUnit() *
-                                      static_cast<double>(span));
+    uint64_t idx = static_cast<uint64_t>(rng.nextUnit() *
+                                         static_cast<double>(span));
+    // nextUnit() < 1.0, but the double product can still round up to
+    // span (yielding hi + 1); clamp the index into the span.
+    return lo + std::min(idx, span - 1);
 }
 
 } // namespace

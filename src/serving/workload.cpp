@@ -2,9 +2,9 @@
 
 namespace pimba {
 
-ServingMetrics
-servePoisson(SystemKind kind, const ModelConfig &model, double rate,
-             const OpenLoopWorkload &w)
+ServingReport
+servePoissonReport(SystemKind kind, const ModelConfig &model, double rate,
+                   const OpenLoopWorkload &w)
 {
     TraceConfig tc;
     tc.arrivals = ArrivalProcess::Poisson;
@@ -12,13 +12,26 @@ servePoisson(SystemKind kind, const ModelConfig &model, double rate,
     tc.numRequests = w.numRequests;
     tc.inputLen = w.inputLen;
     tc.outputLen = w.outputLen;
+    if (w.inputLenMax > 0 || w.outputLenMax > 0) {
+        tc.lengths = LengthDistribution::Uniform;
+        tc.inputLenMax = w.inputLenMax;
+        tc.outputLenMax = w.outputLenMax;
+    }
     tc.seed = w.seed;
 
     ServingSimulator sim(makeSystem(kind));
     EngineConfig ec;
     ec.maxBatch = w.maxBatch;
+    ec.policy = w.policy;
     ServingEngine engine(sim, model, ec);
-    return engine.run(generateTrace(tc)).metrics;
+    return engine.run(generateTrace(tc));
+}
+
+ServingMetrics
+servePoisson(SystemKind kind, const ModelConfig &model, double rate,
+             const OpenLoopWorkload &w)
+{
+    return servePoissonReport(kind, model, rate, w).metrics;
 }
 
 bool

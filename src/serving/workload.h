@@ -23,9 +23,20 @@ struct OpenLoopWorkload
     int numRequests = 64;
     uint64_t inputLen = 512;
     uint64_t outputLen = 256;
+    /** Nonzero switches lengths to integer-uniform in [len, lenMax];
+     *  the default 0 keeps the canonical fixed-length workload. Length
+     *  variance is what separates SJF from FCFS. */
+    uint64_t inputLenMax = 0;
+    uint64_t outputLenMax = 0;
     int maxBatch = 64;
     uint32_t seed = 0x5EED0001u;
+    SchedulerPolicy policy = SchedulerPolicy::FCFS;
 };
+
+/** Serve @p w at Poisson rate @p rate on @p kind, full report. */
+ServingReport servePoissonReport(SystemKind kind,
+                                 const ModelConfig &model, double rate,
+                                 const OpenLoopWorkload &w = {});
 
 /** Serve @p w at Poisson rate @p rate on @p kind and report metrics. */
 ServingMetrics servePoisson(SystemKind kind, const ModelConfig &model,

@@ -160,6 +160,22 @@ ServingSimulator::prefillStep(const ModelConfig &model, uint64_t tokens,
                           seq_pos + tokens / 2);
 }
 
+StepResult
+ServingSimulator::mixedStep(const ModelConfig &model, int decode_batch,
+                            uint64_t decode_seq, uint64_t prefill_tokens,
+                            uint64_t prefill_pos) const
+{
+    PIMBA_ASSERT(decode_batch >= 0, "negative decode batch");
+    uint64_t total = static_cast<uint64_t>(decode_batch) + prefill_tokens;
+    PIMBA_ASSERT(total > 0, "empty fused iteration");
+    // Token-weighted mean cache position of the fused batch; prefill
+    // callers pass the midpoint position of their chunk(s).
+    uint64_t mean =
+        (static_cast<uint64_t>(decode_batch) * decode_seq +
+         prefill_tokens * prefill_pos) / total;
+    return generationStep(model, static_cast<int>(total), mean);
+}
+
 double
 ServingSimulator::generationThroughput(const ModelConfig &model, int batch,
                                        uint64_t input_len,

@@ -77,6 +77,22 @@ class ServingSimulator
     StepResult prefillStep(const ModelConfig &model, uint64_t tokens,
                            uint64_t seq_pos) const;
 
+    /**
+     * Simulate one fused iteration that runs @p decode_batch decode
+     * tokens (mean cache length @p decode_seq) together with
+     * @p prefill_tokens prompt tokens (token-weighted mean cache
+     * position @p prefill_pos) in the same operator launches, the
+     * Sarathi-style chunked-prefill piggyback. The fused step pays the
+     * per-step weight pass and launch overheads once, which is exactly
+     * where it beats running a decode step and a prefill chunk
+     * back-to-back; per-token attention/state costs are affine in the
+     * cache position, so the fused step is costed at the token-weighted
+     * mean position of its constituents.
+     */
+    StepResult mixedStep(const ModelConfig &model, int decode_batch,
+                         uint64_t decode_seq, uint64_t prefill_tokens,
+                         uint64_t prefill_pos) const;
+
     /** Generation throughput in tokens (words) per second. */
     double generationThroughput(const ModelConfig &model, int batch,
                                 uint64_t input_len,

@@ -1,8 +1,10 @@
 /**
  * @file
- * Admission-control memory tests: the engine must never let resident
- * footprint exceed the budget, must serialize when the budget only fits
- * one request, and must account KV-cache growth for attention models.
+ * Paged-memory tests for the engine: resident footprint must never
+ * exceed the budget, a budget that only fits one request's prompt must
+ * serialize, on-demand allocation must admit more concurrency than the
+ * seed's peak-footprint reservation would have, and KV-cache growth
+ * must be accounted for attention models.
  */
 
 #include <gtest/gtest.h>
@@ -33,16 +35,36 @@ TEST(ServingMemory, BudgetNeverExceededUnderTightBudget)
     double weights = sim.memoryUsage(model, 1, 0).weights;
     double per_req = sim.requestFootprint(model, 256 + 64);
     EngineConfig ec;
-    ec.memoryBudget = weights + 3.5 * per_req; // fits 3 requests
+    ec.memoryBudget = weights + 3.5 * per_req; // 3.5 peak footprints
 
     ServingEngine engine(sim, model, ec);
     auto rep = engine.run(generateTrace(burstTrace(12, 256, 64)));
 
     EXPECT_EQ(rep.completed.size(), 12u);
     EXPECT_LE(rep.peakMemory, ec.memoryBudget);
-    EXPECT_LE(rep.peakReserved, ec.memoryBudget);
-    EXPECT_LE(rep.peakBatch, 3);
-    EXPECT_EQ(rep.peakBatch, 3);
+    EXPECT_LE(rep.peakBlockUtil, 1.0);
+    // Peak-footprint reservation fits exactly 3 requests here; paged
+    // on-demand allocation must do at least as well.
+    EXPECT_GE(rep.peakBatch, 3);
+}
+
+TEST(ServingMemory, OnDemandAdmissionBeatsPeakReservation)
+{
+    // Short prompts with long outputs: the seed engine reserved
+    // input+output for the whole lifetime, so this budget admitted only
+    // 2 requests. Paged allocation only pledges the prompt, so early
+    // decode phases overlap far more than 2 requests deep.
+    ModelConfig model = opt2p7b();
+    ServingSimulator sim(makeSystem(SystemKind::GPU));
+    double weights = sim.memoryUsage(model, 1, 0).weights;
+    EngineConfig ec;
+    ec.memoryBudget =
+        weights + 2.5 * sim.requestFootprint(model, 64 + 960);
+    ServingEngine engine(sim, model, ec);
+    auto rep = engine.run(generateTrace(burstTrace(12, 64, 960)));
+    EXPECT_EQ(rep.completed.size(), 12u);
+    EXPECT_GT(rep.peakBatch, 2);
+    EXPECT_LE(rep.peakMemory, ec.memoryBudget);
 }
 
 TEST(ServingMemory, BudgetForOneRequestSerializes)
@@ -67,6 +89,7 @@ TEST(ServingMemory, DefaultBudgetIsDeviceCapacity)
     auto rep = engine.run(generateTrace(burstTrace(4, 64, 4)));
     EXPECT_DOUBLE_EQ(rep.memoryBudget,
                      sys.gpu.memCapacity * sys.nGpus);
+    EXPECT_GT(rep.totalBlocks, 0u);
 }
 
 TEST(ServingMemory, FootprintGrowsWithKvForAttentionOnly)
@@ -84,7 +107,8 @@ TEST(ServingMemory, FootprintGrowsWithKvForAttentionOnly)
 TEST(ServingMemory, QuantizedStateAdmitsLargerBatches)
 {
     // Same budget, same burst: Pimba's MX8 state/KV is half the fp16
-    // footprint, so admission fits more concurrent requests than GPU.
+    // footprint, so the block pool holds twice the tokens and admission
+    // fits more concurrent requests than GPU.
     ModelConfig model = opt2p7b();
     ServingSimulator gpu(makeSystem(SystemKind::GPU));
     ServingSimulator pimba(makeSystem(SystemKind::PIMBA));

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Metric-aggregation tests, in particular the TPOT sampling rule:
+ * single-token requests have no inter-token gap, must not drag the
+ * TPOT percentiles toward zero, and still count as (trivially)
+ * TPOT-compliant for the SLO.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serving/metrics.h"
+
+namespace pimba {
+namespace {
+
+CompletedRequest
+completed(uint64_t output_len, double ttft, double tpot, double latency)
+{
+    CompletedRequest c;
+    c.req.outputLen = output_len;
+    c.ttft = ttft;
+    c.tpot = tpot;
+    c.latency = latency;
+    return c;
+}
+
+TEST(ServingMetricsAgg, SingleTokenRequestsExcludedFromTpotSummary)
+{
+    // Three multi-token requests at 10 ms TPOT, three single-token
+    // requests whose tpot is 0.0 by construction.
+    std::vector<CompletedRequest> done;
+    for (int i = 0; i < 3; ++i)
+        done.push_back(completed(16, 0.2, 0.010, 0.5));
+    for (int i = 0; i < 3; ++i)
+        done.push_back(completed(1, 0.2, 0.0, 0.2));
+
+    SloConfig slo; // ttft 1.0 s, tpot 20 ms
+    ServingMetrics m = computeMetrics(done, 10.0, slo);
+
+    // The summary reflects only the requests that actually decoded:
+    // with zero-tpot singletons included, the p50 would be 0.0.
+    EXPECT_DOUBLE_EQ(m.tpot.p50, 0.010);
+    EXPECT_DOUBLE_EQ(m.tpot.mean, 0.010);
+    EXPECT_DOUBLE_EQ(m.tpot.max, 0.010);
+    // Single-token requests still count for the SLO (trivially
+    // compliant on TPOT) and for throughput.
+    EXPECT_EQ(m.sloViolations, 0u);
+    EXPECT_EQ(m.requests, 6u);
+    EXPECT_EQ(m.generatedTokens, 3u * 16u + 3u);
+}
+
+TEST(ServingMetricsAgg, AllSingleTokenRequestsYieldEmptyTpotSummary)
+{
+    std::vector<CompletedRequest> done = {completed(1, 0.1, 0.0, 0.1),
+                                          completed(1, 0.3, 0.0, 0.3)};
+    ServingMetrics m = computeMetrics(done, 1.0, SloConfig{});
+    EXPECT_DOUBLE_EQ(m.tpot.p50, 0.0);
+    EXPECT_DOUBLE_EQ(m.tpot.p95, 0.0);
+    EXPECT_DOUBLE_EQ(m.tpot.max, 0.0);
+    EXPECT_DOUBLE_EQ(m.ttft.p50, 0.2); // TTFT summary still populated
+}
+
+TEST(ServingMetricsAgg, SloViolationsCountTtftAndTpotMisses)
+{
+    SloConfig slo;
+    slo.ttft = 0.5;
+    slo.tpot = 0.02;
+    std::vector<CompletedRequest> done = {
+        completed(8, 0.1, 0.010, 0.2), // compliant
+        completed(8, 0.9, 0.010, 1.0), // TTFT miss
+        completed(8, 0.1, 0.050, 0.6), // TPOT miss
+        completed(1, 0.1, 0.0, 0.1),   // single token, compliant
+    };
+    ServingMetrics m = computeMetrics(done, 2.0, slo);
+    EXPECT_EQ(m.sloViolations, 2u);
+    EXPECT_DOUBLE_EQ(m.goodput, 1.0); // 2 good / 2 s makespan
+}
+
+} // namespace
+} // namespace pimba

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "serving/trace.h"
 
 namespace pimba {
@@ -98,6 +100,34 @@ TEST(Trace, FixedLengthsAreExact)
         EXPECT_EQ(r.inputLen, 777u);
         EXPECT_EQ(r.outputLen, 33u);
     }
+}
+
+TEST(Trace, UniformLengthsNeverExceedMaxAcrossLfsrStream)
+{
+    // Pins the sampleLength clamp: sweep a long stretch of the LFSR
+    // stream with a small span, where an unclamped rounding of
+    // nextUnit() * span would show up as hi + 1. Every value of the
+    // span must appear (the clamp must not pinch the distribution) and
+    // none may escape [lo, hi].
+    TraceConfig cfg;
+    cfg.lengths = LengthDistribution::Uniform;
+    cfg.inputLen = 10;
+    cfg.inputLenMax = 13;
+    cfg.outputLen = 5;
+    cfg.outputLenMax = 6;
+    cfg.numRequests = 20000;
+    cfg.seed = 0xC0FFEEu;
+    std::set<uint64_t> inputSeen, outputSeen;
+    for (const auto &r : generateTrace(cfg)) {
+        ASSERT_GE(r.inputLen, 10u);
+        ASSERT_LE(r.inputLen, 13u);
+        ASSERT_GE(r.outputLen, 5u);
+        ASSERT_LE(r.outputLen, 6u);
+        inputSeen.insert(r.inputLen);
+        outputSeen.insert(r.outputLen);
+    }
+    EXPECT_EQ(inputSeen.size(), 4u);
+    EXPECT_EQ(outputSeen.size(), 2u);
 }
 
 TEST(Trace, UniformLengthsStayInBounds)
