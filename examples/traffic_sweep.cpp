@@ -4,10 +4,12 @@
  * geometrically grow the arrival rate until the SLO breaks, then bisect
  * to the highest rate at which >= 95% of requests still meet the SLO.
  * Prints one line per system — the request-level analogue of the
- * paper's throughput comparison.
+ * paper's throughput comparison. `--smoke` shrinks the trace and the
+ * bisection depth for CI.
  */
 
 #include <cstdio>
+#include <cstring>
 
 #include "core/table.h"
 #include "serving/workload.h"
@@ -16,12 +18,15 @@ using namespace pimba;
 
 namespace {
 
+int gNumRequests = 96;
+int gBisectSteps = 6;
+
 ServingMetrics
 serveAtRate(SystemKind kind, const ModelConfig &model, double rate,
             SchedulerPolicy policy)
 {
     OpenLoopWorkload w;
-    w.numRequests = 96;
+    w.numRequests = gNumRequests;
     w.policy = policy;
     // Uniform lengths (mean 512/256): length variance is what lets SJF
     // reorder relative to FCFS; fixed lengths would make them identical.
@@ -50,7 +55,7 @@ saturationRate(SystemKind kind, const ModelConfig &model,
             break;
         lo = hi;
     }
-    for (int i = 0; i < 6; ++i) {
+    for (int i = 0; i < gBisectSteps; ++i) {
         double mid = 0.5 * (lo + hi);
         if (sustainsSlo(serveAtRate(kind, model, mid, policy)))
             lo = mid;
@@ -64,8 +69,14 @@ saturationRate(SystemKind kind, const ModelConfig &model,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            gNumRequests = 32;
+            gBisectSteps = 2;
+        }
+    }
     ModelConfig model = mamba2_2p7b();
     printf("=== Saturation sweep: %s, Poisson, uniform input "
            "256..768 / output 128..384 ===\n", model.name.c_str());

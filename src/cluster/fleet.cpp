@@ -1,0 +1,336 @@
+#include "cluster/fleet.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+
+#include "core/logging.h"
+
+namespace pimba {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** Load snapshots of the replicas in @p pool, in pool order. */
+std::vector<ReplicaSnapshot>
+snapshotPool(const std::vector<ServingEngine> &engines,
+             const std::vector<size_t> &pool)
+{
+    std::vector<ReplicaSnapshot> snap;
+    snap.reserve(pool.size());
+    for (size_t i : pool)
+        snap.push_back(ReplicaSnapshot{engines[i].queueDepth(),
+                                       engines[i].outstandingTokens()});
+    return snap;
+}
+
+/** Completion instant of a fleet-level record. */
+double
+finishTime(const CompletedRequest &c)
+{
+    return c.req.arrival + c.latency;
+}
+
+/** Order fleet records by completion time (ties by id) — makes the
+ *  fleet-level list deterministic regardless of replica merge order. */
+void
+sortByCompletion(std::vector<CompletedRequest> &completed)
+{
+    std::stable_sort(completed.begin(), completed.end(),
+                     [](const CompletedRequest &a,
+                        const CompletedRequest &b) {
+                         double fa = finishTime(a), fb = finishTime(b);
+                         if (fa != fb)
+                             return fa < fb;
+                         return a.req.id < b.req.id;
+                     });
+}
+
+/** One prefill-complete request waiting for its blocks to land. */
+struct Handoff
+{
+    double ready = 0.0;        ///< transfer completes on the link
+    Request req;               ///< the original request
+    double prefillFinish = 0.0;
+    double linkSeconds = 0.0;
+    double prefillQueueing = 0.0;
+    uint64_t prefillPreemptions = 0;
+};
+
+/** Min-first by (ready, id): deterministic hand-off order. */
+struct HandoffLater
+{
+    bool
+    operator()(const Handoff &a, const Handoff &b) const
+    {
+        if (a.ready != b.ready)
+            return a.ready > b.ready;
+        return a.req.id > b.req.id;
+    }
+};
+
+/**
+ * Shared fleet-report epilogue: order the fleet-level records, derive
+ * the makespan from the last completion, and fill the aggregate
+ * metrics and load stats. The caller has already populated
+ * report.replicas and report.completed.
+ */
+void
+finalizeReport(FleetReport &report, const SloConfig &slo)
+{
+    sortByCompletion(report.completed);
+    report.makespan = report.completed.empty()
+                          ? 0.0
+                          : finishTime(report.completed.back());
+    report.metrics =
+        computeMetrics(report.completed, report.makespan, slo);
+    report.load = computeLoadStats(report.replicas);
+}
+
+} // namespace
+
+FleetConfig
+homogeneousFleet(SystemKind kind, size_t n, EngineConfig engine)
+{
+    FleetConfig cfg;
+    cfg.replicas.assign(n, ReplicaConfig{kind, 1, engine});
+    return cfg;
+}
+
+Fleet::Fleet(const ModelConfig &model_, FleetConfig cfg_)
+    : model(model_), cfg(std::move(cfg_))
+{
+    PIMBA_ASSERT(!cfg.replicas.empty(), "fleet needs at least 1 replica");
+    if (cfg.mode == FleetMode::Disaggregated)
+        PIMBA_ASSERT(cfg.prefillReplicas >= 1 &&
+                         cfg.prefillReplicas < cfg.replicas.size(),
+                     "disaggregation needs >= 1 prefill and >= 1 decode "
+                     "replica; got ", cfg.prefillReplicas, " prefill of ",
+                     cfg.replicas.size(), " total");
+    engines.reserve(cfg.replicas.size());
+    for (const ReplicaConfig &rc : cfg.replicas) {
+        ServingSimulator sim(makeSystem(rc.kind, rc.nGpus));
+        engines.emplace_back(sim, model, rc.engine);
+    }
+}
+
+std::vector<size_t>
+Fleet::prefillPool() const
+{
+    std::vector<size_t> pool;
+    size_t count = cfg.mode == FleetMode::Disaggregated
+                       ? cfg.prefillReplicas
+                       : engines.size();
+    for (size_t i = 0; i < count; ++i)
+        pool.push_back(i);
+    return pool;
+}
+
+std::vector<size_t>
+Fleet::decodePool() const
+{
+    std::vector<size_t> pool;
+    size_t first = cfg.mode == FleetMode::Disaggregated
+                       ? cfg.prefillReplicas
+                       : 0;
+    for (size_t i = first; i < engines.size(); ++i)
+        pool.push_back(i);
+    return pool;
+}
+
+FleetReport
+Fleet::run(const std::vector<Request> &trace)
+{
+    std::vector<Request> sorted = trace;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const Request &a, const Request &b) {
+                         return a.arrival < b.arrival;
+                     });
+
+    FleetReport report;
+    report.mode = cfg.mode;
+    report.router = cfg.router;
+    report.assignments.reserve(sorted.size());
+
+    for (ServingEngine &e : engines)
+        e.begin();
+
+    if (cfg.mode == FleetMode::Colocated) {
+        // ---------------------------------------------- colocated
+        auto router = makeRouter(cfg.router, cfg.routerSeed);
+        const std::vector<size_t> pool = prefillPool(); // all replicas
+        for (const Request &r : sorted) {
+            for (size_t i : pool)
+                engines[i].advanceTo(r.arrival);
+            size_t pick =
+                pool[router->route(snapshotPool(engines, pool), r)];
+            engines[pick].submit(r);
+            // decodeReplica stays -1: the field marks a disaggregated
+            // hand-off, and a colocated replica decodes its own work.
+            report.assignments.push_back(Assignment{r.id, pick, -1});
+        }
+        for (ServingEngine &e : engines)
+            e.drain();
+        for (ServingEngine &e : engines)
+            report.replicas.push_back(e.finish());
+
+        // The fleet records are the merged replica records, computed
+        // on directly (aggregateMetrics would merge the same vectors a
+        // second time; it remains the API for callers holding only
+        // per-replica reports).
+        for (const ServingReport &rep : report.replicas)
+            report.completed.insert(report.completed.end(),
+                                    rep.completed.begin(),
+                                    rep.completed.end());
+        finalizeReport(report, cfg.slo);
+        return report;
+    }
+
+    // ------------------------------------------------ disaggregated
+    const std::vector<size_t> prefills = prefillPool();
+    const std::vector<size_t> decodes = decodePool();
+    auto prefillRouter = makeRouter(cfg.router, cfg.routerSeed);
+    // Decouple the two stages' sampling streams but keep both seeded.
+    auto decodeRouter = makeRouter(cfg.router, cfg.routerSeed ^ 0x9E3779B9u);
+    const LinkModel link(cfg.link);
+
+    std::unordered_map<uint64_t, Request> originals;
+    std::unordered_map<uint64_t, size_t> assignmentIdx;
+    std::unordered_map<uint64_t, Handoff> handoffMeta;
+    std::priority_queue<Handoff, std::vector<Handoff>, HandoffLater> due;
+    std::vector<CompletedRequest> prefillOnly; // single-token requests
+    std::vector<size_t> polled(engines.size(), 0);
+
+    // Collect fresh prefill completions into transfer hand-offs. The
+    // shipped bytes are the request's cached state + KV at prompt + 1
+    // tokens, in the *prefill* replica's storage formats.
+    auto pollPrefills = [&]() {
+        for (size_t i : prefills) {
+            const auto &done = engines[i].completedSoFar();
+            for (size_t k = polled[i]; k < done.size(); ++k) {
+                const CompletedRequest &c = done[k];
+                const Request &orig = originals.at(c.req.id);
+                if (orig.outputLen == 1) {
+                    // Fully served by the prefill stage; never ships.
+                    prefillOnly.push_back(c);
+                    continue;
+                }
+                MemoryUsage mem = engines[i].simulator().memoryUsage(
+                    model, 1, orig.inputLen + 1);
+                double bytes = mem.state + mem.kvCache;
+                LinkCost cost = link.transfer(bytes);
+                Handoff h;
+                h.prefillFinish = finishTime(c);
+                h.ready = h.prefillFinish + cost.seconds;
+                h.req = orig;
+                h.linkSeconds = cost.seconds;
+                h.prefillQueueing = c.queueing;
+                h.prefillPreemptions = c.preemptions;
+                due.push(h);
+                ++report.transfer.transfers;
+                report.transfer.totalBytes += bytes;
+                report.transfer.totalSeconds += cost.seconds;
+                report.transfer.totalEnergyJ += cost.energyJ;
+            }
+            polled[i] = done.size();
+        }
+    };
+
+    auto prefillBusy = [&]() {
+        for (size_t i : prefills)
+            if (engines[i].queueDepth() > 0)
+                return true;
+        return false;
+    };
+
+    size_t next = 0;
+    while (next < sorted.size() || !due.empty() || prefillBusy()) {
+        double ta = next < sorted.size() ? sorted[next].arrival : kInf;
+        double th = due.empty() ? kInf : due.top().ready;
+        double t = std::min(ta, th);
+        if (t == kInf) {
+            // No event in hand, but prefill work is still in flight:
+            // run it out to discover the remaining hand-offs.
+            for (size_t i : prefills)
+                engines[i].drain();
+            pollPrefills();
+            continue;
+        }
+        // Advance the prefill pool to the event horizon *before*
+        // committing to the event order: a completion inside (now, t]
+        // may ready a hand-off earlier than the one queued.
+        for (size_t i : prefills)
+            engines[i].advanceTo(t);
+        pollPrefills();
+        th = due.empty() ? kInf : due.top().ready;
+
+        if (ta <= th) {
+            const Request &r = sorted[next++];
+            PIMBA_ASSERT(originals.emplace(r.id, r).second,
+                         "duplicate request id ", r.id, " in trace");
+            size_t pick = prefills[prefillRouter->route(
+                snapshotPool(engines, prefills), r)];
+            Request pr = r;
+            pr.outputLen = 1; // prefill stage emits the first token only
+            engines[pick].submit(pr);
+            assignmentIdx.emplace(r.id, report.assignments.size());
+            report.assignments.push_back(Assignment{r.id, pick, -1});
+        } else {
+            Handoff h = due.top();
+            due.pop();
+            for (size_t i : decodes)
+                engines[i].advanceTo(h.ready);
+            size_t pick = decodes[decodeRouter->route(
+                snapshotPool(engines, decodes), h.req)];
+            Request dr = h.req;
+            dr.arrival = h.ready; // blocks land; decode clock starts
+            engines[pick].submitPrefilled(dr);
+            report.assignments[assignmentIdx.at(h.req.id)].decodeReplica =
+                static_cast<int>(pick);
+            handoffMeta.emplace(h.req.id, h);
+        }
+    }
+
+    for (ServingEngine &e : engines)
+        e.drain();
+    for (ServingEngine &e : engines)
+        report.replicas.push_back(e.finish());
+
+    // Synthesize the fleet-level records: TTFT is prefill + transfer
+    // (the first token is not servable until its blocks land on the
+    // decode replica), decode-stage queueing and compute land in TPOT.
+    double shareSum = 0.0;
+    std::vector<double> transferSeconds;
+    transferSeconds.reserve(handoffMeta.size());
+    for (size_t i : decodes) {
+        for (const CompletedRequest &c : report.replicas[i].completed) {
+            const Handoff &h = handoffMeta.at(c.req.id);
+            const Request &orig = originals.at(c.req.id);
+            CompletedRequest out;
+            out.req = orig;
+            out.ttft = h.prefillFinish + h.linkSeconds - orig.arrival;
+            out.latency = finishTime(c) - orig.arrival;
+            out.tpot =
+                (out.latency - out.ttft) /
+                static_cast<double>(orig.outputLen - 1);
+            out.queueing = h.prefillQueueing;
+            out.preemptions = h.prefillPreemptions + c.preemptions;
+            report.completed.push_back(out);
+            shareSum += h.linkSeconds / out.ttft;
+            transferSeconds.push_back(h.linkSeconds);
+        }
+    }
+    report.completed.insert(report.completed.end(), prefillOnly.begin(),
+                            prefillOnly.end());
+    finalizeReport(report, cfg.slo);
+    report.transfer.perTransfer = summarizeLatency(transferSeconds);
+    report.transfer.meanTtftShare =
+        transferSeconds.empty()
+            ? 0.0
+            : shareSum / static_cast<double>(transferSeconds.size());
+    return report;
+}
+
+} // namespace pimba

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Cluster fleet simulator: N serving-engine replicas behind a pluggable
+ * request router, driven by one shared arrival trace on one global
+ * clock.
+ *
+ * Replicas are full ServingEngine instances (homogeneous or
+ * heterogeneous SystemKind mixes, per-replica EngineConfig), advanced
+ * in lock-step with the trace through the engine session API: at every
+ * arrival the fleet advances each candidate replica to the arrival
+ * instant, snapshots its queue depth and outstanding tokens, and lets
+ * the router commit the request. Two fleet modes:
+ *
+ *  - Colocated: every replica both prefills and decodes its own
+ *    requests — the classic replicated deployment.
+ *  - Disaggregated: the fleet is partitioned into a prefill pool and a
+ *    decode pool (DistServe-style). A request prefills on one replica;
+ *    its cached KV/state blocks (bytes from the replica simulator's
+ *    footprint math) are then shipped to a decode replica over a
+ *    modeled interconnect link, and the transfer is charged into the
+ *    request's TTFT. Single-token requests complete at the prefill
+ *    stage and never cross the link.
+ *
+ * Runs are deterministic: engines are seeded-trace-driven, router ties
+ * break by replica index, PowerOfTwoChoices randomness flows from the
+ * router seed, and hand-offs are ordered by (ready time, request id) —
+ * the same trace + config always reproduces the same assignment and
+ * metrics.
+ */
+
+#ifndef PIMBA_CLUSTER_FLEET_H
+#define PIMBA_CLUSTER_FLEET_H
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/fleet_metrics.h"
+#include "cluster/router.h"
+#include "gpu/interconnect.h"
+#include "serving/engine.h"
+
+namespace pimba {
+
+/** One replica of the fleet. */
+struct ReplicaConfig
+{
+    SystemKind kind = SystemKind::GPU;
+    int nGpus = 1; ///< tensor-parallel degree inside the replica
+    EngineConfig engine;
+};
+
+/** How the fleet splits the request lifecycle across replicas. */
+enum class FleetMode
+{
+    Colocated,     ///< every replica prefills and decodes
+    Disaggregated, ///< prefill pool -> link transfer -> decode pool
+};
+
+/** Full description of one fleet. */
+struct FleetConfig
+{
+    std::vector<ReplicaConfig> replicas;
+    RouterPolicy router = RouterPolicy::RoundRobin;
+    uint32_t routerSeed = 0x5EEDC4A5u; ///< PowerOfTwoChoices sampling
+    FleetMode mode = FleetMode::Colocated;
+    /** Disaggregated only: the first @c prefillReplicas replicas form
+     *  the prefill pool, the rest the decode pool. */
+    size_t prefillReplicas = 0;
+    /** Disaggregated only: the link KV/state blocks ship over. */
+    LinkConfig link = infinibandLink();
+    /** SLO the fleet-level metrics are judged against. */
+    SloConfig slo;
+};
+
+/** Convenience: @p n identical replicas of one system. */
+FleetConfig homogeneousFleet(SystemKind kind, size_t n,
+                             EngineConfig engine = {});
+
+/** Where one request was served. */
+struct Assignment
+{
+    uint64_t requestId = 0;
+    size_t replica = 0;     ///< serving (colocated) or prefill replica
+    int decodeReplica = -1; ///< disaggregated decode replica, else -1
+
+    bool operator==(const Assignment &) const = default;
+};
+
+/** Outcome of one fleet run over a trace. */
+struct FleetReport
+{
+    FleetMode mode = FleetMode::Colocated;
+    RouterPolicy router = RouterPolicy::RoundRobin;
+    std::vector<ServingReport> replicas; ///< per replica, replica order
+    std::vector<Assignment> assignments; ///< in routing order
+    /** Fleet-level per-request records: end-to-end latencies with the
+     *  transfer charged into TTFT, ordered by completion time. */
+    std::vector<CompletedRequest> completed;
+    ServingMetrics metrics; ///< over the fleet-level records
+    double makespan = 0.0;  ///< trace start to last token, fleet-wide
+    LoadStats load;
+    TransferStats transfer; ///< all-zero for a colocated fleet
+};
+
+/** N-replica fleet simulator for one model. */
+class Fleet
+{
+  public:
+    Fleet(const ModelConfig &model, FleetConfig cfg);
+
+    /** Serve @p trace to completion across the fleet. Reusable: every
+     *  run re-seeds the router and resets every replica. */
+    FleetReport run(const std::vector<Request> &trace);
+
+    const FleetConfig &config() const { return cfg; }
+    size_t replicaCount() const { return engines.size(); }
+
+  private:
+    std::vector<size_t> prefillPool() const;
+    std::vector<size_t> decodePool() const;
+
+    ModelConfig model;
+    FleetConfig cfg;
+    std::vector<ServingEngine> engines;
+};
+
+} // namespace pimba
+
+#endif // PIMBA_CLUSTER_FLEET_H

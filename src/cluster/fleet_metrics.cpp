@@ -1,0 +1,54 @@
+#include "cluster/fleet_metrics.h"
+
+#include <algorithm>
+
+namespace pimba {
+
+ServingMetrics
+aggregateMetrics(const std::vector<ServingReport> &replicas,
+                 double makespan, const SloConfig &slo)
+{
+    std::vector<CompletedRequest> merged;
+    size_t total = 0;
+    for (const ServingReport &r : replicas)
+        total += r.completed.size();
+    merged.reserve(total);
+    for (const ServingReport &r : replicas)
+        merged.insert(merged.end(), r.completed.begin(),
+                      r.completed.end());
+    // computeMetrics handles the empty record set (a fleet that served
+    // nothing) and a zero makespan without dividing by nothing.
+    return computeMetrics(merged, makespan, slo);
+}
+
+LoadStats
+computeLoadStats(const std::vector<ServingReport> &replicas)
+{
+    LoadStats stats;
+    stats.requestsPerReplica.reserve(replicas.size());
+    stats.tokensPerReplica.reserve(replicas.size());
+    for (const ServingReport &r : replicas) {
+        stats.requestsPerReplica.push_back(r.completed.size());
+        stats.tokensPerReplica.push_back(r.generatedTokens);
+    }
+
+    auto imbalance = [](const std::vector<uint64_t> &per) {
+        if (per.empty())
+            return 0.0;
+        uint64_t sum = 0, peak = 0;
+        for (uint64_t v : per) {
+            sum += v;
+            peak = std::max(peak, v);
+        }
+        if (sum == 0)
+            return 0.0;
+        double mean =
+            static_cast<double>(sum) / static_cast<double>(per.size());
+        return static_cast<double>(peak) / mean;
+    };
+    stats.requestImbalance = imbalance(stats.requestsPerReplica);
+    stats.tokenImbalance = imbalance(stats.tokensPerReplica);
+    return stats;
+}
+
+} // namespace pimba

@@ -1,0 +1,155 @@
+#include "cluster/router.h"
+
+#include "core/lfsr.h"
+#include "core/logging.h"
+
+namespace pimba {
+
+namespace {
+
+/** Argmin over the pool by @p key; ties fall to the lower index. */
+template <typename Key>
+size_t
+argminBy(const std::vector<ReplicaSnapshot> &pool, Key key)
+{
+    size_t best = 0;
+    for (size_t i = 1; i < pool.size(); ++i)
+        if (key(pool[i]) < key(pool[best]))
+            best = i;
+    return best;
+}
+
+class RoundRobinRouter : public Router
+{
+  public:
+    RouterPolicy policy() const override
+    {
+        return RouterPolicy::RoundRobin;
+    }
+
+    size_t
+    route(const std::vector<ReplicaSnapshot> &pool,
+          const Request &) override
+    {
+        return next++ % pool.size();
+    }
+
+  private:
+    size_t next = 0;
+};
+
+class JsqRouter : public Router
+{
+  public:
+    RouterPolicy policy() const override
+    {
+        return RouterPolicy::JoinShortestQueue;
+    }
+
+    size_t
+    route(const std::vector<ReplicaSnapshot> &pool,
+          const Request &) override
+    {
+        return argminBy(pool, [](const ReplicaSnapshot &s) {
+            return s.queueDepth;
+        });
+    }
+};
+
+class LeastTokensRouter : public Router
+{
+  public:
+    RouterPolicy policy() const override
+    {
+        return RouterPolicy::LeastOutstandingTokens;
+    }
+
+    size_t
+    route(const std::vector<ReplicaSnapshot> &pool,
+          const Request &) override
+    {
+        return argminBy(pool, [](const ReplicaSnapshot &s) {
+            return s.outstandingTokens;
+        });
+    }
+};
+
+class PowerOfTwoRouter : public Router
+{
+  public:
+    explicit PowerOfTwoRouter(uint32_t seed) : rng(seed) {}
+
+    RouterPolicy policy() const override
+    {
+        return RouterPolicy::PowerOfTwoChoices;
+    }
+
+    size_t
+    route(const std::vector<ReplicaSnapshot> &pool,
+          const Request &) override
+    {
+        size_t n = pool.size();
+        if (n == 1)
+            return 0;
+        // Two distinct uniform draws; the second skips over the first.
+        size_t a = rng.next() % n;
+        size_t b = rng.next() % (n - 1);
+        if (b >= a)
+            ++b;
+        // Less token-loaded of the pair; tie to the lower index.
+        if (pool[a].outstandingTokens < pool[b].outstandingTokens)
+            return a;
+        if (pool[b].outstandingTokens < pool[a].outstandingTokens)
+            return b;
+        return std::min(a, b);
+    }
+
+  private:
+    Lfsr32 rng;
+};
+
+} // namespace
+
+std::string
+routerName(RouterPolicy policy)
+{
+    switch (policy) {
+      case RouterPolicy::RoundRobin:
+        return "rr";
+      case RouterPolicy::JoinShortestQueue:
+        return "jsq";
+      case RouterPolicy::LeastOutstandingTokens:
+        return "lot";
+      case RouterPolicy::PowerOfTwoChoices:
+        return "p2c";
+    }
+    PIMBA_PANIC("unknown router policy");
+}
+
+const std::vector<RouterPolicy> &
+allRouterPolicies()
+{
+    static const std::vector<RouterPolicy> kAll = {
+        RouterPolicy::RoundRobin, RouterPolicy::JoinShortestQueue,
+        RouterPolicy::LeastOutstandingTokens,
+        RouterPolicy::PowerOfTwoChoices};
+    return kAll;
+}
+
+std::unique_ptr<Router>
+makeRouter(RouterPolicy policy, uint32_t seed)
+{
+    switch (policy) {
+      case RouterPolicy::RoundRobin:
+        return std::make_unique<RoundRobinRouter>();
+      case RouterPolicy::JoinShortestQueue:
+        return std::make_unique<JsqRouter>();
+      case RouterPolicy::LeastOutstandingTokens:
+        return std::make_unique<LeastTokensRouter>();
+      case RouterPolicy::PowerOfTwoChoices:
+        return std::make_unique<PowerOfTwoRouter>(seed);
+    }
+    PIMBA_PANIC("unknown router policy");
+}
+
+} // namespace pimba

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Pluggable request routers for the cluster fleet.
+ *
+ * A Router picks which replica serves each arriving request, given a
+ * snapshot of every candidate replica's load at the arrival instant.
+ * Four policies ship:
+ *
+ *  - RoundRobin: rotate through the replicas regardless of load — the
+ *    baseline every load-aware policy must beat, and the one that
+ *    drowns the slow replicas of a heterogeneous fleet.
+ *  - JoinShortestQueue: fewest unfinished requests (queued + resident).
+ *  - LeastOutstandingTokens: fewest outstanding work tokens (prompt
+ *    tokens still to prefill plus output tokens still to generate) — a
+ *    finer signal than request counts when lengths vary.
+ *  - PowerOfTwoChoices: sample two distinct replicas with a seeded
+ *    LFSR, send to the less token-loaded of the pair — near-JSQ balance
+ *    at O(1) state inspection (The Power of Two Choices, Mitzenmacher).
+ *
+ * Every policy is deterministic: ties break toward the lowest replica
+ * index, and the only randomness (PowerOfTwoChoices sampling) flows
+ * from the seed, so a fleet run is a pure function of trace + config.
+ */
+
+#ifndef PIMBA_CLUSTER_ROUTER_H
+#define PIMBA_CLUSTER_ROUTER_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serving/request.h"
+
+namespace pimba {
+
+/** Selectable routing policy. */
+enum class RouterPolicy
+{
+    RoundRobin,             ///< rotate, load-blind
+    JoinShortestQueue,      ///< fewest unfinished requests
+    LeastOutstandingTokens, ///< fewest outstanding work tokens
+    PowerOfTwoChoices,      ///< seeded 2-sample, less token-loaded wins
+};
+
+/** Human-readable policy name ("rr", "jsq", "lot", "p2c"). */
+std::string routerName(RouterPolicy policy);
+
+/** All routing policies, for sweeps and tests. */
+const std::vector<RouterPolicy> &allRouterPolicies();
+
+/** One replica's load at a routing instant. */
+struct ReplicaSnapshot
+{
+    size_t queueDepth = 0;         ///< unfinished requests (queued + run)
+    uint64_t outstandingTokens = 0; ///< work tokens still to serve
+};
+
+/** Request-to-replica routing policy. */
+class Router
+{
+  public:
+    virtual ~Router() = default;
+
+    virtual RouterPolicy policy() const = 0;
+
+    /**
+     * Index into @p pool of the replica that serves @p r. @p pool holds
+     * one snapshot per candidate replica, in replica order; it is never
+     * empty.
+     */
+    virtual size_t route(const std::vector<ReplicaSnapshot> &pool,
+                         const Request &r) = 0;
+};
+
+/** Build a router. @p seed drives PowerOfTwoChoices sampling. */
+std::unique_ptr<Router> makeRouter(RouterPolicy policy,
+                                   uint32_t seed = 0x5EEDC4A5u);
+
+} // namespace pimba
+
+#endif // PIMBA_CLUSTER_ROUTER_H

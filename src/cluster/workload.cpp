@@ -1,0 +1,53 @@
+#include "cluster/workload.h"
+
+#include "serving/trace.h"
+
+namespace pimba {
+
+std::vector<Request>
+clusterTrace(double rate, int num_requests, uint32_t seed)
+{
+    TraceConfig tc;
+    tc.arrivals = ArrivalProcess::Poisson;
+    tc.ratePerSec = rate;
+    tc.numRequests = num_requests;
+    tc.lengths = LengthDistribution::Uniform;
+    tc.inputLen = 256;
+    tc.inputLenMax = 768;
+    tc.outputLen = 128;
+    tc.outputLenMax = 384;
+    tc.seed = seed;
+    return generateTrace(tc);
+}
+
+FleetConfig
+heterogeneousFleet(RouterPolicy router)
+{
+    FleetConfig cfg;
+    cfg.replicas = {ReplicaConfig{SystemKind::PIMBA, 1, {}},
+                    ReplicaConfig{SystemKind::PIMBA, 1, {}},
+                    ReplicaConfig{SystemKind::GPU, 1, {}},
+                    ReplicaConfig{SystemKind::GPU, 1, {}}};
+    cfg.router = router;
+    return cfg;
+}
+
+FleetConfig
+colocatedPimbaFleet(size_t n)
+{
+    FleetConfig cfg = homogeneousFleet(SystemKind::PIMBA, n);
+    cfg.router = RouterPolicy::JoinShortestQueue;
+    return cfg;
+}
+
+FleetConfig
+disaggregatedPimbaFleet(const LinkConfig &link)
+{
+    FleetConfig cfg = colocatedPimbaFleet(4);
+    cfg.mode = FleetMode::Disaggregated;
+    cfg.prefillReplicas = 2;
+    cfg.link = link;
+    return cfg;
+}
+
+} // namespace pimba

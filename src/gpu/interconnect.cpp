@@ -1,0 +1,51 @@
+#include "gpu/interconnect.h"
+
+#include "core/logging.h"
+
+namespace pimba {
+
+LinkConfig
+nvlinkLink(const GpuConfig &gpu)
+{
+    LinkConfig cfg;
+    cfg.name = "NVLink (" + gpu.name + ")";
+    cfg.bandwidth = gpu.nvlinkBandwidth;
+    cfg.efficiency = 0.80;
+    cfg.setupLatency = 2e-6;
+    cfg.energyPerBit = gpu.nvlinkEnergyPerBit;
+    return cfg;
+}
+
+LinkConfig
+infinibandLink()
+{
+    LinkConfig cfg;
+    cfg.name = "InfiniBand NDR";
+    cfg.bandwidth = 50e9; // 400 Gb/s
+    cfg.efficiency = 0.90;
+    cfg.setupLatency = 5e-6;
+    // NIC + switch traversal costs more per bit than an on-package link.
+    cfg.energyPerBit = 5.0e-12;
+    return cfg;
+}
+
+LinkModel::LinkModel(LinkConfig cfg) : link(std::move(cfg))
+{
+    PIMBA_ASSERT(link.bandwidth > 0.0, "link bandwidth must be positive");
+    PIMBA_ASSERT(link.efficiency > 0.0 && link.efficiency <= 1.0,
+                 "link efficiency must be in (0, 1]");
+    PIMBA_ASSERT(link.setupLatency >= 0.0, "negative link setup latency");
+}
+
+LinkCost
+LinkModel::transfer(double bytes) const
+{
+    PIMBA_ASSERT(bytes >= 0.0, "negative transfer size");
+    LinkCost cost;
+    cost.seconds = link.setupLatency +
+                   bytes / (link.bandwidth * link.efficiency);
+    cost.energyJ = bytes * 8.0 * link.energyPerBit;
+    return cost;
+}
+
+} // namespace pimba

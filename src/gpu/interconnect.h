@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Point-to-point interconnect cost model for cross-replica transfers.
+ *
+ * The cluster layer ships a request's cached KV/state blocks from a
+ * prefill replica to a decode replica (DistServe-style disaggregation).
+ * A transfer is modeled as a fixed setup latency plus a
+ * bandwidth-limited payload pass, with energy charged per bit moved —
+ * the same shape as the NVLink collective model in gpu_kernels, but for
+ * a one-way bulk copy between replicas rather than an all-reduce inside
+ * one tensor-parallel group.
+ */
+
+#ifndef PIMBA_GPU_INTERCONNECT_H
+#define PIMBA_GPU_INTERCONNECT_H
+
+#include <string>
+
+#include "gpu/gpu_config.h"
+
+namespace pimba {
+
+/** One point-to-point link's performance/energy parameters. */
+struct LinkConfig
+{
+    std::string name = "NVLink";
+    double bandwidth = 600e9;   ///< peak bytes/s per direction
+    double efficiency = 0.80;   ///< achievable fraction of peak
+    double setupLatency = 2e-6; ///< per-transfer fixed seconds
+    double energyPerBit = 1.3e-12; ///< joules per bit moved
+};
+
+/** Intra-node link built from a GPU's NVLink parameters. */
+LinkConfig nvlinkLink(const GpuConfig &gpu = a100Config());
+
+/** Cross-node 400 Gb/s InfiniBand NDR link (RDMA, one hop). */
+LinkConfig infinibandLink();
+
+/** Latency and energy of one bulk transfer. */
+struct LinkCost
+{
+    double seconds = 0.0;
+    double energyJ = 0.0;
+};
+
+/** Cost model over one link configuration. */
+class LinkModel
+{
+  public:
+    explicit LinkModel(LinkConfig cfg);
+
+    /** One-way bulk copy of @p bytes over the link. */
+    LinkCost transfer(double bytes) const;
+
+    const LinkConfig &config() const { return link; }
+
+  private:
+    LinkConfig link;
+};
+
+} // namespace pimba
+
+#endif // PIMBA_GPU_INTERCONNECT_H

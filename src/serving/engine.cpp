@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
+#include <limits>
 
 #include "core/logging.h"
 
@@ -105,6 +105,401 @@ ServingEngine::mixedSeconds(int decode_batch, uint64_t decode_seq,
     return secs;
 }
 
+void
+ServingEngine::begin()
+{
+    PIMBA_ASSERT(!active, "begin() inside an open session");
+    report = ServingReport{};
+    report.policy = cfg.policy;
+    report.memoryBudget = cfg.memoryBudget > 0.0
+                              ? cfg.memoryBudget
+                              : sim.system().gpu.memCapacity *
+                                    sim.system().nGpus;
+    weightBytes = sim.weightFootprint(model);
+    PIMBA_ASSERT(weightBytes < report.memoryBudget,
+                 "model weights alone exceed the memory budget");
+
+    // Carve the post-weights pool into blocks. The mapper quantizes a
+    // request's fixed (state + activation) and per-token KV demand.
+    const double fixedBytes = sim.requestFootprint(model, 0);
+    const double perTokenBytes =
+        sim.requestFootprint(model, 1) - fixedBytes;
+    mapper = BlockMapper::make(fixedBytes, perTokenBytes, cfg.blockTokens);
+    const uint64_t totalBlocks = static_cast<uint64_t>(
+        (report.memoryBudget - weightBytes) / mapper.blockBytes);
+    if (totalBlocks == 0)
+        PIMBA_FATAL("budget of ", report.memoryBudget,
+                    " bytes leaves no room for a single ",
+                    mapper.blockBytes, "-byte block past the weights");
+    blocks.emplace(totalBlocks);
+    report.totalBlocks = totalBlocks;
+
+    clock = 0.0;
+    utilSum = 0.0;
+    submitted = 0;
+    pendingArrivals.clear();
+    waiting.clear();
+    running.clear();
+    preloadedIds.clear();
+    life.clear();
+    active = true;
+}
+
+void
+ServingEngine::submit(const Request &r)
+{
+    PIMBA_ASSERT(active, "submit() outside a session");
+    PIMBA_ASSERT(r.inputLen >= 1 && r.outputLen >= 1, "request ", r.id,
+                 " has empty prompt or output");
+    PIMBA_ASSERT(pendingArrivals.empty() ||
+                     r.arrival >= pendingArrivals.back().arrival,
+                 "arrivals must be submitted in non-decreasing order");
+    pendingArrivals.push_back(r);
+    ++submitted;
+}
+
+void
+ServingEngine::submitPrefilled(const Request &r)
+{
+    PIMBA_ASSERT(r.outputLen >= 2, "prefilled request ", r.id,
+                 " has nothing left to decode — single-token requests "
+                 "complete at the prefill stage");
+    submit(r);
+    preloadedIds.insert(r.id);
+}
+
+void
+ServingEngine::revealArrivals()
+{
+    while (!pendingArrivals.empty() &&
+           pendingArrivals.front().arrival <= clock) {
+        waiting.push_back(pendingArrivals.front());
+        pendingArrivals.pop_front();
+    }
+}
+
+double
+ServingEngine::advanceTo(double t)
+{
+    PIMBA_ASSERT(active, "advanceTo() outside a session");
+    while (true) {
+        revealArrivals();
+        if (running.empty() && waiting.empty()) {
+            // Idle: jump to the next arrival if it is due by t.
+            if (!pendingArrivals.empty() &&
+                pendingArrivals.front().arrival <= t) {
+                clock = std::max(clock, pendingArrivals.front().arrival);
+                continue;
+            }
+            break;
+        }
+        if (clock >= t)
+            break;
+        iterate();
+    }
+    return clock;
+}
+
+void
+ServingEngine::drain()
+{
+    advanceTo(std::numeric_limits<double>::infinity());
+    PIMBA_ASSERT(report.completed.size() == submitted,
+                 "drain left ", submitted - report.completed.size(),
+                 " requests unserved");
+}
+
+ServingReport
+ServingEngine::finish()
+{
+    PIMBA_ASSERT(active, "finish() outside a session");
+    PIMBA_ASSERT(report.completed.size() == submitted,
+                 "finish() before drain: ",
+                 submitted - report.completed.size(),
+                 " requests in flight");
+    PIMBA_ASSERT(blocks->usedBlocks() == 0,
+                 "block pool leaked at drain: ", blocks->usedBlocks(),
+                 " blocks still allocated");
+    report.makespan = clock;
+    report.avgBlockUtil =
+        report.iterations > 0
+            ? utilSum / static_cast<double>(report.iterations)
+            : 0.0;
+    report.metrics = computeMetrics(report.completed, report.makespan,
+                                    cfg.slo);
+    // computeMetrics credits each completion with its full outputLen,
+    // but an imported (submitPrefilled) request's first token was
+    // delivered by its prefill replica — this replica's delivered
+    // counter is authoritative. Identical for ordinary runs.
+    report.metrics.generatedTokens = report.generatedTokens;
+    report.metrics.tokensPerSec =
+        report.makespan > 0.0
+            ? static_cast<double>(report.generatedTokens) /
+                  report.makespan
+            : 0.0;
+    active = false;
+    return std::move(report);
+}
+
+size_t
+ServingEngine::waitingCount() const
+{
+    return waiting.size() + pendingArrivals.size();
+}
+
+size_t
+ServingEngine::queueDepth() const
+{
+    return waitingCount() + running.size();
+}
+
+uint64_t
+ServingEngine::outstandingTokens() const
+{
+    uint64_t total = 0;
+    auto queued = [&](const Request &r) {
+        // A preloaded prompt is already computed; only its remaining
+        // decode steps are outstanding work.
+        total += preloadedIds.count(r.id) ? r.outputLen - 1
+                                          : r.inputLen + r.outputLen;
+    };
+    for (const Request &r : waiting)
+        queued(r);
+    for (const Request &r : pendingArrivals)
+        queued(r);
+    for (const RequestState &rs : running)
+        total += (rs.req.inputLen - rs.prefilled) +
+                 (rs.req.outputLen - rs.generated);
+    return total;
+}
+
+void
+ServingEngine::iterate()
+{
+    PIMBA_ASSERT(!running.empty() || !waiting.empty(),
+                 "iterate() with no work");
+
+    // Policy-ordered admission. A request is admitted when its whole
+    // prompt (plus the first output token) could be cached into the
+    // free blocks *after* honoring the pledges already made to resident
+    // prompts — a watermark that keeps co-resident prefills from
+    // evicting each other. Only the fixed state blocks are allocated up
+    // front; KV blocks follow the tokens as they are actually cached,
+    // and decode growth past the pledge is what eviction handles. A
+    // preloaded (disaggregated) request's prompt blocks all land at
+    // once, so admission allocates its full pledge immediately.
+    while (!waiting.empty() &&
+           running.size() < static_cast<size_t>(cfg.maxBatch)) {
+        size_t pick = sched->pickAdmission(waiting);
+        const Request &r = waiting[pick];
+        uint64_t outstanding = 0;
+        for (const RequestState &rs : running) {
+            uint64_t held = blocks->holding(rs.req.id);
+            if (rs.pledgedBlocks > held)
+                outstanding += rs.pledgedBlocks - held;
+        }
+        const bool preloaded = preloadedIds.count(r.id) > 0;
+        uint64_t pledge = mapper.blocksFor(r.inputLen + 1);
+        if (outstanding + pledge > blocks->freeBlocks())
+            break;
+        bool ok = blocks->allocate(
+            r.id, preloaded ? pledge : mapper.blocksFor(0));
+        PIMBA_ASSERT(ok, "admission allocation failed");
+        RequestState rs;
+        rs.req = r;
+        rs.preloaded = preloaded;
+        rs.pledgedBlocks = pledge;
+        rs.admitted = clock;
+        if (preloaded) {
+            // Prompt cached elsewhere and shipped in; first token was
+            // already delivered by the prefill replica.
+            rs.phase = RequestPhase::Decode;
+            rs.prefilled = r.inputLen;
+            rs.generated = 1;
+            rs.firstToken = clock;
+        } else {
+            rs.phase = RequestPhase::Prefill;
+        }
+        Lifecycle &lc = life[r.id];
+        if (lc.firstAdmitted < 0.0)
+            lc.firstAdmitted = clock;
+        running.push_back(rs);
+        waiting.erase(waiting.begin() +
+                      static_cast<std::ptrdiff_t>(pick));
+    }
+    if (running.empty()) {
+        const Request &r = waiting[sched->pickAdmission(waiting)];
+        PIMBA_FATAL("request ", r.id, " needs ",
+                    mapper.blocksFor(r.inputLen + 1),
+                    " blocks and can never fit the pool of ",
+                    blocks->totalBlocks(), " blocks under the budget of ",
+                    report.memoryBudget, " bytes");
+    }
+    report.peakBatch = std::max(report.peakBatch,
+                                static_cast<int>(running.size()));
+
+    // Let the policy compose the iteration, then allocate the blocks
+    // its token production needs. Under memory pressure the most
+    // recently admitted resident is preempted by eviction — blocks
+    // freed, cached tokens discarded, re-queued at the head of the
+    // waiting line to recompute — and the iteration is re-planned over
+    // the survivors.
+    IterationPlan plan;
+    while (true) {
+        plan = sched->planIteration(running);
+        PIMBA_ASSERT(!plan.empty(), "iteration made no progress");
+
+        uint64_t extra = 0;
+        std::vector<std::pair<uint64_t, uint64_t>> grows;
+        auto demand = [&](const RequestState &rs, uint64_t cached) {
+            uint64_t target = mapper.blocksFor(cached);
+            uint64_t cur = blocks->holding(rs.req.id);
+            if (target > cur) {
+                grows.emplace_back(rs.req.id, target);
+                extra += target - cur;
+            }
+        };
+        for (size_t i : plan.decodeIdx)
+            demand(running[i], running[i].cachedTokens() + 1);
+        for (const PrefillSlice &s : plan.prefill) {
+            const RequestState &rs = running[s.idx];
+            uint64_t cached = rs.prefilled + s.tokens;
+            if (cached >= rs.req.inputLen)
+                cached = rs.req.inputLen + 1; // first output token
+            demand(rs, cached);
+        }
+        if (extra <= blocks->freeBlocks()) {
+            for (const auto &[id, target] : grows) {
+                bool ok = blocks->growTo(id, target);
+                PIMBA_ASSERT(ok, "planned growth failed");
+            }
+            break;
+        }
+
+        if (running.size() == 1)
+            PIMBA_FATAL("request ", running[0].req.id,
+                        " can never fit: it alone outgrows the pool "
+                        "of ", blocks->totalBlocks(), " blocks under the "
+                        "budget of ", report.memoryBudget, " bytes");
+        // running is kept in admission order, so the back is the most
+        // recently admitted resident (lowest priority).
+        RequestState victim = running.back();
+        running.pop_back();
+        blocks->release(victim.req.id);
+        ++report.preemptions;
+        ++life[victim.req.id].preemptions;
+        // A preloaded victim's prompt and first token were produced
+        // (and counted) by its prefill replica, not here: only locally
+        // decoded tokens net out of the delivered count and become
+        // recompute debt. The shipped blocks themselves are assumed to
+        // be retained in the transfer staging buffer until completion,
+        // so re-admission re-materializes them without a second link
+        // transfer (re-fetch cost is not modeled).
+        if (victim.preloaded) {
+            report.recomputedTokens += victim.generated - 1;
+            report.generatedTokens -= victim.generated - 1;
+        } else {
+            report.recomputedTokens +=
+                victim.prefilled + victim.generated;
+            report.generatedTokens -= victim.generated;
+        }
+        waiting.push_front(victim.req);
+    }
+
+    // Cost the iteration: either a fused step (Sarathi) or decode and
+    // prefill steps run blocked back-to-back (seed behavior).
+    int decodeBatch = static_cast<int>(plan.decodeIdx.size());
+    uint64_t decodeMean = 0;
+    if (decodeBatch > 0) {
+        uint64_t seqSum = 0;
+        for (size_t i : plan.decodeIdx)
+            seqSum += running[i].cachedTokens();
+        decodeMean = seqSum / static_cast<uint64_t>(decodeBatch);
+    }
+    uint64_t prefillTokens = 0;
+    uint64_t prefillPosWeighted = 0;
+    for (const PrefillSlice &s : plan.prefill) {
+        prefillTokens += s.tokens;
+        prefillPosWeighted +=
+            s.tokens * (running[s.idx].prefilled + s.tokens / 2);
+    }
+
+    double iterSeconds = 0.0;
+    if (plan.fused) {
+        uint64_t prefillMean =
+            prefillTokens > 0 ? prefillPosWeighted / prefillTokens : 0;
+        iterSeconds = mixedSeconds(decodeBatch, decodeMean,
+                                   prefillTokens, prefillMean);
+    } else {
+        if (decodeBatch > 0)
+            iterSeconds += decodeSeconds(decodeBatch, decodeMean);
+        for (const PrefillSlice &s : plan.prefill)
+            iterSeconds +=
+                prefillSeconds(s.tokens, running[s.idx].prefilled);
+    }
+    report.prefillChunks += plan.prefill.size();
+
+    PIMBA_ASSERT(iterSeconds > 0.0, "iteration made no progress");
+    clock += iterSeconds;
+    ++report.iterations;
+
+    // Apply the iteration's token production.
+    for (size_t i : plan.decodeIdx) {
+        ++running[i].generated;
+        ++report.generatedTokens;
+    }
+    for (const PrefillSlice &s : plan.prefill) {
+        RequestState &rs = running[s.idx];
+        rs.prefilled += s.tokens;
+        if (rs.prefillDone()) {
+            // The final prefill chunk emits the first output token.
+            rs.generated = 1;
+            rs.firstToken = clock;
+            rs.phase = RequestPhase::Decode;
+            ++report.generatedTokens;
+        }
+    }
+
+    // Block-pool and memory high-water marks for this iteration.
+    double util = blocks->utilization();
+    utilSum += util;
+    report.peakBlockUtil = std::max(report.peakBlockUtil, util);
+    double usage = weightBytes +
+                   static_cast<double>(blocks->usedBlocks()) *
+                       mapper.blockBytes;
+    report.peakMemory = std::max(report.peakMemory, usage);
+    PIMBA_ASSERT(usage <= report.memoryBudget + 1.0,
+                 "memory budget exceeded: ", usage, " > ",
+                 report.memoryBudget);
+
+    // Retire completed requests and free their blocks.
+    for (size_t i = 0; i < running.size();) {
+        RequestState &rs = running[i];
+        if (!rs.done()) {
+            ++i;
+            continue;
+        }
+        rs.finished = clock;
+        Lifecycle &lc = life[rs.req.id];
+        CompletedRequest done;
+        done.req = rs.req;
+        done.ttft = rs.firstToken - rs.req.arrival;
+        done.latency = rs.finished - rs.req.arrival;
+        done.tpot = rs.req.outputLen > 1
+                        ? (rs.finished - rs.firstToken) /
+                              static_cast<double>(rs.req.outputLen - 1)
+                        : 0.0;
+        done.queueing = lc.firstAdmitted - rs.req.arrival;
+        done.preemptions = lc.preemptions;
+        report.completed.push_back(done);
+        life.erase(rs.req.id);
+        preloadedIds.erase(rs.req.id);
+        blocks->release(rs.req.id);
+        running.erase(running.begin() +
+                      static_cast<std::ptrdiff_t>(i));
+    }
+}
+
 ServingReport
 ServingEngine::run(const std::vector<Request> &trace)
 {
@@ -113,253 +508,11 @@ ServingEngine::run(const std::vector<Request> &trace)
                      [](const Request &a, const Request &b) {
                          return a.arrival < b.arrival;
                      });
-
-    ServingReport report;
-    report.policy = cfg.policy;
-    report.memoryBudget = cfg.memoryBudget > 0.0
-                              ? cfg.memoryBudget
-                              : sim.system().gpu.memCapacity *
-                                    sim.system().nGpus;
-    const double weights = sim.memoryUsage(model, 1, 0).weights;
-    PIMBA_ASSERT(weights < report.memoryBudget,
-                 "model weights alone exceed the memory budget");
-
-    // Carve the post-weights pool into blocks. The mapper quantizes a
-    // request's fixed (state + activation) and per-token KV demand.
-    const double fixedBytes = sim.requestFootprint(model, 0);
-    const double perTokenBytes =
-        sim.requestFootprint(model, 1) - fixedBytes;
-    const BlockMapper mapper =
-        BlockMapper::make(fixedBytes, perTokenBytes, cfg.blockTokens);
-    const uint64_t totalBlocks = static_cast<uint64_t>(
-        (report.memoryBudget - weights) / mapper.blockBytes);
-    if (totalBlocks == 0)
-        PIMBA_FATAL("budget of ", report.memoryBudget,
-                    " bytes leaves no room for a single ",
-                    mapper.blockBytes, "-byte block past the weights");
-    BlockManager blocks(totalBlocks);
-    report.totalBlocks = totalBlocks;
-
-    size_t next = 0;
-    double now = 0.0;
-    double utilSum = 0.0;
-    std::deque<Request> waiting;
-    std::vector<RequestState> running; // kept in admission order
-
-    while (report.completed.size() < sorted.size()) {
-        // Reveal arrivals up to the current simulated time.
-        while (next < sorted.size() && sorted[next].arrival <= now)
-            waiting.push_back(sorted[next++]);
-
-        if (running.empty() && waiting.empty()) {
-            // Idle: jump to the next arrival.
-            now = sorted[next].arrival;
-            continue;
-        }
-
-        // Policy-ordered admission. A request is admitted when its
-        // whole prompt (plus the first output token) could be cached
-        // into the free blocks *after* honoring the pledges already
-        // made to resident prompts — a watermark that keeps co-resident
-        // prefills from evicting each other. Only the fixed state
-        // blocks are allocated up front; KV blocks follow the tokens as
-        // they are actually cached, and decode growth past the pledge
-        // is what eviction handles.
-        while (!waiting.empty() &&
-               running.size() < static_cast<size_t>(cfg.maxBatch)) {
-            size_t pick = sched->pickAdmission(waiting);
-            const Request &r = waiting[pick];
-            PIMBA_ASSERT(r.inputLen >= 1 && r.outputLen >= 1,
-                         "request ", r.id, " has empty prompt or output");
-            uint64_t outstanding = 0;
-            for (const RequestState &rs : running) {
-                uint64_t held = blocks.holding(rs.req.id);
-                if (rs.pledgedBlocks > held)
-                    outstanding += rs.pledgedBlocks - held;
-            }
-            uint64_t pledge = mapper.blocksFor(r.inputLen + 1);
-            if (outstanding + pledge > blocks.freeBlocks())
-                break;
-            bool ok = blocks.allocate(r.id, mapper.blocksFor(0));
-            PIMBA_ASSERT(ok, "admission allocation failed");
-            RequestState rs;
-            rs.req = r;
-            rs.phase = RequestPhase::Prefill;
-            rs.pledgedBlocks = pledge;
-            rs.admitted = now;
-            running.push_back(rs);
-            waiting.erase(waiting.begin() +
-                          static_cast<std::ptrdiff_t>(pick));
-        }
-        if (running.empty()) {
-            const Request &r = waiting[sched->pickAdmission(waiting)];
-            PIMBA_FATAL("request ", r.id, " needs ",
-                        mapper.blocksFor(r.inputLen + 1),
-                        " blocks and can never fit the pool of ",
-                        totalBlocks, " blocks under the budget of ",
-                        report.memoryBudget, " bytes");
-        }
-        report.peakBatch = std::max(report.peakBatch,
-                                    static_cast<int>(running.size()));
-
-        // Let the policy compose the iteration, then allocate the
-        // blocks its token production needs. Under memory pressure the
-        // most recently admitted resident is preempted by eviction —
-        // blocks freed, cached tokens discarded, re-queued at the head
-        // of the waiting line to recompute — and the iteration is
-        // re-planned over the survivors.
-        IterationPlan plan;
-        while (true) {
-            plan = sched->planIteration(running);
-            PIMBA_ASSERT(!plan.empty(), "iteration made no progress");
-
-            uint64_t extra = 0;
-            std::vector<std::pair<uint64_t, uint64_t>> grows;
-            auto demand = [&](const RequestState &rs, uint64_t cached) {
-                uint64_t target = mapper.blocksFor(cached);
-                uint64_t cur = blocks.holding(rs.req.id);
-                if (target > cur) {
-                    grows.emplace_back(rs.req.id, target);
-                    extra += target - cur;
-                }
-            };
-            for (size_t i : plan.decodeIdx)
-                demand(running[i], running[i].cachedTokens() + 1);
-            for (const PrefillSlice &s : plan.prefill) {
-                const RequestState &rs = running[s.idx];
-                uint64_t cached = rs.prefilled + s.tokens;
-                if (cached >= rs.req.inputLen)
-                    cached = rs.req.inputLen + 1; // first output token
-                demand(rs, cached);
-            }
-            if (extra <= blocks.freeBlocks()) {
-                for (const auto &[id, target] : grows) {
-                    bool ok = blocks.growTo(id, target);
-                    PIMBA_ASSERT(ok, "planned growth failed");
-                }
-                break;
-            }
-
-            if (running.size() == 1)
-                PIMBA_FATAL("request ", running[0].req.id,
-                            " can never fit: it alone outgrows the pool "
-                            "of ", totalBlocks, " blocks under the "
-                            "budget of ", report.memoryBudget, " bytes");
-            // running is kept in admission order, so the back is the
-            // most recently admitted resident (lowest priority).
-            RequestState victim = running.back();
-            running.pop_back();
-            blocks.release(victim.req.id);
-            ++report.preemptions;
-            report.recomputedTokens +=
-                victim.prefilled + victim.generated;
-            // Its generated tokens are discarded and will be recomputed;
-            // report.generatedTokens counts delivered tokens only.
-            report.generatedTokens -= victim.generated;
-            waiting.push_front(victim.req);
-        }
-
-        // Cost the iteration: either a fused step (Sarathi) or decode
-        // and prefill steps run blocked back-to-back (seed behavior).
-        int decodeBatch = static_cast<int>(plan.decodeIdx.size());
-        uint64_t decodeMean = 0;
-        if (decodeBatch > 0) {
-            uint64_t seqSum = 0;
-            for (size_t i : plan.decodeIdx)
-                seqSum += running[i].cachedTokens();
-            decodeMean = seqSum / static_cast<uint64_t>(decodeBatch);
-        }
-        uint64_t prefillTokens = 0;
-        uint64_t prefillPosWeighted = 0;
-        for (const PrefillSlice &s : plan.prefill) {
-            prefillTokens += s.tokens;
-            prefillPosWeighted +=
-                s.tokens * (running[s.idx].prefilled + s.tokens / 2);
-        }
-
-        double iterSeconds = 0.0;
-        if (plan.fused) {
-            uint64_t prefillMean =
-                prefillTokens > 0 ? prefillPosWeighted / prefillTokens
-                                  : 0;
-            iterSeconds = mixedSeconds(decodeBatch, decodeMean,
-                                       prefillTokens, prefillMean);
-        } else {
-            if (decodeBatch > 0)
-                iterSeconds += decodeSeconds(decodeBatch, decodeMean);
-            for (const PrefillSlice &s : plan.prefill)
-                iterSeconds +=
-                    prefillSeconds(s.tokens, running[s.idx].prefilled);
-        }
-        report.prefillChunks += plan.prefill.size();
-
-        PIMBA_ASSERT(iterSeconds > 0.0, "iteration made no progress");
-        now += iterSeconds;
-        ++report.iterations;
-
-        // Apply the iteration's token production.
-        for (size_t i : plan.decodeIdx) {
-            ++running[i].generated;
-            ++report.generatedTokens;
-        }
-        for (const PrefillSlice &s : plan.prefill) {
-            RequestState &rs = running[s.idx];
-            rs.prefilled += s.tokens;
-            if (rs.prefillDone()) {
-                // The final prefill chunk emits the first output token.
-                rs.generated = 1;
-                rs.firstToken = now;
-                rs.phase = RequestPhase::Decode;
-                ++report.generatedTokens;
-            }
-        }
-
-        // Block-pool and memory high-water marks for this iteration.
-        double util = blocks.utilization();
-        utilSum += util;
-        report.peakBlockUtil = std::max(report.peakBlockUtil, util);
-        double usage =
-            weights + static_cast<double>(blocks.usedBlocks()) *
-                          mapper.blockBytes;
-        report.peakMemory = std::max(report.peakMemory, usage);
-        PIMBA_ASSERT(usage <= report.memoryBudget + 1.0,
-                     "memory budget exceeded: ", usage, " > ",
-                     report.memoryBudget);
-
-        // Retire completed requests and free their blocks.
-        for (size_t i = 0; i < running.size();) {
-            RequestState &rs = running[i];
-            if (!rs.done()) {
-                ++i;
-                continue;
-            }
-            rs.finished = now;
-            CompletedRequest done;
-            done.req = rs.req;
-            done.ttft = rs.firstToken - rs.req.arrival;
-            done.latency = rs.finished - rs.req.arrival;
-            done.tpot = rs.req.outputLen > 1
-                            ? (rs.finished - rs.firstToken) /
-                                  static_cast<double>(rs.req.outputLen - 1)
-                            : 0.0;
-            report.completed.push_back(done);
-            blocks.release(rs.req.id);
-            running.erase(running.begin() +
-                          static_cast<std::ptrdiff_t>(i));
-        }
-    }
-
-    PIMBA_ASSERT(blocks.usedBlocks() == 0,
-                 "block pool leaked at drain: ", blocks.usedBlocks(),
-                 " blocks still allocated");
-    report.makespan = now;
-    report.avgBlockUtil =
-        report.iterations > 0
-            ? utilSum / static_cast<double>(report.iterations)
-            : 0.0;
-    report.metrics = computeMetrics(report.completed, report.makespan,
-                                    cfg.slo);
-    return report;
+    begin();
+    for (const Request &r : sorted)
+        submit(r);
+    drain();
+    return finish();
 }
 
 } // namespace pimba

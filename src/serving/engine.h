@@ -20,14 +20,25 @@
  * waiting line to recompute from scratch on re-admission. Actual usage
  * therefore never exceeds the budget, without the seed engine's
  * peak-footprint over-reservation.
+ *
+ * Two driving modes share the same iteration loop:
+ *  - run() serves a whole trace to completion (single-replica studies);
+ *  - the begin()/submit()/advanceTo()/drain()/finish() session API lets
+ *    an external driver (the cluster fleet) interleave many replicas on
+ *    one global clock, query queue depth and outstanding tokens for
+ *    routing, and import prefilled requests whose cached blocks were
+ *    shipped from another replica (prefill/decode disaggregation).
  */
 
 #ifndef PIMBA_SERVING_ENGINE_H
 #define PIMBA_SERVING_ENGINE_H
 
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "serving/block_manager.h"
@@ -44,7 +55,15 @@ struct EngineConfig
     int maxBatch = 128;          ///< concurrently admitted request cap
                                  ///  (prefill- and decode-phase combined)
     uint64_t prefillChunk = 512; ///< prompt tokens per prefill chunk
-    /** HBM budget in bytes; 0 selects memCapacity x nGpus of the system. */
+    /**
+     * HBM budget in bytes across the whole tensor-parallel group; 0
+     * selects memCapacity x nGpus of the system. The block pool is
+     * carved from the budget minus ServingSimulator::weightFootprint(),
+     * which charges the (otherwise tensor-parallel-sharded) embedding
+     * table once per shard — subtracting the whole-model byte count
+     * instead would over-pledge the pool of an nGpus > 1 replica by
+     * nGpus - 1 embedding tables.
+     */
     double memoryBudget = 0.0;
     /** Cached tokens per KV block of the paged allocator. */
     uint64_t blockTokens = 16;
@@ -92,7 +111,74 @@ class ServingEngine
     /** Serve @p trace to completion and report fleet metrics. */
     ServingReport run(const std::vector<Request> &trace);
 
+    // ------------------------------------------------- session API
+    // The cluster fleet drives many engines on one global clock:
+    // begin() opens a session, submit() feeds arrivals (non-decreasing
+    // arrival times), advanceTo() runs the iteration loop up to a
+    // global timestamp, drain() completes all submitted work, and
+    // finish() closes the session and returns the report.
+
+    /** Open a session: reset all run state and size the block pool. */
+    void begin();
+
+    /** Feed one arrival. Arrival times must be non-decreasing. */
+    void submit(const Request &r);
+
+    /**
+     * Feed one request whose prompt was prefilled on another replica
+     * and whose cached KV/state blocks have been shipped here
+     * (disaggregated serving). @p r.arrival is the time the blocks land
+     * on this replica; admission allocates the whole prompt's blocks up
+     * front and the request enters directly in Decode with its first
+     * output token already delivered upstream, so it must still need at
+     * least one decode step (outputLen >= 2). If memory pressure later
+     * evicts it, the shipped blocks are assumed retained in the
+     * transfer staging buffer: re-admission re-materializes the prompt
+     * without a second link transfer, and only locally decoded tokens
+     * count as recompute debt.
+     */
+    void submitPrefilled(const Request &r);
+
+    /**
+     * Run iterations until the clock reaches @p t or the engine idles
+     * with no submitted arrival due by @p t. An iteration in flight at
+     * @p t completes (and overshoots) — real schedulers do not preempt
+     * a launched step. Returns the clock after advancing.
+     */
+    double advanceTo(double t);
+
+    /** Serve every submitted request to completion. */
+    void drain();
+
+    /** Close the session (must be drained) and return its report. */
+    ServingReport finish();
+
+    // --------------------------------------- router introspection
+    /** Simulated clock of the open session (seconds). */
+    double now() const { return clock; }
+    /** Submitted requests not yet admitted (queued work). */
+    size_t waitingCount() const;
+    /** Requests currently resident in the batch. */
+    size_t runningCount() const { return running.size(); }
+    /** Submitted requests not yet completed (waiting + running). */
+    size_t queueDepth() const;
+    /**
+     * Total tokens of work still to serve across queued and resident
+     * requests: unprocessed prompt tokens plus ungenerated output
+     * tokens. The least-outstanding-tokens router's load signal.
+     */
+    uint64_t outstandingTokens() const;
+    /** Requests completed so far in the open session. */
+    size_t completedCount() const { return report.completed.size(); }
+    /** Completion records so far (the fleet polls for hand-offs). */
+    const std::vector<CompletedRequest> &completedSoFar() const
+    {
+        return report.completed;
+    }
+
     const EngineConfig &config() const { return cfg; }
+    /** The replica's simulator (footprint math for transfer sizing). */
+    const ServingSimulator &simulator() const { return sim; }
 
   private:
     /** Decode-step latency, memoized by (batch, cache-length bucket). */
@@ -103,6 +189,11 @@ class ServingEngine
     double mixedSeconds(int decode_batch, uint64_t decode_seq,
                         uint64_t prefill_tokens, uint64_t prefill_pos);
 
+    /** Move pending arrivals with arrival <= clock into the queue. */
+    void revealArrivals();
+    /** One scheduler iteration (admission, planning, costing, retire). */
+    void iterate();
+
     ServingSimulator sim;
     ModelConfig model;
     EngineConfig cfg;
@@ -110,6 +201,29 @@ class ServingEngine
     std::unordered_map<uint64_t, double> decodeCache;
     std::unordered_map<uint64_t, double> prefillCache;
     std::unordered_map<uint64_t, double> mixedCache;
+
+    // ------------------------------------------------ session state
+    /** Queueing-delay / preemption bookkeeping that must survive
+     *  evictions (RequestState is discarded on preemption). */
+    struct Lifecycle
+    {
+        double firstAdmitted = -1.0;
+        uint64_t preemptions = 0;
+    };
+
+    bool active = false;
+    double clock = 0.0;
+    double utilSum = 0.0;
+    double weightBytes = 0.0;
+    uint64_t submitted = 0;
+    std::deque<Request> pendingArrivals; ///< submitted, arrival > clock
+    std::deque<Request> waiting;         ///< revealed, not yet admitted
+    std::vector<RequestState> running;   ///< kept in admission order
+    std::unordered_set<uint64_t> preloadedIds;
+    std::unordered_map<uint64_t, Lifecycle> life;
+    std::optional<BlockManager> blocks;
+    BlockMapper mapper;
+    ServingReport report;
 };
 
 } // namespace pimba

@@ -33,10 +33,12 @@ computeMetrics(const std::vector<CompletedRequest> &done, double makespan,
     m.requests = done.size();
     m.makespan = makespan;
 
-    std::vector<double> ttft, tpot, latency;
+    std::vector<double> ttft, tpot, latency, queueing, preemptions;
     ttft.reserve(done.size());
     tpot.reserve(done.size());
     latency.reserve(done.size());
+    queueing.reserve(done.size());
+    preemptions.reserve(done.size());
     uint64_t good = 0;
     for (const auto &c : done) {
         m.generatedTokens += c.req.outputLen;
@@ -48,6 +50,8 @@ computeMetrics(const std::vector<CompletedRequest> &done, double makespan,
         if (c.req.outputLen > 1)
             tpot.push_back(c.tpot);
         latency.push_back(c.latency);
+        queueing.push_back(c.queueing);
+        preemptions.push_back(static_cast<double>(c.preemptions));
         if (c.ttft <= slo.ttft && c.tpot <= slo.tpot)
             ++good;
     }
@@ -55,6 +59,8 @@ computeMetrics(const std::vector<CompletedRequest> &done, double makespan,
     m.ttft = summarizeLatency(ttft);
     m.tpot = summarizeLatency(tpot);
     m.latency = summarizeLatency(latency);
+    m.queueing = summarizeLatency(queueing);
+    m.preemptions = summarizeLatency(preemptions);
     if (makespan > 0.0) {
         m.tokensPerSec = static_cast<double>(m.generatedTokens) / makespan;
         m.requestsPerSec = static_cast<double>(m.requests) / makespan;

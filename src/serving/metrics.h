@@ -35,7 +35,9 @@ struct LatencySummary
     double max = 0.0;
 };
 
-/** Summarize a sample vector into mean/p50/p95/p99/max. */
+/** Summarize a sample vector into mean/p50/p95/p99/max. An empty
+ *  sample vector (e.g. a saturated replica that completed nothing)
+ *  yields the all-zero summary, never UB. */
 LatencySummary summarizeLatency(const std::vector<double> &samples);
 
 /** Fleet metrics over one engine run. */
@@ -55,6 +57,12 @@ struct ServingMetrics
      *  there is no decode step to miss the per-token target). */
     LatencySummary tpot;
     LatencySummary latency;
+    /** Arrival-to-first-admission wait (seconds) — the part of TTFT the
+     *  scheduler/router controls, as opposed to prefill compute. */
+    LatencySummary queueing;
+    /** Per-request eviction counts (dimensionless, summarized like a
+     *  latency population so the tail is visible). */
+    LatencySummary preemptions;
 };
 
 /** Aggregate completed-request records into fleet metrics. */

@@ -42,6 +42,10 @@ struct RequestState
 {
     Request req;
     RequestPhase phase = RequestPhase::Prefill;
+    /** Prompt was prefilled elsewhere and its cached blocks imported
+     *  (disaggregated serving): admission allocates the whole prompt's
+     *  blocks up front and the request enters directly in Decode. */
+    bool preloaded = false;
     uint64_t prefilled = 0;  ///< prompt tokens already processed
     uint64_t generated = 0;  ///< output tokens already produced
     /** Blocks admission promised this request (prompt + first token);
@@ -65,6 +69,11 @@ struct CompletedRequest
     double ttft = 0.0;    ///< time to first token (includes queueing)
     double tpot = 0.0;    ///< mean inter-token time after the first
     double latency = 0.0; ///< arrival to last token
+    /** Arrival to *first* admission. Re-admissions after an eviction do
+     *  not reset it: the wait a preemption adds shows up in ttft (and
+     *  in preemptions), not here. */
+    double queueing = 0.0;
+    uint64_t preemptions = 0; ///< evictions this request suffered
 };
 
 } // namespace pimba

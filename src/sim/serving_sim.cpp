@@ -203,6 +203,17 @@ ServingSimulator::memoryUsage(const ModelConfig &model, int batch,
 }
 
 double
+ServingSimulator::weightFootprint(const ModelConfig &model) const
+{
+    // paramCount() counts the embedding table once; each extra
+    // tensor-parallel shard keeps its own replica of it.
+    double embedBytes =
+        static_cast<double>(model.vocab) * model.dModel * 2.0;
+    return model.paramCount() * 2.0 +
+           static_cast<double>(sys.nGpus - 1) * embedBytes;
+}
+
+double
 ServingSimulator::requestFootprint(const ModelConfig &model,
                                    uint64_t seq_len) const
 {

@@ -103,6 +103,18 @@ class ServingSimulator
                             uint64_t seq_len) const;
 
     /**
+     * Weight bytes the whole tensor-parallel group pins in HBM. Body
+     * weights (projections, FFNs, and the vocab-sharded LM head)
+     * partition across the shards, so their group total is independent
+     * of the degree; the token-embedding table is replicated on every
+     * shard (the lookup must be local), so its bytes scale with nGpus.
+     * This — not the raw once-counted parameter bytes — is what the
+     * serving engine subtracts from the HBM budget before carving the
+     * block pool, so nGpus > 1 replicas do not over-pledge.
+     */
+    double weightFootprint(const ModelConfig &model) const;
+
+    /**
      * Memory a single request pins at @p seq_len cached tokens:
      * recurrent state + KV cache + transient activations, excluding the
      * (request-independent) weights. This is the unit the serving

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Router policy unit tests: deterministic picks, documented tie
+ * breaking (lowest replica index), and seeded power-of-two sampling
+ * that replays identically for a given seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/router.h"
+
+namespace pimba {
+namespace {
+
+Request
+req(uint64_t id)
+{
+    Request r;
+    r.id = id;
+    r.inputLen = 128;
+    r.outputLen = 32;
+    return r;
+}
+
+std::vector<ReplicaSnapshot>
+pool(std::vector<std::pair<size_t, uint64_t>> loads)
+{
+    std::vector<ReplicaSnapshot> snap;
+    for (auto [depth, tokens] : loads)
+        snap.push_back(ReplicaSnapshot{depth, tokens});
+    return snap;
+}
+
+TEST(ClusterRouter, NamesAndRegistry)
+{
+    EXPECT_EQ(allRouterPolicies().size(), 4u);
+    EXPECT_EQ(routerName(RouterPolicy::RoundRobin), "rr");
+    EXPECT_EQ(routerName(RouterPolicy::JoinShortestQueue), "jsq");
+    EXPECT_EQ(routerName(RouterPolicy::LeastOutstandingTokens), "lot");
+    EXPECT_EQ(routerName(RouterPolicy::PowerOfTwoChoices), "p2c");
+    for (RouterPolicy p : allRouterPolicies())
+        EXPECT_EQ(makeRouter(p)->policy(), p);
+}
+
+TEST(ClusterRouter, RoundRobinCycles)
+{
+    auto rr = makeRouter(RouterPolicy::RoundRobin);
+    auto snap = pool({{9, 900}, {0, 0}, {5, 500}});
+    for (uint64_t i = 0; i < 9; ++i)
+        EXPECT_EQ(rr->route(snap, req(i)), i % 3) << i;
+}
+
+TEST(ClusterRouter, JsqPicksShortestQueueTiesToLowestIndex)
+{
+    auto jsq = makeRouter(RouterPolicy::JoinShortestQueue);
+    EXPECT_EQ(jsq->route(pool({{4, 10}, {2, 99}, {3, 1}}), req(0)), 1u);
+    // Queue-depth tie between replicas 0 and 2: the lower index wins,
+    // even though replica 2 has fewer outstanding tokens.
+    EXPECT_EQ(jsq->route(pool({{2, 50}, {3, 0}, {2, 10}}), req(1)), 0u);
+}
+
+TEST(ClusterRouter, LeastTokensPicksLightestTokenLoad)
+{
+    auto lot = makeRouter(RouterPolicy::LeastOutstandingTokens);
+    EXPECT_EQ(lot->route(pool({{1, 500}, {9, 100}, {2, 300}}), req(0)),
+              1u);
+    EXPECT_EQ(lot->route(pool({{1, 100}, {9, 100}}), req(1)), 0u);
+}
+
+TEST(ClusterRouter, PowerOfTwoComparesTheSampledPair)
+{
+    // With exactly two replicas every sample is the pair {0, 1}, so
+    // the pick is always the less token-loaded replica.
+    auto p2c = makeRouter(RouterPolicy::PowerOfTwoChoices, 42);
+    for (uint64_t i = 0; i < 16; ++i)
+        EXPECT_EQ(p2c->route(pool({{1, 10}, {1, 999}}), req(i)), 0u);
+    for (uint64_t i = 0; i < 16; ++i)
+        EXPECT_EQ(p2c->route(pool({{1, 999}, {1, 10}}), req(i)), 1u);
+}
+
+TEST(ClusterRouter, PowerOfTwoIsSeedDeterministic)
+{
+    auto a = makeRouter(RouterPolicy::PowerOfTwoChoices, 7);
+    auto b = makeRouter(RouterPolicy::PowerOfTwoChoices, 7);
+    auto snap = pool({{1, 100}, {1, 100}, {1, 100}, {1, 100}});
+    for (uint64_t i = 0; i < 64; ++i) {
+        size_t pa = a->route(snap, req(i));
+        EXPECT_EQ(pa, b->route(snap, req(i))) << i;
+        EXPECT_LT(pa, snap.size());
+    }
+}
+
+TEST(ClusterRouter, SingleReplicaPoolAlwaysPicksIt)
+{
+    for (RouterPolicy p : allRouterPolicies()) {
+        auto router = makeRouter(p);
+        for (uint64_t i = 0; i < 4; ++i)
+            EXPECT_EQ(router->route(pool({{3, 30}}), req(i)), 0u)
+                << routerName(p);
+    }
+}
+
+} // namespace
+} // namespace pimba

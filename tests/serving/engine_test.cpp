@@ -156,6 +156,61 @@ TEST(ServingEngine, BatchCapIsRespected)
     EXPECT_EQ(rep.peakBatch, 4); // load is high enough to fill the cap
 }
 
+TEST(ServingEngine, QueueingDelayRecordedPerRequest)
+{
+    // A burst deeper than the batch cap forces later requests to wait
+    // for admission; that wait must land in CompletedRequest::queueing
+    // and the fleet percentiles.
+    TraceConfig tc;
+    tc.arrivals = ArrivalProcess::Fixed;
+    tc.ratePerSec = 1000.0;
+    tc.numRequests = 16;
+    tc.inputLen = 128;
+    tc.outputLen = 16;
+    EngineConfig ec;
+    ec.maxBatch = 4;
+    auto rep = makeEngine(SystemKind::GPU, mamba2_2p7b(), ec)
+                   .run(generateTrace(tc));
+    ASSERT_EQ(rep.completed.size(), 16u);
+    bool waited = false;
+    for (const auto &c : rep.completed) {
+        EXPECT_GE(c.queueing, 0.0);
+        EXPECT_LE(c.queueing, c.ttft + 1e-12); // admission precedes token
+        waited |= c.queueing > 0.0;
+    }
+    EXPECT_TRUE(waited); // the burst cannot all admit at time zero
+    EXPECT_GT(rep.metrics.queueing.max, 0.0);
+    EXPECT_GE(rep.metrics.queueing.p95, rep.metrics.queueing.p50);
+}
+
+TEST(ServingEngine, PreemptionCountsSurfacePerRequest)
+{
+    // Tight budget + long outputs: decode growth must evict. Every
+    // eviction increments exactly one (later-completing) request's
+    // counter, so the per-request counts sum to the report total.
+    ModelConfig model = opt2p7b();
+    ServingSimulator sim(makeSystem(SystemKind::GPU));
+    double weights = sim.memoryUsage(model, 1, 0).weights;
+    EngineConfig ec;
+    ec.memoryBudget = weights + 3.0 * sim.requestFootprint(model, 320);
+
+    TraceConfig tc;
+    tc.arrivals = ArrivalProcess::Fixed;
+    tc.ratePerSec = 1000.0;
+    tc.numRequests = 10;
+    tc.inputLen = 64;
+    tc.outputLen = 256;
+    auto rep = ServingEngine(sim, model, ec).run(generateTrace(tc));
+
+    ASSERT_EQ(rep.completed.size(), 10u);
+    EXPECT_GT(rep.preemptions, 0u);
+    uint64_t perRequest = 0;
+    for (const auto &c : rep.completed)
+        perRequest += c.preemptions;
+    EXPECT_EQ(perRequest, rep.preemptions);
+    EXPECT_GT(rep.metrics.preemptions.max, 0.0);
+}
+
 TEST(ServingEngine, WorksForAllFiveSystems)
 {
     TraceConfig tc;

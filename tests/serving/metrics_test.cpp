@@ -60,6 +60,44 @@ TEST(ServingMetricsAgg, AllSingleTokenRequestsYieldEmptyTpotSummary)
     EXPECT_DOUBLE_EQ(m.ttft.p50, 0.2); // TTFT summary still populated
 }
 
+TEST(ServingMetricsAgg, EmptySamplesSummarizeToZeros)
+{
+    // A saturated replica that completes zero requests must report
+    // zeros, not UB.
+    LatencySummary s = summarizeLatency({});
+    EXPECT_DOUBLE_EQ(s.mean, 0.0);
+    EXPECT_DOUBLE_EQ(s.p50, 0.0);
+    EXPECT_DOUBLE_EQ(s.p95, 0.0);
+    EXPECT_DOUBLE_EQ(s.p99, 0.0);
+    EXPECT_DOUBLE_EQ(s.max, 0.0);
+
+    ServingMetrics m = computeMetrics({}, 5.0, SloConfig{});
+    EXPECT_EQ(m.requests, 0u);
+    EXPECT_EQ(m.generatedTokens, 0u);
+    EXPECT_DOUBLE_EQ(m.tokensPerSec, 0.0);
+    EXPECT_DOUBLE_EQ(m.goodput, 0.0);
+    EXPECT_DOUBLE_EQ(m.ttft.p99, 0.0);
+    EXPECT_DOUBLE_EQ(m.queueing.p95, 0.0);
+    EXPECT_DOUBLE_EQ(m.preemptions.max, 0.0);
+}
+
+TEST(ServingMetricsAgg, QueueingAndPreemptionPercentilesSurfaced)
+{
+    std::vector<CompletedRequest> done;
+    for (int i = 0; i < 4; ++i) {
+        CompletedRequest c = completed(8, 0.2, 0.01, 0.5);
+        c.queueing = 0.1 * (i + 1); // 0.1 .. 0.4
+        c.preemptions = static_cast<uint64_t>(i); // 0 .. 3
+        done.push_back(c);
+    }
+    ServingMetrics m = computeMetrics(done, 2.0, SloConfig{});
+    EXPECT_DOUBLE_EQ(m.queueing.mean, 0.25);
+    EXPECT_DOUBLE_EQ(m.queueing.max, 0.4);
+    EXPECT_DOUBLE_EQ(m.queueing.p50, 0.25);
+    EXPECT_DOUBLE_EQ(m.preemptions.max, 3.0);
+    EXPECT_DOUBLE_EQ(m.preemptions.mean, 1.5);
+}
+
 TEST(ServingMetricsAgg, SloViolationsCountTtftAndTpotMisses)
 {
     SloConfig slo;
