@@ -16,6 +16,11 @@
  *    table reports the transfer-inclusive TTFT against the colocated
  *    baseline plus the transfer overhead breakdown.
  *
+ * 3. Execution-mode shootout on the colocated Pimba fleet: all-blocked
+ *    vs all-overlapped (GPU<->PIM sub-batch pipelining on every
+ *    replica) vs a mixed fleet (half blocked, half overlapped behind
+ *    the load-aware router), at identical token production.
+ *
  * `--smoke` shrinks the traces for CI.
  */
 
@@ -87,6 +92,33 @@ disaggregationStudy(const ModelConfig &model, double rate,
     printf("%s\n", t.str().c_str());
 }
 
+void
+executionModeStudy(const ModelConfig &model, double rate,
+                   int num_requests)
+{
+    printf("--- Execution modes: 4x Pimba colocated, %s, %s req/s, "
+           "%d requests ---\n",
+           model.name.c_str(), fmt(rate, 0).c_str(), num_requests);
+    std::vector<Request> trace = clusterTrace(rate, num_requests);
+
+    Table t({"fleet", "goodput", "TTFT p95", "TPOT p50", "TPOT p95",
+             "tok/s"});
+    auto addRow = [&](const char *label, const FleetConfig &cfg) {
+        FleetReport rep = Fleet(model, cfg).run(trace);
+        t.addRow({label, fmt(rep.metrics.goodput, 2),
+                  fmt(rep.metrics.ttft.p95, 3),
+                  fmt(rep.metrics.tpot.p50, 4),
+                  fmt(rep.metrics.tpot.p95, 4),
+                  fmt(rep.metrics.tokensPerSec, 1)});
+    };
+    addRow("blocked x4",
+           colocatedPimbaFleet(4, ExecutionMode::Blocked));
+    addRow("overlapped x4",
+           colocatedPimbaFleet(4, ExecutionMode::Overlapped));
+    addRow("mixed 2+2", mixedModePimbaFleet(4));
+    printf("%s\n", t.str().c_str());
+}
+
 } // namespace
 
 int
@@ -102,5 +134,6 @@ main(int argc, char **argv)
     ModelConfig model = mamba2_2p7b();
     routerShootout(model, 48.0, requests);
     disaggregationStudy(model, 24.0, requests);
+    executionModeStudy(model, 48.0, requests);
     return 0;
 }

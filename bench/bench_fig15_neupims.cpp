@@ -2,9 +2,13 @@
  * @file
  * Figure 15 — Pimba vs the NeuPIMs-like baseline on Zamba2-70B, batch
  * 128, (1024, 1024) lengths: per-token latency and memory usage as the
- * generated output grows. Paper shape: Pimba's latency stays below
- * NeuPIMs' with similar scaling, and its memory footprint is smaller
- * (MX8 state and KV vs fp16).
+ * generated output grows, under both execution modes. Paper shape:
+ * Pimba's latency stays below NeuPIMs' with similar scaling, and its
+ * memory footprint is smaller (MX8 state and KV vs fp16). The
+ * overlapped columns add the NeuPIMs-style sub-batch pipeline the
+ * figure compares against: GPU phases of one sub-batch hide the other
+ * sub-batch's PIM phases, so both systems drop below their blocked
+ * latency at identical energy.
  */
 
 #include <cstdio>
@@ -14,31 +18,67 @@
 
 using namespace pimba;
 
+namespace {
+
+ServingSimulator
+makeSim(SystemKind kind, ExecutionMode mode)
+{
+    SystemConfig cfg = makeSystem(kind, 8);
+    cfg.executionMode = mode;
+    return ServingSimulator(cfg);
+}
+
+} // namespace
+
 int
 main()
 {
     printf("=== Figure 15: Pimba vs NeuPIMs (Zamba2-70B, b=128) ===\n");
     ModelConfig model = scaleModel(zamba2_7b(), 70e9);
     model.name = "Zamba2";
-    ServingSimulator pimba(makeSystem(SystemKind::PIMBA, 8));
-    ServingSimulator neupims(makeSystem(SystemKind::NEUPIMS, 8));
-
-    Table t({"out tokens", "NeuPIMs lat (ms)", "Pimba lat (ms)",
-             "NeuPIMs mem (GB)", "Pimba mem (GB)"});
     const uint64_t input_len = 1024;
-    for (uint64_t out : {1ull, 256ull, 512ull, 768ull, 1024ull}) {
-        uint64_t seq = input_len + out;
-        auto pl = pimba.generationStep(model, 128, seq);
-        auto nl = neupims.generationStep(model, 128, seq);
-        auto pm = pimba.memoryUsage(model, 128, seq);
-        auto nm = neupims.memoryUsage(model, 128, seq);
-        t.addRow({std::to_string(out), fmt(nl.seconds * 1e3, 2),
-                  fmt(pl.seconds * 1e3, 2), fmt(nm.total() / 1e9, 1),
-                  fmt(pm.total() / 1e9, 1)});
+
+    for (ExecutionMode mode : {ExecutionMode::Blocked,
+                               ExecutionMode::Overlapped}) {
+        ServingSimulator pimba = makeSim(SystemKind::PIMBA, mode);
+        ServingSimulator neupims = makeSim(SystemKind::NEUPIMS, mode);
+        Table t({"out tokens", "NeuPIMs lat (ms)", "Pimba lat (ms)",
+                 "NeuPIMs mem (GB)", "Pimba mem (GB)"});
+        for (uint64_t out : {1ull, 256ull, 512ull, 768ull, 1024ull}) {
+            uint64_t seq = input_len + out;
+            auto pl = pimba.generationStep(model, 128, seq);
+            auto nl = neupims.generationStep(model, 128, seq);
+            auto pm = pimba.memoryUsage(model, 128, seq);
+            auto nm = neupims.memoryUsage(model, 128, seq);
+            t.addRow({std::to_string(out), fmt(nl.seconds * 1e3, 2),
+                      fmt(pl.seconds * 1e3, 2), fmt(nm.total() / 1e9, 1),
+                      fmt(pm.total() / 1e9, 1)});
+        }
+        printf("--- %s execution ---\n%s",
+               executionModeName(mode).c_str(), t.str().c_str());
     }
-    printf("%s", t.str().c_str());
+
+    // The mode comparison the test suite pins: overlapped < blocked at
+    // identical energy on both PIM-attention systems.
+    Table cmp({"system", "blocked (ms)", "overlapped (ms)", "speedup",
+               "energy blk (J)", "energy ovl (J)"});
+    for (SystemKind kind : {SystemKind::NEUPIMS, SystemKind::PIMBA}) {
+        auto blk = makeSim(kind, ExecutionMode::Blocked)
+                       .generationStep(model, 128, input_len + 512);
+        auto ovl = makeSim(kind, ExecutionMode::Overlapped)
+                       .generationStep(model, 128, input_len + 512);
+        cmp.addRow({systemName(kind), fmt(blk.seconds * 1e3, 2),
+                    fmt(ovl.seconds * 1e3, 2),
+                    fmt(blk.seconds / ovl.seconds, 2),
+                    fmt(blk.energy.total(), 2),
+                    fmt(ovl.energy.total(), 2)});
+    }
+    printf("--- blocked vs overlapped at out=512 ---\n%s",
+           cmp.str().c_str());
+
     printf("\nPimba offloads the state updates NeuPIMs leaves on the "
            "GPU and stores\nstate+KV in MX8, so both curves sit below "
-           "NeuPIMs' at every length.\n");
+           "NeuPIMs' at every length;\noverlapping the two sub-batches "
+           "hides PIM time behind GPU time at\nno energy cost.\n");
     return 0;
 }

@@ -29,12 +29,15 @@ const std::vector<double> kRates = {1, 2, 4, 8, 16, 32, 64};
 
 /**
  * Scheduler-policy shootout at a saturating rate: same seeded Poisson
- * trace, same paged block pool, one row per policy. Lengths are
- * uniform (mean 512/256) — length variance is what lets SJF reorder
- * versus FCFS; on a fixed-length trace the two are identical. The
- * Sarathi-style fused chunked-prefill policy should show strictly
- * lower tail TTFT than FCFS at equal-or-better goodput — the
- * head-of-line fix.
+ * trace, same paged block pool, one row per policy x execution mode.
+ * Lengths are uniform (mean 512/256) — length variance is what lets
+ * SJF reorder versus FCFS; on a fixed-length trace the two are
+ * identical. The Sarathi-style fused chunked-prefill policy should
+ * show strictly lower tail TTFT than FCFS at equal-or-better goodput —
+ * the head-of-line fix. On the PIM systems the overlapped rows pipe
+ * one sub-batch's PIM phases under the other's GPU phases, so every
+ * policy's latency columns drop at unchanged token counts; the
+ * GPU-only systems have no PIM phase to hide and run blocked only.
  */
 void
 sweepPolicies(const ModelConfig &model, double rate)
@@ -43,22 +46,31 @@ sweepPolicies(const ModelConfig &model, double rate)
            "uniform lengths ---\n",
            model.name.c_str(), fmt(rate, 0).c_str());
     for (SystemKind kind : {SystemKind::GPU, SystemKind::PIMBA}) {
-        Table t({"policy", "tok/s", "goodput", "TTFT p95", "TPOT p95",
-                 "preempt", "blk util"});
+        const bool hasPim = makeSystem(kind).pim().has_value();
+        std::vector<ExecutionMode> modes = {ExecutionMode::Blocked};
+        if (hasPim)
+            modes.push_back(ExecutionMode::Overlapped);
+        Table t({"policy", "mode", "tok/s", "goodput", "TTFT p95",
+                 "TPOT p95", "preempt", "blk util"});
         for (SchedulerPolicy policy : allPolicies()) {
-            OpenLoopWorkload w;
-            w.policy = policy;
-            w.inputLen = 256;
-            w.inputLenMax = 768; // uniform, mean 512
-            w.outputLen = 128;
-            w.outputLenMax = 384; // uniform, mean 256
-            ServingReport r = servePoissonReport(kind, model, rate, w);
-            t.addRow({policyName(policy), fmt(r.metrics.tokensPerSec, 1),
-                      fmt(r.metrics.goodput, 2),
-                      fmt(r.metrics.ttft.p95, 3),
-                      fmt(r.metrics.tpot.p95, 4),
-                      fmt(static_cast<double>(r.preemptions), 0),
-                      fmt(r.peakBlockUtil, 3)});
+            for (ExecutionMode mode : modes) {
+                OpenLoopWorkload w;
+                w.policy = policy;
+                w.executionMode = mode;
+                w.inputLen = 256;
+                w.inputLenMax = 768; // uniform, mean 512
+                w.outputLen = 128;
+                w.outputLenMax = 384; // uniform, mean 256
+                ServingReport r = servePoissonReport(kind, model, rate,
+                                                     w);
+                t.addRow({policyName(policy), executionModeName(mode),
+                          fmt(r.metrics.tokensPerSec, 1),
+                          fmt(r.metrics.goodput, 2),
+                          fmt(r.metrics.ttft.p95, 3),
+                          fmt(r.metrics.tpot.p95, 4),
+                          fmt(static_cast<double>(r.preemptions), 0),
+                          fmt(r.peakBlockUtil, 3)});
+            }
         }
         printf("%s\n%s\n", systemName(kind).c_str(), t.str().c_str());
     }

@@ -229,10 +229,16 @@ Fleet::run(const std::vector<Request> &trace)
                 h.prefillQueueing = c.queueing;
                 h.prefillPreemptions = c.preemptions;
                 due.push(h);
-                ++report.transfer.transfers;
-                report.transfer.totalBytes += bytes;
-                report.transfer.totalSeconds += cost.seconds;
-                report.transfer.totalEnergyJ += cost.energyJ;
+                // A request with no cached state or KV bytes (possible
+                // only for degenerate models) ships nothing: it is a
+                // hand-off, not a transfer, and must not count into the
+                // transfer-overhead breakdown.
+                if (bytes > 0.0) {
+                    ++report.transfer.transfers;
+                    report.transfer.totalBytes += bytes;
+                    report.transfer.totalSeconds += cost.seconds;
+                    report.transfer.totalEnergyJ += cost.energyJ;
+                }
             }
             polled[i] = done.size();
         }

@@ -33,10 +33,21 @@ heterogeneousFleet(RouterPolicy router)
 }
 
 FleetConfig
-colocatedPimbaFleet(size_t n)
+colocatedPimbaFleet(size_t n, ExecutionMode mode)
 {
     FleetConfig cfg = homogeneousFleet(SystemKind::PIMBA, n);
     cfg.router = RouterPolicy::JoinShortestQueue;
+    for (ReplicaConfig &rc : cfg.replicas)
+        rc.engine.executionMode = mode;
+    return cfg;
+}
+
+FleetConfig
+mixedModePimbaFleet(size_t n)
+{
+    FleetConfig cfg = colocatedPimbaFleet(n);
+    for (size_t i = n / 2; i < n; ++i)
+        cfg.replicas[i].engine.executionMode = ExecutionMode::Overlapped;
     return cfg;
 }
 

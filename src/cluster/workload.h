@@ -29,8 +29,19 @@ std::vector<Request> clusterTrace(double rate, int num_requests,
 FleetConfig heterogeneousFleet(
     RouterPolicy router = RouterPolicy::RoundRobin);
 
-/** Colocated 4x Pimba baseline (join-shortest-queue routing). */
-FleetConfig colocatedPimbaFleet(size_t n = 4);
+/** Colocated n x Pimba baseline (join-shortest-queue routing), every
+ *  replica costing its steps under @p mode. */
+FleetConfig colocatedPimbaFleet(size_t n = 4,
+                                ExecutionMode mode = ExecutionMode::Blocked);
+
+/**
+ * A heterogeneous-*mode* Pimba fleet: the first half of the replicas
+ * run blocked, the second half overlapped (per-replica
+ * EngineConfig::executionMode), behind join-shortest-queue routing.
+ * Exercises mode mixing inside one fleet — the load-aware router should
+ * steer work toward the faster overlapped replicas.
+ */
+FleetConfig mixedModePimbaFleet(size_t n = 4);
 
 /**
  * The same four Pimba devices split 2 prefill + 2 decode, cached

@@ -42,6 +42,10 @@ LinkModel::transfer(double bytes) const
 {
     PIMBA_ASSERT(bytes >= 0.0, "negative transfer size");
     LinkCost cost;
+    // Nothing crosses the link for an empty payload, so no setup is
+    // paid: a 0-byte ship costs exactly {0 s, 0 J}.
+    if (bytes == 0.0)
+        return cost;
     cost.seconds = link.setupLatency +
                    bytes / (link.bandwidth * link.efficiency);
     cost.energyJ = bytes * 8.0 * link.energyPerBit;

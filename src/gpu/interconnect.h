@@ -49,7 +49,9 @@ class LinkModel
   public:
     explicit LinkModel(LinkConfig cfg);
 
-    /** One-way bulk copy of @p bytes over the link. */
+    /** One-way bulk copy of @p bytes over the link. A zero-byte
+     *  transfer moves nothing and costs exactly {0 s, 0 J} — the setup
+     *  latency is only paid when a payload actually crosses. */
     LinkCost transfer(double bytes) const;
 
     const LinkConfig &config() const { return link; }

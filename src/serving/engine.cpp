@@ -45,6 +45,8 @@ ServingEngine::ServingEngine(const ServingSimulator &sim_,
                      "Sarathi requires an iteration token budget "
                      "< 65536");
     }
+    if (cfg.executionMode)
+        sim.setExecutionMode(*cfg.executionMode);
     sched = makeScheduler(cfg.policy, cfg.prefillChunk,
                           cfg.iterTokenBudget);
 }
@@ -111,6 +113,7 @@ ServingEngine::begin()
     PIMBA_ASSERT(!active, "begin() inside an open session");
     report = ServingReport{};
     report.policy = cfg.policy;
+    report.executionMode = sim.system().executionMode;
     report.memoryBudget = cfg.memoryBudget > 0.0
                               ? cfg.memoryBudget
                               : sim.system().gpu.memCapacity *
@@ -420,8 +423,11 @@ ServingEngine::iterate()
     uint64_t prefillPosWeighted = 0;
     for (const PrefillSlice &s : plan.prefill) {
         prefillTokens += s.tokens;
-        prefillPosWeighted +=
-            s.tokens * (running[s.idx].prefilled + s.tokens / 2);
+        // Exact sum of the chunk's cache positions: token i of the
+        // chunk sits at prefilled + i, so the chunk contributes
+        // tokens * prefilled + tokens * (tokens - 1) / 2.
+        prefillPosWeighted += s.tokens * running[s.idx].prefilled +
+                              s.tokens * (s.tokens - 1) / 2;
     }
 
     double iterSeconds = 0.0;

@@ -77,6 +77,14 @@ struct EngineConfig
      */
     uint64_t iterTokenBudget = 0;
     SchedulerPolicy policy = SchedulerPolicy::FCFS;
+    /**
+     * GPU<->PIM execution mode override for this replica. nullopt
+     * inherits the mode of the SystemConfig the simulator was built
+     * with; setting it lets a fleet mix blocked and overlapped replicas
+     * of the same system kind (the override is applied to the engine's
+     * private simulator copy at construction).
+     */
+    std::optional<ExecutionMode> executionMode;
     SloConfig slo;
 };
 
@@ -99,6 +107,8 @@ struct ServingReport
     double peakBlockUtil = 0.0; ///< max fraction of the pool allocated
     double avgBlockUtil = 0.0;  ///< iteration-averaged pool allocation
     SchedulerPolicy policy = SchedulerPolicy::FCFS;
+    /** Mode every iteration of the run was costed under. */
+    ExecutionMode executionMode = ExecutionMode::Blocked;
 };
 
 /** Request-level continuous-batching engine for one system + model. */

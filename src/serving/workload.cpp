@@ -23,6 +23,7 @@ servePoissonReport(SystemKind kind, const ModelConfig &model, double rate,
     EngineConfig ec;
     ec.maxBatch = w.maxBatch;
     ec.policy = w.policy;
+    ec.executionMode = w.executionMode;
     ServingEngine engine(sim, model, ec);
     return engine.run(generateTrace(tc));
 }

@@ -31,6 +31,8 @@ struct OpenLoopWorkload
     int maxBatch = 64;
     uint32_t seed = 0x5EED0001u;
     SchedulerPolicy policy = SchedulerPolicy::FCFS;
+    /** GPU<->PIM execution mode of the serving system under test. */
+    ExecutionMode executionMode = ExecutionMode::Blocked;
 };
 
 /** Serve @p w at Poisson rate @p rate on @p kind, full report. */

@@ -29,6 +29,7 @@ ServingSimulator::addGpuCost(OpClass cls, const GpuKernelCost &cost,
                              StepResult &acc) const
 {
     acc.seconds += cost.seconds;
+    acc.gpuSeconds += cost.seconds;
     acc.latency.add(opClassName(cls), cost.seconds);
     if (cls == OpClass::GEMM)
         acc.energy.add(kEnergyGemm, cost.energyJ);
@@ -51,6 +52,7 @@ ServingSimulator::runOp(const OpSpec &op, StepResult &acc) const
       case OpClass::Communication: {
         GpuKernelCost cost = gpuModel.allReduce(op.memBytes, sys.nGpus);
         acc.seconds += cost.seconds;
+        acc.gpuSeconds += cost.seconds;
         acc.latency.add(opClassName(op.cls), cost.seconds);
         acc.energy.add(kEnergyOthers, cost.energyJ);
         return;
@@ -60,6 +62,10 @@ ServingSimulator::runOp(const OpSpec &op, StepResult &acc) const
             PimKernelResult r = pimModel->stateUpdate(op.su);
             double secs = r.seconds + gpu.kernelLaunchOverhead;
             acc.seconds += secs;
+            // The launch rides the GPU stream; the kernel itself can
+            // overlap another sub-batch's GPU phase.
+            acc.pimSeconds += r.seconds;
+            acc.gpuSeconds += gpu.kernelLaunchOverhead;
             acc.latency.add(opClassName(op.cls), secs);
             acc.energy.add(kEnergySuIo, (r.energy.activation +
                                          r.energy.column + r.energy.io) *
@@ -68,19 +74,23 @@ ServingSimulator::runOp(const OpSpec &op, StepResult &acc) const
             return;
         }
         // GPU execution: the state is stored in this system's state
-        // format; operands/outputs move in fp16.
+        // format; operands/outputs move in fp16. S = d (.) S + k v^T is
+        // a read-modify-write of the whole state — the full state is
+        // read once and the updated state written back once.
         double state_vals = static_cast<double>(op.su.instances) *
                             op.su.dimHead * op.su.dimState;
-        double state_bytes =
-            2.0 * state_vals * bitsPerValue(sys.stateFormat()) / 8.0;
+        double state_read =
+            state_vals * bitsPerValue(sys.stateFormat()) / 8.0;
+        double state_write = state_read;
         double opnd_bytes = static_cast<double>(op.su.instances) *
                             (3.0 * op.su.dimHead + 2.0 * op.su.dimState) *
                             2.0;
-        GpuKernelCost cost = gpuModel.kernel(op.flops,
-                                             state_bytes + opnd_bytes);
+        double su_bytes = state_read + state_write + opnd_bytes;
+        GpuKernelCost cost = gpuModel.kernel(op.flops, su_bytes);
         acc.seconds += cost.seconds;
+        acc.gpuSeconds += cost.seconds;
         acc.latency.add(opClassName(op.cls), cost.seconds);
-        acc.energy.add(kEnergySuIo, (state_bytes + opnd_bytes) * 8.0 *
+        acc.energy.add(kEnergySuIo, su_bytes * 8.0 *
                                         gpu.dramEnergyPerBit * sys.nGpus);
         acc.energy.add(kEnergySuCompute,
                        op.flops * gpu.computeEnergyPerFlop * sys.nGpus);
@@ -97,6 +107,12 @@ ServingSimulator::runOp(const OpSpec &op, StepResult &acc) const
             double secs = score.seconds + attend.seconds +
                           softmax.seconds + gpu.kernelLaunchOverhead;
             acc.seconds += secs;
+            acc.pimSeconds += score.seconds + attend.seconds;
+            // The softmax sits between the two PIM phases of the *same*
+            // sub-batch, so it cannot be hidden behind the other
+            // sub-batch's work — it is the pipeline's sync bubble.
+            acc.syncSeconds += softmax.seconds;
+            acc.gpuSeconds += gpu.kernelLaunchOverhead;
             acc.latency.add(opClassName(op.cls), secs);
             double io = (score.energy.activation + score.energy.column +
                          score.energy.io + attend.energy.activation +
@@ -112,11 +128,18 @@ ServingSimulator::runOp(const OpSpec &op, StepResult &acc) const
         double kv_vals = static_cast<double>(op.attn.instances) *
                          static_cast<double>(op.attn.seqLen) *
                          op.attn.dimHead;
-        double kv_bytes = 2.0 * kv_vals * bitsPerValue(sys.kvFormat()) /
-                          8.0;
+        double kv_read = 2.0 * kv_vals * bitsPerValue(sys.kvFormat()) /
+                         8.0;
+        // Each step appends the new token's K and V to the cache before
+        // reading it — one dimHead-wide write per instance per matrix.
+        double kv_write = 2.0 * static_cast<double>(op.attn.instances) *
+                          op.attn.dimHead *
+                          bitsPerValue(sys.kvFormat()) / 8.0;
+        double kv_bytes = kv_read + kv_write;
         GpuKernelCost cost = gpuModel.kernel(op.flops, kv_bytes);
         double secs = cost.seconds + softmax.seconds;
         acc.seconds += secs;
+        acc.gpuSeconds += secs;
         acc.latency.add(opClassName(op.cls), secs);
         acc.energy.add(kEnergyAttnIo,
                        kv_bytes * 8.0 * gpu.dramEnergyPerBit * sys.nGpus);
@@ -137,6 +160,12 @@ ServingSimulator::generationStep(const ModelConfig &model, int batch,
     for (const auto &op : generationStepOps(model, batch, seq_len,
                                             sys.nGpus))
         runOp(op, acc);
+    // The two-sub-batch pipeline needs two sub-batches to fill both
+    // stages and a PIM to overlap against; otherwise the step degrades
+    // to the blocked schedule. Energy is untouched either way.
+    if (sys.executionMode == ExecutionMode::Overlapped && batch >= 2 &&
+        acc.pimSeconds > 0.0)
+        acc.seconds = acc.overlappedSeconds();
     return acc;
 }
 
@@ -145,9 +174,14 @@ ServingSimulator::averagedStep(const ModelConfig &model, int batch,
                                uint64_t input_len,
                                uint64_t output_len) const
 {
+    PIMBA_ASSERT(output_len > 0, "empty decode window");
     // Attention latency/energy is affine in cache length; the average
-    // over [input_len, input_len + output_len) is the midpoint step.
-    uint64_t mid = input_len + output_len / 2;
+    // over the decode positions [input_len, input_len + output_len) is
+    // the step at their mean, input_len + (output_len - 1) / 2. The
+    // integer midpoint floors that mean (exact for odd windows, half a
+    // position low for even ones — the seed's output_len / 2 ceiled
+    // it, overcharging even windows by the same half position).
+    uint64_t mid = input_len + (output_len - 1) / 2;
     return generationStep(model, batch, mid);
 }
 
@@ -156,8 +190,11 @@ ServingSimulator::prefillStep(const ModelConfig &model, uint64_t tokens,
                               uint64_t seq_pos) const
 {
     PIMBA_ASSERT(tokens > 0, "empty prefill chunk");
+    // Token i of the chunk attends a cache of length seq_pos + i, so
+    // the chunk's mean cache position is seq_pos + (tokens - 1) / 2,
+    // floored for even chunk sizes (the seed's tokens / 2 ceiled it).
     return generationStep(model, static_cast<int>(tokens),
-                          seq_pos + tokens / 2);
+                          seq_pos + (tokens - 1) / 2);
 }
 
 StepResult

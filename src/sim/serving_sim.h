@@ -5,13 +5,22 @@
  * model according to the system configuration, accumulating the latency
  * and energy breakdowns the paper's Figures 3 and 12-16 report.
  *
- * GPU and PIM execute in a blocked manner (Section 5.6): per-token
- * latency is the sum of the per-operation latencies, with the softmax
- * between the attention score and attend phases charged to the GPU.
+ * Two execution modes (SystemConfig::executionMode):
+ *
+ *  - Blocked (Section 5.6): GPU and PIM serialize; per-token latency is
+ *    the sum of the per-operation latencies, with the softmax between
+ *    the attention score and attend phases charged to the GPU.
+ *  - Overlapped (the NeuPIMs-style sub-batch pipeline of Figure 15):
+ *    the batch splits into two sub-batches whose GPU and PIM phases run
+ *    concurrently, so the step costs max(gpu, pim) per pipeline stage
+ *    plus the non-overlappable softmax sync. Energy is identical to
+ *    Blocked — the same kernels run either way.
  */
 
 #ifndef PIMBA_SIM_SERVING_SIM_H
 #define PIMBA_SIM_SERVING_SIM_H
+
+#include <algorithm>
 
 #include "core/stats.h"
 #include "gpu/gpu_kernels.h"
@@ -24,9 +33,30 @@ namespace pimba {
 /** Latency/energy outcome of one generation step (one token x batch). */
 struct StepResult
 {
-    double seconds = 0.0;   ///< per-token step latency
-    Breakdown latency;      ///< seconds per OpClass
+    double seconds = 0.0;   ///< per-token step latency (mode-dependent)
+    Breakdown latency;      ///< seconds per OpClass, blocked phase times
     Breakdown energy;       ///< joules per Fig. 14 category
+
+    // Phase decomposition of the step. The three always sum to the
+    // blocked-mode latency; under ExecutionMode::Overlapped the step's
+    // `seconds` is max(gpuSeconds, pimSeconds) + syncSeconds instead
+    // (and the per-OpClass latency breakdown keeps the blocked phase
+    // times, so it sums to more than `seconds`).
+    double gpuSeconds = 0.0;  ///< GPU-stream work (overlappable)
+    double pimSeconds = 0.0;  ///< PIM kernel work (overlappable)
+    double syncSeconds = 0.0; ///< GPU<->PIM sync (softmax between the
+                              ///  PIM score and attend phases)
+
+    /** Step latency if GPU and PIM phases serialize (Section 5.6). */
+    double blockedSeconds() const
+    {
+        return gpuSeconds + pimSeconds + syncSeconds;
+    }
+    /** Step latency under the two-sub-batch GPU<->PIM pipeline. */
+    double overlappedSeconds() const
+    {
+        return std::max(gpuSeconds, pimSeconds) + syncSeconds;
+    }
 };
 
 /** Memory-footprint split of a serving configuration (bytes, total). */
@@ -60,7 +90,9 @@ class ServingSimulator
     /**
      * Average generation step over the decode window. Both the GPU and
      * PIM attention costs are affine in the cache length, so the window
-     * average equals the midpoint step.
+     * average equals the step at the mean position of
+     * [input_len, input_len + output_len), i.e.
+     * input_len + (output_len - 1) / 2 (floored for even windows).
      */
     StepResult averagedStep(const ModelConfig &model, int batch,
                             uint64_t input_len, uint64_t output_len) const;
@@ -72,7 +104,9 @@ class ServingSimulator
      * the same size (identical GEMM/state-update work per token), and
      * causal attention inside the chunk is affine in cache length, so
      * the chunk costs one generation step of batch @p tokens at the
-     * midpoint cache position.
+     * chunk's mean cache position seq_pos + (tokens - 1) / 2, floored
+     * for even chunks (token i of the chunk attends a cache of length
+     * seq_pos + i).
      */
     StepResult prefillStep(const ModelConfig &model, uint64_t tokens,
                            uint64_t seq_pos) const;
@@ -124,6 +158,13 @@ class ServingSimulator
                             uint64_t seq_len) const;
 
     const SystemConfig &system() const { return sys; }
+
+    /**
+     * Switch the GPU<->PIM execution mode. The serving engine calls
+     * this when EngineConfig overrides the replica's mode; all
+     * subsequent step costs use the new mode.
+     */
+    void setExecutionMode(ExecutionMode mode) { sys.executionMode = mode; }
 
   private:
     void runOp(const OpSpec &op, StepResult &acc) const;

@@ -17,6 +17,16 @@ systemName(SystemKind kind)
     PIMBA_PANIC("unknown system kind");
 }
 
+std::string
+executionModeName(ExecutionMode mode)
+{
+    switch (mode) {
+      case ExecutionMode::Blocked: return "blocked";
+      case ExecutionMode::Overlapped: return "overlapped";
+    }
+    PIMBA_PANIC("unknown execution mode");
+}
+
 std::optional<PimDesign>
 SystemConfig::pim() const
 {

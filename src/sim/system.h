@@ -31,6 +31,28 @@ enum class SystemKind
 /** Display name matching the paper's figure legends. */
 std::string systemName(SystemKind kind);
 
+/**
+ * How GPU and PIM phases of one step are scheduled against each other.
+ *
+ * Blocked is the paper's Section 5.6 model: every PIM kernel serializes
+ * against the GPU stream, so step latency is the sum of all phase
+ * latencies. Overlapped is the NeuPIMs-style sub-batch pipeline of
+ * Figure 15: the decode batch splits into two sub-batches and one
+ * sub-batch's PIM phases (state update, attention score/attend) run
+ * concurrently with the other's GPU phases (GEMMs, softmax), so each
+ * pipeline stage costs max(gpu, pim) instead of gpu + pim, plus the
+ * non-overlappable softmax sync between the PIM score and attend
+ * phases. Energy is unaffected — the same work runs either way.
+ */
+enum class ExecutionMode
+{
+    Blocked,    ///< PIM ops serialize against the GPU stream (Sec. 5.6)
+    Overlapped, ///< two-sub-batch GPU<->PIM pipeline (Fig. 15)
+};
+
+/** Lower-case mode name ("blocked" / "overlapped") for tables. */
+std::string executionModeName(ExecutionMode mode);
+
 /** Full system description. */
 struct SystemConfig
 {
@@ -38,6 +60,8 @@ struct SystemConfig
     GpuConfig gpu;
     HbmConfig hbm;
     int nGpus = 1; ///< tensor-parallel degree (one PIM device per GPU)
+    /** GPU<->PIM phase scheduling; no effect on GPU-only systems. */
+    ExecutionMode executionMode = ExecutionMode::Blocked;
 
     /** PIM design used by this system (nullopt for GPU-only systems). */
     std::optional<PimDesign> pim() const;

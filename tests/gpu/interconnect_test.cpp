@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Point-to-point link cost model tests, pinning the zero-byte rule: a
+ * transfer that ships nothing costs exactly {0 s, 0 J} — the setup
+ * latency is only paid when a payload actually crosses the link.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/interconnect.h"
+
+namespace pimba {
+namespace {
+
+TEST(Interconnect, ZeroByteTransferIsFree)
+{
+    for (const LinkConfig &cfg : {nvlinkLink(), infinibandLink()}) {
+        LinkModel link(cfg);
+        LinkCost cost = link.transfer(0.0);
+        EXPECT_EQ(cost.seconds, 0.0) << cfg.name;
+        EXPECT_EQ(cost.energyJ, 0.0) << cfg.name;
+    }
+}
+
+TEST(Interconnect, PositiveTransferPaysSetupPlusBandwidth)
+{
+    LinkConfig cfg = infinibandLink();
+    LinkModel link(cfg);
+    const double bytes = 1e6;
+    LinkCost cost = link.transfer(bytes);
+    EXPECT_DOUBLE_EQ(cost.seconds,
+                     cfg.setupLatency +
+                         bytes / (cfg.bandwidth * cfg.efficiency));
+    EXPECT_DOUBLE_EQ(cost.energyJ, bytes * 8.0 * cfg.energyPerBit);
+    // Even a single byte pays the setup: the discontinuity sits at
+    // exactly zero, not at "small".
+    EXPECT_GT(link.transfer(1.0).seconds, cfg.setupLatency);
+}
+
+TEST(Interconnect, CostIsMonotoneInBytes)
+{
+    LinkModel link{nvlinkLink()};
+    double prev_s = -1.0, prev_j = -1.0;
+    for (double bytes : {0.0, 1.0, 1e3, 1e6, 1e9}) {
+        LinkCost c = link.transfer(bytes);
+        EXPECT_GT(c.seconds, prev_s);
+        EXPECT_GE(c.energyJ, prev_j);
+        prev_s = c.seconds;
+        prev_j = c.energyJ;
+    }
+}
+
+} // namespace
+} // namespace pimba

@@ -180,10 +180,72 @@ TEST(ServingSim, H100TrendsMatchA100)
 
 TEST(ServingSim, AveragedStepIsMidpoint)
 {
+    // The decode window covers positions [input, input + output), whose
+    // mean is input + (output - 1) / 2 — NOT input + output / 2 (the
+    // seed's off-by-half, which ceiled the mean and so overcharged
+    // every even-length window by half a position of KV traffic; the
+    // fix floors it instead, and is exact for odd windows).
     ServingSimulator s = sim(SystemKind::GPU);
     auto avg = s.averagedStep(opt7b(), 32, 2048, 2048);
-    auto mid = s.generationStep(opt7b(), 32, 3072);
+    auto mid = s.generationStep(opt7b(), 32, 3071);
     EXPECT_DOUBLE_EQ(avg.seconds, mid.seconds);
+    // A one-token window is exactly the step at the input position.
+    auto one = s.averagedStep(opt7b(), 32, 2048, 1);
+    auto at = s.generationStep(opt7b(), 32, 2048);
+    EXPECT_DOUBLE_EQ(one.seconds, at.seconds);
+}
+
+TEST(ServingSim, PrefillStepUsesChunkMeanPosition)
+{
+    // Token i of a prefill chunk attends a cache of length seq_pos + i,
+    // so the chunk midpoint is seq_pos + (tokens - 1) / 2. The seed's
+    // seq_pos + tokens / 2 biased every chunk half a token deep.
+    ServingSimulator s = sim(SystemKind::GPU);
+    auto chunk = s.prefillStep(opt7b(), 512, 1024);
+    auto mid = s.generationStep(opt7b(), 512, 1024 + (512 - 1) / 2);
+    EXPECT_DOUBLE_EQ(chunk.seconds, mid.seconds);
+    // A 2-token chunk at position p averages p and p + 1 — it must not
+    // round up to p + 1 (the seed behavior).
+    auto two = s.prefillStep(opt7b(), 2, 1000);
+    auto at = s.generationStep(opt7b(), 2, 1000);
+    EXPECT_DOUBLE_EQ(two.seconds, at.seconds);
+}
+
+TEST(ServingSim, GpuAttentionChargesKvAppendWrite)
+{
+    // The non-PIM attention path must pay the per-step append of the
+    // new token's K and V, not just the cache read: at cache length 0
+    // there is nothing to read, but the write (and its latency +
+    // "Attention (I/O)" energy) remains.
+    for (SystemKind kind : {SystemKind::GPU, SystemKind::GPU_Q}) {
+        SystemConfig cfg = makeSystem(kind);
+        auto step = ServingSimulator(cfg).generationStep(opt7b(), 8, 0);
+        double io = step.energy.get("Attention (I/O)");
+        EXPECT_GT(io, 0.0) << systemName(kind);
+        // Exactly the K+V append bytes of the batch, every layer.
+        ModelConfig m = opt7b();
+        double write_bytes = static_cast<double>(m.attentionLayers()) *
+                             8.0 * m.attnHeads * 2.0 * m.attnDimHead *
+                             bitsPerValue(cfg.kvFormat()) / 8.0;
+        EXPECT_NEAR(io, write_bytes * 8.0 * cfg.gpu.dramEnergyPerBit,
+                    io * 1e-12)
+            << systemName(kind);
+        EXPECT_GT(step.latency.get("Attention"), 0.0) << systemName(kind);
+    }
+}
+
+TEST(ServingSim, GpuStateUpdateChargesReadAndWrite)
+{
+    // S = d (.) S + k v^T re-writes the whole state every step: the
+    // state I/O energy must cover (at least) one full read plus one
+    // full write of the state at the system's storage width.
+    SystemConfig cfg = makeSystem(SystemKind::GPU);
+    ModelConfig m = mamba2_2p7b();
+    auto step = ServingSimulator(cfg).generationStep(m, 16, 128);
+    double rw_bytes =
+        2.0 * 16.0 * m.stateBytes(bitsPerValue(cfg.stateFormat()) / 8.0);
+    EXPECT_GE(step.energy.get("State update (I/O)"),
+              rw_bytes * 8.0 * cfg.gpu.dramEnergyPerBit);
 }
 
 TEST(ServingSim, BreakdownKeysMatchFigureLegends)
