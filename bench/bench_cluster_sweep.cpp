@@ -1,6 +1,6 @@
 /**
  * @file
- * Cluster-layer studies. Two parts:
+ * Cluster-layer studies, as three scenario-registry runs:
  *
  * 1. Router shootout on a heterogeneous fleet (2x Pimba + 2x GPU,
  *    Mamba-2 2.7B) at a saturating arrival rate: round-robin splits the
@@ -12,128 +12,44 @@
  * 2. Prefill/decode disaggregation (DistServe-style) on a Pimba fleet:
  *    a colocated 4-replica fleet versus a 2 prefill + 2 decode split of
  *    the same hardware, with the cached KV/state block transfer riding
- *    an NVLink- or InfiniBand-class link and charged into TTFT. The
- *    table reports the transfer-inclusive TTFT against the colocated
- *    baseline plus the transfer overhead breakdown.
+ *    an NVLink- or InfiniBand-class link and charged into TTFT.
  *
  * 3. Execution-mode shootout on the colocated Pimba fleet: all-blocked
  *    vs all-overlapped (GPU<->PIM sub-batch pipelining on every
  *    replica) vs a mixed fleet (half blocked, half overlapped behind
  *    the load-aware router), at identical token production.
  *
- * `--smoke` shrinks the traces for CI.
+ * Thin wrapper over the scenario registry; studies 1 and 2 also load
+ * from scenarios/cluster_routers.json and
+ * scenarios/cluster_disaggregation.json via `pimba run`. `--smoke`
+ * shrinks the traces for CI.
  */
 
 #include <cstdio>
-#include <cstring>
 
-#include "cluster/workload.h"
-#include "core/table.h"
+#include "config/runner.h"
+#include "core/args.h"
 
 using namespace pimba;
-
-namespace {
-
-void
-routerShootout(const ModelConfig &model, double rate, int num_requests)
-{
-    printf("--- Router shootout: 2x Pimba + 2x GPU, %s, %s req/s, "
-           "%d requests ---\n",
-           model.name.c_str(), fmt(rate, 0).c_str(), num_requests);
-    std::vector<Request> trace = clusterTrace(rate, num_requests);
-    Table t({"router", "goodput", "TTFT p50", "TTFT p95", "queue p95",
-             "req imbal", "tok imbal"});
-    for (RouterPolicy policy : allRouterPolicies()) {
-        Fleet fleet(model, heterogeneousFleet(policy));
-        FleetReport rep = fleet.run(trace);
-        t.addRow({routerName(policy), fmt(rep.metrics.goodput, 2),
-                  fmt(rep.metrics.ttft.p50, 3),
-                  fmt(rep.metrics.ttft.p95, 3),
-                  fmt(rep.metrics.queueing.p95, 3),
-                  fmt(rep.load.requestImbalance, 3),
-                  fmt(rep.load.tokenImbalance, 3)});
-    }
-    printf("%s\n", t.str().c_str());
-}
-
-void
-disaggregationStudy(const ModelConfig &model, double rate,
-                    int num_requests)
-{
-    printf("--- Prefill/decode disaggregation: 4x Pimba, %s, %s req/s, "
-           "%d requests ---\n",
-           model.name.c_str(), fmt(rate, 0).c_str(), num_requests);
-    std::vector<Request> trace = clusterTrace(rate, num_requests);
-
-    Table t({"fleet", "goodput", "TTFT p50", "TTFT p95", "TPOT p95",
-             "xfer MB/req", "xfer p95 ms", "TTFT share"});
-
-    FleetReport coloRep = Fleet(model, colocatedPimbaFleet()).run(trace);
-    t.addRow({"colocated 4", fmt(coloRep.metrics.goodput, 2),
-              fmt(coloRep.metrics.ttft.p50, 3),
-              fmt(coloRep.metrics.ttft.p95, 3),
-              fmt(coloRep.metrics.tpot.p95, 4), "-", "-", "-"});
-
-    for (const LinkConfig &link : {nvlinkLink(), infinibandLink()}) {
-        FleetReport rep =
-            Fleet(model, disaggregatedPimbaFleet(link)).run(trace);
-        double mbPerReq =
-            rep.transfer.transfers > 0
-                ? rep.transfer.totalBytes /
-                      static_cast<double>(rep.transfer.transfers) / 1e6
-                : 0.0;
-        t.addRow({"2p+2d " + link.name, fmt(rep.metrics.goodput, 2),
-                  fmt(rep.metrics.ttft.p50, 3),
-                  fmt(rep.metrics.ttft.p95, 3),
-                  fmt(rep.metrics.tpot.p95, 4), fmt(mbPerReq, 2),
-                  fmt(rep.transfer.perTransfer.p95 * 1e3, 3),
-                  fmtPercent(rep.transfer.meanTtftShare)});
-    }
-    printf("%s\n", t.str().c_str());
-}
-
-void
-executionModeStudy(const ModelConfig &model, double rate,
-                   int num_requests)
-{
-    printf("--- Execution modes: 4x Pimba colocated, %s, %s req/s, "
-           "%d requests ---\n",
-           model.name.c_str(), fmt(rate, 0).c_str(), num_requests);
-    std::vector<Request> trace = clusterTrace(rate, num_requests);
-
-    Table t({"fleet", "goodput", "TTFT p95", "TPOT p50", "TPOT p95",
-             "tok/s"});
-    auto addRow = [&](const char *label, const FleetConfig &cfg) {
-        FleetReport rep = Fleet(model, cfg).run(trace);
-        t.addRow({label, fmt(rep.metrics.goodput, 2),
-                  fmt(rep.metrics.ttft.p95, 3),
-                  fmt(rep.metrics.tpot.p50, 4),
-                  fmt(rep.metrics.tpot.p95, 4),
-                  fmt(rep.metrics.tokensPerSec, 1)});
-    };
-    addRow("blocked x4",
-           colocatedPimbaFleet(4, ExecutionMode::Blocked));
-    addRow("overlapped x4",
-           colocatedPimbaFleet(4, ExecutionMode::Overlapped));
-    addRow("mixed 2+2", mixedModePimbaFleet(4));
-    printf("%s\n", t.str().c_str());
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
     bool smoke = false;
-    for (int i = 1; i < argc; ++i)
-        if (std::strcmp(argv[i], "--smoke") == 0)
-            smoke = true;
-    const int requests = smoke ? 48 : 192;
+    ArgParser args("bench_cluster_sweep",
+                   "Cluster serving studies: router shootout, "
+                   "prefill/decode disaggregation, execution modes.");
+    args.flag("--smoke", "CI-sized traces", &smoke);
+    if (!args.parse(argc, argv))
+        return args.exitCode();
 
-    printf("=== Cluster serving sweep%s ===\n", smoke ? " (smoke)" : "");
-    ModelConfig model = mamba2_2p7b();
-    routerShootout(model, 48.0, requests);
-    disaggregationStudy(model, 24.0, requests);
-    executionModeStudy(model, 48.0, requests);
+    printf("=== Cluster serving sweep%s ===\n\n",
+           smoke ? " (smoke)" : "");
+    for (const Scenario &sc :
+         {routerShootoutScenario(smoke), disaggregationScenario(smoke),
+          executionModeScenario(smoke)}) {
+        ScenarioReport rep = runScenario(sc);
+        fputs(rep.renderText().c_str(), stdout);
+    }
     return 0;
 }

@@ -9,14 +9,20 @@
 
 #include <cstdio>
 
+#include "core/args.h"
 #include "core/table.h"
 #include "sim/serving_sim.h"
 
 using namespace pimba;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ArgParser args("bench_fig01_comparison",
+                   "Figure 1: Transformer vs Mamba-2 latency and the A100 roofline.");
+    if (!args.parse(argc, argv))
+        return args.exitCode();
+
     printf("=== Figure 1(a): Transformer vs Mamba-2 (2.7B, A100) ===\n");
     ServingSimulator gpu(makeSystem(SystemKind::GPU));
     ModelConfig tf = opt2p7b();

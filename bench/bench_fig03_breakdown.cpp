@@ -8,14 +8,20 @@
 
 #include <cstdio>
 
+#include "core/args.h"
 #include "core/table.h"
 #include "sim/serving_sim.h"
 
 using namespace pimba;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ArgParser args("bench_fig03_breakdown",
+                   "Figure 3: per-operation latency breakdown on the GPU.");
+    if (!args.parse(argc, argv))
+        return args.exitCode();
+
     printf("=== Figure 3: latency breakdown on GPU (generation) ===\n");
     ServingSimulator gpu(makeSystem(SystemKind::GPU));
 

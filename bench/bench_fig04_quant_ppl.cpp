@@ -9,14 +9,20 @@
 
 #include <cstdio>
 
+#include "core/args.h"
 #include "accuracy/evaluate.h"
 #include "core/table.h"
 
 using namespace pimba;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ArgParser args("bench_fig04_quant_ppl",
+                   "Figure 4: perplexity under 8-bit state/KV quantization formats.");
+    if (!args.parse(argc, argv))
+        return args.exitCode();
+
     printf("=== Figure 4: perplexity under 8-bit state/KV formats ===\n");
     printf("(synthetic WikiText-2 stand-in; see DESIGN.md for the "
            "substitution)\n\n");

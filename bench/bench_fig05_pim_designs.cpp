@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "core/args.h"
 #include "core/table.h"
 #include "pim/area_model.h"
 #include "sim/serving_sim.h"
@@ -41,8 +42,13 @@ pimStateUpdateTime(const ModelConfig &m, int batch,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    ArgParser args("bench_fig05_pim_designs",
+                   "Figure 5: state-update throughput and area of per-bank PIM designs.");
+    if (!args.parse(argc, argv))
+        return args.exitCode();
+
     printf("=== Figure 5(a): state-update throughput, batch 128 ===\n");
     Table t({"model", "GPU", "Time-multiplexed PIM", "Pipelined PIM"});
     const int batch = 128;

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "core/args.h"
 #include "accuracy/evaluate.h"
 #include "core/table.h"
 #include "pim/area_model.h"
@@ -16,8 +17,13 @@
 using namespace pimba;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ArgParser args("bench_fig06_pareto",
+                   "Figure 6: accuracy-area Pareto tradeoff of quantization formats.");
+    if (!args.parse(argc, argv))
+        return args.exitCode();
+
     printf("=== Figure 6: accuracy-area tradeoff (Mamba-2) ===\n");
     auto mamba = accuracyModels()[3];
 

@@ -7,13 +7,19 @@
 
 #include <cstdio>
 
+#include "core/args.h"
 #include "dram/pim_scheduler.h"
 
 using namespace pimba;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ArgParser args("bench_fig11_schedule",
+                   "Figure 11: PIM command schedule for one state-update pass.");
+    if (!args.parse(argc, argv))
+        return args.exitCode();
+
     printf("=== Figure 11: PIM command schedule (one pass) ===\n");
     HbmConfig cfg = hbm2eConfig();
     PimCommandScheduler sched(cfg, /*keep_trace=*/true);

@@ -7,70 +7,32 @@
  *
  * Paper anchors: Pimba averages 1.9x over GPU and 1.4x over GPU+PIM,
  * up to 4.1x / 2.1x; GPU+Q and GPU+PIM both average ~1.4x over GPU.
+ *
+ * Thin wrapper over the scenario registry: prints exactly what
+ * `pimba run scenarios/fig12_throughput.json` prints (pinned by
+ * tests/config/parity_test).
  */
 
 #include <cstdio>
 
-#include "core/stats.h"
-#include "core/table.h"
-#include "sim/serving_sim.h"
+#include "config/runner.h"
+#include "core/args.h"
 
 using namespace pimba;
 
-namespace {
-
-void
-runScale(const std::vector<ModelConfig> &models, int n_gpus,
-         const char *label, Accumulator &vs_gpu, Accumulator &vs_pim)
-{
-    printf("--- %s ---\n", label);
-    Table t({"model", "batch", "GPU", "GPU+Q", "GPU+PIM", "Pimba"});
-    for (const auto &model : models) {
-        for (int batch : {32, 64, 128}) {
-            double base = 0.0;
-            std::vector<std::string> row = {model.name,
-                                            std::to_string(batch)};
-            double gpupim = 0.0, pimba = 0.0;
-            for (SystemKind kind : mainSystems()) {
-                ServingSimulator sim(makeSystem(kind, n_gpus));
-                double thr = sim.generationThroughput(model, batch, 2048,
-                                                      2048);
-                if (kind == SystemKind::GPU)
-                    base = thr;
-                if (kind == SystemKind::GPU_PIM)
-                    gpupim = thr;
-                if (kind == SystemKind::PIMBA)
-                    pimba = thr;
-                row.push_back(fmt(thr / base, 2));
-            }
-            vs_gpu.add(pimba / base);
-            vs_pim.add(pimba / gpupim);
-            t.addRow(row);
-        }
-        fprintf(stderr, "  %s done\n", model.name.c_str());
-    }
-    printf("%s\n", t.str().c_str());
-}
-
-} // namespace
-
 int
-main()
+main(int argc, char **argv)
 {
-    printf("=== Figure 12: normalized generation throughput ===\n");
-    Accumulator vs_gpu, vs_pim;
-    runScale(evaluationModels(), 1, "Small scale (2.7B, 7B) - 1x A100",
-             vs_gpu, vs_pim);
-    runScale(evaluationModels70b(), 8, "Large scale (70B) - 8x A100",
-             vs_gpu, vs_pim);
+    bool smoke = false;
+    ArgParser args("bench_fig12_throughput",
+                   "Figure 12: normalized generation throughput across "
+                   "systems, models, and batch sizes.");
+    args.flag("--smoke", "CI-sized grid (2 models, 1 batch per scale)",
+              &smoke);
+    if (!args.parse(argc, argv))
+        return args.exitCode();
 
-    printf("Pimba vs GPU:     avg %s, max %s (paper: avg 1.9x, up to "
-           "4.1x)\n",
-           fmtRatio(vs_gpu.mean()).c_str(),
-           fmtRatio(vs_gpu.max()).c_str());
-    printf("Pimba vs GPU+PIM: avg %s, max %s (paper: avg 1.4x, up to "
-           "2.1x)\n",
-           fmtRatio(vs_pim.mean()).c_str(),
-           fmtRatio(vs_pim.max()).c_str());
+    ScenarioReport rep = runScenario(fig12Scenario(smoke));
+    fputs(rep.renderText().c_str(), stdout);
     return 0;
 }

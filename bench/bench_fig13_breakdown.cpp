@@ -8,14 +8,20 @@
 
 #include <cstdio>
 
+#include "core/args.h"
 #include "core/table.h"
 #include "sim/serving_sim.h"
 
 using namespace pimba;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ArgParser args("bench_fig13_breakdown",
+                   "Figure 13: latency breakdown at 70B on 8x A100.");
+    if (!args.parse(argc, argv))
+        return args.exitCode();
+
     printf("=== Figure 13: latency breakdown, 70B, 8x A100 ===\n");
     const char *cats[] = {"StateUpdate", "Attention", "Discretization",
                           "CausalConv", "GEMM", "Communication",

@@ -7,14 +7,20 @@
 
 #include <cstdio>
 
+#include "core/args.h"
 #include "core/table.h"
 #include "sim/serving_sim.h"
 
 using namespace pimba;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ArgParser args("bench_fig14_energy",
+                   "Figure 14: energy breakdown at 70B, batch 128.");
+    if (!args.parse(argc, argv))
+        return args.exitCode();
+
     printf("=== Figure 14: energy breakdown, 70B, batch 128 ===\n");
     const char *cats[] = {"State update (I/O)", "State update (Compute)",
                           "Attention (I/O)", "Attention (Compute)",

@@ -13,6 +13,7 @@
 
 #include <cstdio>
 
+#include "core/args.h"
 #include "core/table.h"
 #include "sim/serving_sim.h"
 
@@ -31,8 +32,13 @@ makeSim(SystemKind kind, ExecutionMode mode)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    ArgParser args("bench_fig15_neupims",
+                   "Figure 15: Pimba vs NeuPIMs latency/memory under both execution modes.");
+    if (!args.parse(argc, argv))
+        return args.exitCode();
+
     printf("=== Figure 15: Pimba vs NeuPIMs (Zamba2-70B, b=128) ===\n");
     ModelConfig model = scaleModel(zamba2_7b(), 70e9);
     model.name = "Zamba2";

@@ -4,49 +4,31 @@
  * HBM3-based PIM at a 2.626 GHz bus (657 MHz SPU), NVLink4 at
  * 900 GB/s. Paper anchors: Pimba keeps 1.8x over GPU and 1.3x over
  * GPU+PIM on average, mirroring the A100 trends.
+ *
+ * Thin wrapper over the scenario registry: prints exactly what
+ * `pimba run scenarios/fig16_h100.json` prints (pinned by
+ * tests/config/parity_test).
  */
 
 #include <cstdio>
 
-#include "core/table.h"
-#include "sim/serving_sim.h"
+#include "config/runner.h"
+#include "core/args.h"
 
 using namespace pimba;
 
 int
-main()
+main(int argc, char **argv)
 {
-    printf("=== Figure 16: throughput on H100 (70B, 8 GPUs) ===\n");
-    Accumulator vs_gpu, vs_pim;
-    Table t({"model", "batch", "GPU", "GPU+Q", "GPU+PIM", "Pimba"});
-    for (const auto &model : evaluationModels70b()) {
-        for (int batch : {32, 64, 128}) {
-            double base = 0.0, gpupim = 0.0, pimba = 0.0;
-            std::vector<std::string> row = {model.name,
-                                            std::to_string(batch)};
-            for (SystemKind kind : mainSystems()) {
-                ServingSimulator sim(
-                    makeSystem(kind, 8, h100Config(), hbm3Config()));
-                double thr = sim.generationThroughput(model, batch, 2048,
-                                                      2048);
-                if (kind == SystemKind::GPU)
-                    base = thr;
-                if (kind == SystemKind::GPU_PIM)
-                    gpupim = thr;
-                if (kind == SystemKind::PIMBA)
-                    pimba = thr;
-                row.push_back(fmt(thr / base, 2));
-            }
-            vs_gpu.add(pimba / base);
-            vs_pim.add(pimba / gpupim);
-            t.addRow(row);
-        }
-        fprintf(stderr, "  %s done\n", model.name.c_str());
-    }
-    printf("%s\n", t.str().c_str());
-    printf("Pimba vs GPU:     avg %s (paper: 1.8x)\n",
-           fmtRatio(vs_gpu.mean()).c_str());
-    printf("Pimba vs GPU+PIM: avg %s (paper: 1.3x)\n",
-           fmtRatio(vs_pim.mean()).c_str());
+    bool smoke = false;
+    ArgParser args("bench_fig16_h100",
+                   "Figure 16: normalized generation throughput on the "
+                   "H100/HBM3 platform (70B, 8 GPUs).");
+    args.flag("--smoke", "CI-sized grid (2 models, 1 batch)", &smoke);
+    if (!args.parse(argc, argv))
+        return args.exitCode();
+
+    ScenarioReport rep = runScenario(fig16Scenario(smoke));
+    fputs(rep.renderText().c_str(), stdout);
     return 0;
 }

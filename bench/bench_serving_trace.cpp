@@ -1,117 +1,52 @@
 /**
  * @file
- * Request-level serving under open-loop Poisson traffic: sweep the
- * arrival rate for all five systems (GPU, GPU+Q, GPU+PIM, Pimba,
- * NeuPIMs) and report sustained tokens/s, goodput under the TTFT/TPOT
- * SLO, and tail latency. Each system shows a saturation knee: below it
- * goodput tracks the offered load, above it queueing blows up TTFT and
- * goodput collapses while tokens/s plateaus at the system's capacity.
+ * Request-level serving under open-loop Poisson traffic, as two
+ * scenario-registry studies per model:
+ *
+ *  1. Rate sweep for all five systems (GPU, GPU+Q, GPU+PIM, Pimba,
+ *     NeuPIMs): sustained tokens/s, goodput under the TTFT/TPOT SLO,
+ *     and tail latency, ending with each system's saturation knee —
+ *     below it goodput tracks the offered load, above it queueing
+ *     blows up TTFT while tokens/s plateaus at capacity.
+ *  2. Scheduler-policy shootout at a saturating rate over the paged
+ *     block manager (FCFS / SJF / Sarathi x blocked / overlapped).
  *
  * Mamba-2 2.7B exercises the state-update path (where NeuPIMs, an
  * attention-only PIM, degenerates to the GPU baseline); OPT 2.7B
  * exercises the attention path where NeuPIMs differs.
+ *
+ * Thin wrapper over the scenario registry; the same studies load from
+ * scenarios/serving_rate_sweep.json and scenarios/policy_shootout.json
+ * via `pimba run`.
  */
 
 #include <cstdio>
 
-#include "core/table.h"
-#include "serving/workload.h"
+#include "config/runner.h"
+#include "core/args.h"
 
 using namespace pimba;
 
-namespace {
-
-const std::vector<SystemKind> kAllSystems = {
-    SystemKind::GPU, SystemKind::GPU_Q, SystemKind::GPU_PIM,
-    SystemKind::PIMBA, SystemKind::NEUPIMS};
-
-const std::vector<double> kRates = {1, 2, 4, 8, 16, 32, 64};
-
-/**
- * Scheduler-policy shootout at a saturating rate: same seeded Poisson
- * trace, same paged block pool, one row per policy x execution mode.
- * Lengths are uniform (mean 512/256) — length variance is what lets
- * SJF reorder versus FCFS; on a fixed-length trace the two are
- * identical. The Sarathi-style fused chunked-prefill policy should
- * show strictly lower tail TTFT than FCFS at equal-or-better goodput —
- * the head-of-line fix. On the PIM systems the overlapped rows pipe
- * one sub-batch's PIM phases under the other's GPU phases, so every
- * policy's latency columns drop at unchanged token counts; the
- * GPU-only systems have no PIM phase to hide and run blocked only.
- */
-void
-sweepPolicies(const ModelConfig &model, double rate)
-{
-    printf("--- %s, policy comparison at %s req/s (saturating), "
-           "uniform lengths ---\n",
-           model.name.c_str(), fmt(rate, 0).c_str());
-    for (SystemKind kind : {SystemKind::GPU, SystemKind::PIMBA}) {
-        const bool hasPim = makeSystem(kind).pim().has_value();
-        std::vector<ExecutionMode> modes = {ExecutionMode::Blocked};
-        if (hasPim)
-            modes.push_back(ExecutionMode::Overlapped);
-        Table t({"policy", "mode", "tok/s", "goodput", "TTFT p95",
-                 "TPOT p95", "preempt", "blk util"});
-        for (SchedulerPolicy policy : allPolicies()) {
-            for (ExecutionMode mode : modes) {
-                OpenLoopWorkload w;
-                w.policy = policy;
-                w.executionMode = mode;
-                w.inputLen = 256;
-                w.inputLenMax = 768; // uniform, mean 512
-                w.outputLen = 128;
-                w.outputLenMax = 384; // uniform, mean 256
-                ServingReport r = servePoissonReport(kind, model, rate,
-                                                     w);
-                t.addRow({policyName(policy), executionModeName(mode),
-                          fmt(r.metrics.tokensPerSec, 1),
-                          fmt(r.metrics.goodput, 2),
-                          fmt(r.metrics.ttft.p95, 3),
-                          fmt(r.metrics.tpot.p95, 4),
-                          fmt(static_cast<double>(r.preemptions), 0),
-                          fmt(r.peakBlockUtil, 3)});
-            }
-        }
-        printf("%s\n%s\n", systemName(kind).c_str(), t.str().c_str());
-    }
-}
-
-void
-sweepModel(const ModelConfig &model)
-{
-    printf("--- %s, Poisson arrivals, input 512 / output 256, "
-           "batch cap 64 ---\n", model.name.c_str());
-    Table knees({"system", "saturation req/s", "peak tok/s"});
-    for (SystemKind kind : kAllSystems) {
-        Table t(metricsHeader());
-        double kneeRate = 0.0, peakTok = 0.0;
-        for (double rate : kRates) {
-            ServingMetrics m = servePoisson(kind, model, rate);
-            t.addRow(metricsRow("rate " + fmt(rate, 0), m));
-            peakTok = std::max(peakTok, m.tokensPerSec);
-            // The knee: the highest offered load the system still
-            // serves almost entirely within the SLO.
-            if (sustainsSlo(m, 0.9))
-                kneeRate = rate;
-        }
-        printf("%s\n%s\n", systemName(kind).c_str(), t.str().c_str());
-        knees.addRow({systemName(kind), fmt(kneeRate, 0),
-                      fmt(peakTok, 0)});
-    }
-    printf("Saturation knees (%s):\n%s\n", model.name.c_str(),
-           knees.str().c_str());
-}
-
-} // namespace
-
 int
-main()
+main(int argc, char **argv)
 {
-    printf("=== Request-level continuous-batching rate sweep ===\n");
-    sweepModel(mamba2_2p7b());
-    sweepModel(opt2p7b());
-    printf("=== Scheduler policies over the paged block manager ===\n");
-    sweepPolicies(mamba2_2p7b(), 32.0);
-    sweepPolicies(opt2p7b(), 32.0);
+    bool smoke = false;
+    ArgParser args("bench_serving_trace",
+                   "Request-level rate sweep and scheduler-policy "
+                   "shootout for all five systems.");
+    args.flag("--smoke", "CI-sized traces and rate grid", &smoke);
+    if (!args.parse(argc, argv))
+        return args.exitCode();
+
+    for (const ModelConfig &model : {mamba2_2p7b(), opt2p7b()}) {
+        ScenarioReport sweep =
+            runScenario(servingRateSweepScenario(model, smoke));
+        fputs(sweep.renderText().c_str(), stdout);
+    }
+    for (const ModelConfig &model : {mamba2_2p7b(), opt2p7b()}) {
+        ScenarioReport shootout =
+            runScenario(policyShootoutScenario(model, smoke));
+        fputs(shootout.renderText().c_str(), stdout);
+    }
     return 0;
 }

@@ -7,14 +7,20 @@
 
 #include <cstdio>
 
+#include "core/args.h"
 #include "accuracy/evaluate.h"
 #include "core/table.h"
 
 using namespace pimba;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ArgParser args("bench_table2_accuracy",
+                   "Table 2: accuracy of GPU fp16 vs Pimba MX8-SR state.");
+    if (!args.parse(argc, argv))
+        return args.exitCode();
+
     printf("=== Table 2: accuracy, GPU vs Pimba (MX8-SR state) ===\n");
     printf("(synthetic task stand-ins; see DESIGN.md)\n\n");
 

@@ -7,14 +7,20 @@
 
 #include <cstdio>
 
+#include "core/args.h"
 #include "core/table.h"
 #include "pim/area_model.h"
 
 using namespace pimba;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ArgParser args("bench_table3_area",
+                   "Table 3: area and power comparison of PIM designs.");
+    if (!args.parse(argc, argv))
+        return args.exitCode();
+
     printf("=== Table 3: area and power comparison ===\n");
     HbmConfig hbm = hbm2eConfig();
     int banks = hbm.org.banksPerPseudoChannel();

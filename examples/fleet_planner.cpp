@@ -8,118 +8,41 @@
  * shared Poisson trace with >= 90% of requests inside the TTFT/TPOT SLO
  * — the deployment question behind the paper's throughput-per-device
  * claim: a Pimba fleet needs fewer devices than a GPU fleet at equal
- * SLO-goodput. Run with `--smoke` for a CI-sized trace.
+ * SLO-goodput.
+ *
+ * Thin wrapper over the scenario registry's planner kind; the same
+ * study loads from scenarios/fleet_planner.json via `pimba fleet`.
+ * Run with `--smoke` for a CI-sized trace.
  */
 
 #include <cstdio>
-#include <cstring>
 
-#include "cluster/fleet.h"
-#include "core/table.h"
-#include "serving/trace.h"
-#include "serving/workload.h"
+#include "config/runner.h"
+#include "core/args.h"
 
 using namespace pimba;
-
-namespace {
-
-constexpr size_t kMaxReplicas = 32;
-
-std::vector<Request>
-plannerTrace(double rate, int num_requests)
-{
-    TraceConfig tc;
-    tc.arrivals = ArrivalProcess::Poisson;
-    tc.ratePerSec = rate;
-    tc.numRequests = num_requests;
-    tc.inputLen = 512;
-    tc.outputLen = 256;
-    tc.seed = 0x5EEDF1EEu;
-    return generateTrace(tc);
-}
-
-/** True if an n-replica fleet of @p kind meets the SLO on @p trace. */
-bool
-meetsSlo(SystemKind kind, const ModelConfig &model, size_t n,
-         const std::vector<Request> &trace)
-{
-    FleetConfig cfg = homogeneousFleet(kind, n);
-    cfg.router = RouterPolicy::JoinShortestQueue;
-    FleetReport rep = Fleet(model, cfg).run(trace);
-    return sustainsSlo(rep.metrics, 0.9);
-}
-
-/** Smallest replica count in [1, kMaxReplicas] meeting the SLO, or 0. */
-size_t
-minReplicas(SystemKind kind, const ModelConfig &model,
-            const std::vector<Request> &trace)
-{
-    // Gallop to an upper bound, then bisect the first passing count.
-    size_t hi = 1;
-    while (hi <= kMaxReplicas && !meetsSlo(kind, model, hi, trace))
-        hi *= 2;
-    if (hi > kMaxReplicas)
-        return 0;
-    size_t lo = hi / 2 + 1; // hi/2 failed (or hi == 1)
-    while (lo < hi) {
-        size_t mid = (lo + hi) / 2;
-        if (meetsSlo(kind, model, mid, trace))
-            hi = mid;
-        else
-            lo = mid + 1;
-    }
-    return hi;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
     bool smoke = false;
-    for (int i = 1; i < argc; ++i)
-        if (std::strcmp(argv[i], "--smoke") == 0)
-            smoke = true;
+    ArgParser args("fleet_planner",
+                   "Bisect the minimum replica count per system at a "
+                   "target SLO-attainment rate.");
+    args.flag("--smoke", "CI-sized trace and rate", &smoke);
+    if (!args.parse(argc, argv))
+        return args.exitCode();
 
-    const double rate = smoke ? 24.0 : 48.0;
-    const int requests = smoke ? 64 : 192;
-    ModelConfig model = mamba2_2p7b();
-    std::vector<Request> trace = plannerTrace(rate, requests);
+    Scenario sc = plannerScenario(smoke);
+    const auto &ps = std::get<PlannerScenario>(sc.spec);
+    printf("model %s, Poisson %s req/s, %d requests, input %llu / "
+           "output %llu\n\n",
+           ps.model.name.c_str(), fmt(ps.trace.ratePerSec, 0).c_str(),
+           ps.trace.numRequests,
+           static_cast<unsigned long long>(ps.trace.inputLen),
+           static_cast<unsigned long long>(ps.trace.outputLen));
 
-    printf("=== Fleet planner: min replicas for >= 90%% SLO attainment "
-           "===\n");
-    printf("model %s, Poisson %s req/s, %d requests, input 512 / "
-           "output 256\n\n",
-           model.name.c_str(), fmt(rate, 0).c_str(), requests);
-
-    Table t({"system", "min replicas", "goodput", "TTFT p95",
-             "vs Pimba"});
-    size_t pimbaCount = 0;
-    std::vector<std::pair<SystemKind, size_t>> results;
-    for (SystemKind kind : mainSystems()) {
-        size_t n = minReplicas(kind, model, trace);
-        if (kind == SystemKind::PIMBA)
-            pimbaCount = n;
-        results.emplace_back(kind, n);
-    }
-    for (auto [kind, n] : results) {
-        if (n == 0) {
-            t.addRow({systemName(kind), "> 32", "-", "-", "-"});
-            continue;
-        }
-        FleetConfig cfg = homogeneousFleet(kind, n);
-        cfg.router = RouterPolicy::JoinShortestQueue;
-        FleetReport rep = Fleet(model, cfg).run(trace);
-        t.addRow({systemName(kind), fmt(static_cast<double>(n), 0),
-                  fmt(rep.metrics.goodput, 2),
-                  fmt(rep.metrics.ttft.p95, 3),
-                  pimbaCount > 0
-                      ? fmtRatio(static_cast<double>(n) /
-                                 static_cast<double>(pimbaCount))
-                      : "-"});
-    }
-    printf("%s\n", t.str().c_str());
-    printf("\"vs Pimba\": replica-count ratio against the Pimba fleet — "
-           "the devices one Pimba device replaces at equal SLO.\n");
+    ScenarioReport rep = runScenario(sc);
+    fputs(rep.renderText().c_str(), stdout);
     return 0;
 }

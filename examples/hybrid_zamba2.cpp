@@ -10,14 +10,20 @@
 
 #include <cstdio>
 
+#include "core/args.h"
 #include "core/table.h"
 #include "sim/serving_sim.h"
 
 using namespace pimba;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ArgParser args("hybrid_zamba2",
+                   "Zamba2 hybrid-model (attention + SSM) study on 8x A100.");
+    if (!args.parse(argc, argv))
+        return args.exitCode();
+
     ModelConfig model = scaleModel(zamba2_7b(), 70e9);
     model.name = "Zamba2-70B";
     const int batch = 128;

@@ -6,14 +6,14 @@
  * span codecs for the rest, and report the output error — a hands-on
  * view of the swamping effect and of stochastic rounding's rescue.
  *
- * Usage: quant_explorer [steps] [decay]
+ * Usage: quant_explorer [--steps n] [--decay d]
  */
 
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <vector>
 
+#include "core/args.h"
 #include "core/lfsr.h"
 #include "core/table.h"
 #include "pim/spu.h"
@@ -24,8 +24,21 @@ using namespace pimba;
 int
 main(int argc, char **argv)
 {
-    const int steps = argc > 1 ? atoi(argv[1]) : 512;
-    const double decay = argc > 2 ? atof(argv[2]) : 0.98;
+    int steps = 512;
+    double decay = 0.98;
+    ArgParser args("quant_explorer",
+                   "Run the state-update recurrence under every "
+                   "storage format and report the output error.");
+    args.option("--steps", "n", "recurrence steps", &steps);
+    args.option("--decay", "d", "per-step state decay in (0, 1)",
+                &decay);
+    if (!args.parse(argc, argv))
+        return args.exitCode();
+    if (steps < 1 || decay <= 0.0 || decay >= 1.0) {
+        fprintf(stderr, "quant_explorer: --steps must be >= 1 and "
+                        "--decay must lie in (0, 1)\n");
+        return 1;
+    }
     const int dim_head = 32, dim_state = 32;
 
     printf("state-update recurrence: %d steps, decay %.3f "

@@ -10,13 +10,19 @@
 
 #include <cstdio>
 
+#include "core/args.h"
 #include "sim/serving_sim.h"
 
 using namespace pimba;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ArgParser args("quickstart",
+                   "Smallest end-to-end example: one decode step on each system.");
+    if (!args.parse(argc, argv))
+        return args.exitCode();
+
     // 1. Pick a model from the zoo (or build your own ModelConfig).
     ModelConfig model = mamba2_2p7b();
     printf("model: %s (%.2fB params, %d layers, state %.1f MB/request "

@@ -4,15 +4,15 @@
  * GPU+PIM, Pimba, NeuPIMs) on a model and batch size given on the
  * command line.
  *
- * Usage: serving_comparison [model] [batch]
- *   model: retnet | gla | hgrn2 | mamba2 | zamba2 | opt (default mamba2)
- *   batch: requests per batch (default 128)
+ * Usage: serving_comparison [--model m] [--batch n]
+ *   --model: retnet | gla | hgrn2 | mamba2 | zamba2 | opt (default mamba2)
+ *   --batch: requests per batch (default 128)
  */
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 
+#include "config/scenario.h"
+#include "core/args.h"
 #include "core/table.h"
 #include "sim/serving_sim.h"
 
@@ -20,23 +20,25 @@ using namespace pimba;
 
 namespace {
 
+/// Zoo lookup through the shared scenario registry, with the short
+/// family aliases this tool has always accepted ("mamba2" ->
+/// "mamba2-2.7b", "opt" -> "opt-7b").
 ModelConfig
-pickModel(const char *name)
+pickModel(const std::string &name)
 {
-    if (!strcmp(name, "retnet"))
-        return retnet2p7b();
-    if (!strcmp(name, "gla"))
-        return gla2p7b();
-    if (!strcmp(name, "hgrn2"))
-        return hgrn2_2p7b();
-    if (!strcmp(name, "mamba2"))
-        return mamba2_2p7b();
-    if (!strcmp(name, "zamba2"))
-        return zamba2_7b();
-    if (!strcmp(name, "opt"))
-        return opt7b();
-    fprintf(stderr, "unknown model '%s'\n", name);
-    exit(1);
+    for (const std::string &candidate :
+         {name, name + "-7b", name + "-2.7b"}) {
+        try {
+            return modelPreset(candidate);
+        } catch (const ConfigError &) {
+        }
+    }
+    try {
+        return modelPreset(name); // rethrow for the name list
+    } catch (const ConfigError &e) {
+        fprintf(stderr, "serving_comparison: %s\n", e.what());
+        exit(1);
+    }
 }
 
 } // namespace
@@ -44,8 +46,18 @@ pickModel(const char *name)
 int
 main(int argc, char **argv)
 {
-    ModelConfig model = pickModel(argc > 1 ? argv[1] : "mamba2");
-    int batch = argc > 2 ? atoi(argv[2]) : 128;
+    std::string model_name = "mamba2";
+    int batch = 128;
+    ArgParser args("serving_comparison",
+                   "Compare all five systems on one model and batch "
+                   "size (per-step latency, energy, memory).");
+    args.option("--model", "name",
+                "retnet | gla | hgrn2 | mamba2 | zamba2 | opt",
+                &model_name);
+    args.option("--batch", "n", "requests per batch", &batch);
+    if (!args.parse(argc, argv))
+        return args.exitCode();
+    ModelConfig model = pickModel(model_name);
 
     printf("comparing systems on %s, batch %d, (2048, 2048) lengths\n\n",
            model.name.c_str(), batch);

@@ -3,104 +3,33 @@
  * Find each system's saturation point under open-loop Poisson traffic:
  * geometrically grow the arrival rate until the SLO breaks, then bisect
  * to the highest rate at which >= 95% of requests still meet the SLO.
- * Prints one line per system — the request-level analogue of the
- * paper's throughput comparison. `--smoke` shrinks the trace and the
- * bisection depth for CI.
+ * One row per system x scheduler policy — the request-level analogue of
+ * the paper's throughput comparison.
+ *
+ * Thin wrapper over the scenario registry's saturation kind; the same
+ * study loads from scenarios/saturation_search.json via `pimba run`.
+ * `--smoke` shrinks the trace and the bisection depth for CI.
  */
 
 #include <cstdio>
-#include <cstring>
 
-#include "core/table.h"
-#include "serving/workload.h"
+#include "config/runner.h"
+#include "core/args.h"
 
 using namespace pimba;
-
-namespace {
-
-int gNumRequests = 96;
-int gBisectSteps = 6;
-
-ServingMetrics
-serveAtRate(SystemKind kind, const ModelConfig &model, double rate,
-            SchedulerPolicy policy)
-{
-    OpenLoopWorkload w;
-    w.numRequests = gNumRequests;
-    w.policy = policy;
-    // Uniform lengths (mean 512/256): length variance is what lets SJF
-    // reorder relative to FCFS; fixed lengths would make them identical.
-    w.inputLen = 256;
-    w.inputLenMax = 768;
-    w.outputLen = 128;
-    w.outputLenMax = 384;
-    return servePoisson(kind, model, rate, w);
-}
-
-/** Highest Poisson rate at which >= 95% of requests meet the SLO. */
-double
-saturationRate(SystemKind kind, const ModelConfig &model,
-               SchedulerPolicy policy, ServingMetrics &at_knee)
-{
-    double lo = 0.5;
-    ServingMetrics m = serveAtRate(kind, model, lo, policy);
-    if (!sustainsSlo(m)) {
-        at_knee = m;
-        return 0.0;
-    }
-    double hi = lo;
-    while (hi < 512.0) {
-        hi *= 2.0;
-        if (!sustainsSlo(serveAtRate(kind, model, hi, policy)))
-            break;
-        lo = hi;
-    }
-    for (int i = 0; i < gBisectSteps; ++i) {
-        double mid = 0.5 * (lo + hi);
-        if (sustainsSlo(serveAtRate(kind, model, mid, policy)))
-            lo = mid;
-        else
-            hi = mid;
-    }
-    at_knee = serveAtRate(kind, model, lo, policy);
-    return lo;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--smoke") == 0) {
-            gNumRequests = 32;
-            gBisectSteps = 2;
-        }
-    }
-    ModelConfig model = mamba2_2p7b();
-    printf("=== Saturation sweep: %s, Poisson, uniform input "
-           "256..768 / output 128..384 ===\n", model.name.c_str());
-    Table t({"system", "policy", "saturation req/s", "tok/s",
-             "TTFT p95", "TPOT p95"});
-    double gpuRate = 0.0;
-    for (SystemKind kind :
-         {SystemKind::GPU, SystemKind::GPU_Q, SystemKind::GPU_PIM,
-          SystemKind::PIMBA, SystemKind::NEUPIMS}) {
-        for (SchedulerPolicy policy : allPolicies()) {
-            ServingMetrics knee;
-            double rate = saturationRate(kind, model, policy, knee);
-            if (kind == SystemKind::GPU &&
-                policy == SchedulerPolicy::FCFS)
-                gpuRate = rate;
-            t.addRow({systemName(kind), policyName(policy), fmt(rate, 2),
-                      fmt(knee.tokensPerSec, 0), fmt(knee.ttft.p95, 3),
-                      fmt(knee.tpot.p95, 4)});
-        }
-        fprintf(stderr, "  %s done\n", systemName(kind).c_str());
-    }
-    printf("%s\n", t.str().c_str());
-    if (gpuRate > 0.0)
-        printf("(rates relative to GPU fcfs = 1.00x at %s req/s)\n",
-               fmt(gpuRate, 2).c_str());
+    bool smoke = false;
+    ArgParser args("traffic_sweep",
+                   "Bisect each system's saturation rate under the "
+                   "TTFT/TPOT SLO.");
+    args.flag("--smoke", "CI-sized trace and bisection depth", &smoke);
+    if (!args.parse(argc, argv))
+        return args.exitCode();
+
+    ScenarioReport rep = runScenario(saturationScenario(smoke));
+    fputs(rep.renderText().c_str(), stdout);
     return 0;
 }

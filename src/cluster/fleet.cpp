@@ -99,16 +99,47 @@ homogeneousFleet(SystemKind kind, size_t n, EngineConfig engine)
     return cfg;
 }
 
+std::string
+validateFleetConfig(const FleetConfig &cfg)
+{
+    if (cfg.replicas.empty())
+        return "fleet: needs at least 1 replica (empty fleets serve "
+               "nothing)";
+    for (size_t i = 0; i < cfg.replicas.size(); ++i) {
+        const ReplicaConfig &rc = cfg.replicas[i];
+        if (rc.nGpus < 1)
+            return "fleet: replica " + std::to_string(i) +
+                   ": nGpus must be >= 1, got " +
+                   std::to_string(rc.nGpus);
+        if (std::string err = validateEngineConfig(rc.engine);
+            !err.empty())
+            return "fleet: replica " + std::to_string(i) + ": " + err;
+    }
+    if (cfg.mode == FleetMode::Disaggregated) {
+        if (cfg.prefillReplicas < 1 ||
+            cfg.prefillReplicas >= cfg.replicas.size())
+            return "fleet: disaggregation needs >= 1 prefill and >= 1 "
+                   "decode replica; got " +
+                   std::to_string(cfg.prefillReplicas) +
+                   " prefill of " + std::to_string(cfg.replicas.size()) +
+                   " total";
+        if (!(cfg.link.bandwidth > 0.0) ||
+            !(cfg.link.efficiency > 0.0))
+            return "fleet: the disaggregation link needs positive "
+                   "bandwidth and efficiency (" + cfg.link.name + ")";
+    }
+    if (!(cfg.slo.ttft > 0.0) || !(cfg.slo.tpot > 0.0))
+        return "fleet: SLO targets must be positive seconds (ttft " +
+               std::to_string(cfg.slo.ttft) + ", tpot " +
+               std::to_string(cfg.slo.tpot) + ")";
+    return "";
+}
+
 Fleet::Fleet(const ModelConfig &model_, FleetConfig cfg_)
     : model(model_), cfg(std::move(cfg_))
 {
-    PIMBA_ASSERT(!cfg.replicas.empty(), "fleet needs at least 1 replica");
-    if (cfg.mode == FleetMode::Disaggregated)
-        PIMBA_ASSERT(cfg.prefillReplicas >= 1 &&
-                         cfg.prefillReplicas < cfg.replicas.size(),
-                     "disaggregation needs >= 1 prefill and >= 1 decode "
-                     "replica; got ", cfg.prefillReplicas, " prefill of ",
-                     cfg.replicas.size(), " total");
+    if (std::string err = validateFleetConfig(cfg); !err.empty())
+        PIMBA_FATAL(err);
     engines.reserve(cfg.replicas.size());
     for (const ReplicaConfig &rc : cfg.replicas) {
         ServingSimulator sim(makeSystem(rc.kind, rc.nGpus));

@@ -41,7 +41,7 @@
 
 namespace pimba {
 
-/** One replica of the fleet. */
+/// One replica of the fleet.
 struct ReplicaConfig
 {
     SystemKind kind = SystemKind::GPU;
@@ -49,34 +49,42 @@ struct ReplicaConfig
     EngineConfig engine;
 };
 
-/** How the fleet splits the request lifecycle across replicas. */
+/// How the fleet splits the request lifecycle across replicas.
 enum class FleetMode
 {
     Colocated,     ///< every replica prefills and decodes
     Disaggregated, ///< prefill pool -> link transfer -> decode pool
 };
 
-/** Full description of one fleet. */
+/// Full description of one fleet.
 struct FleetConfig
 {
     std::vector<ReplicaConfig> replicas;
     RouterPolicy router = RouterPolicy::RoundRobin;
     uint32_t routerSeed = 0x5EEDC4A5u; ///< PowerOfTwoChoices sampling
     FleetMode mode = FleetMode::Colocated;
-    /** Disaggregated only: the first @c prefillReplicas replicas form
-     *  the prefill pool, the rest the decode pool. */
+    /// Disaggregated only: the first @c prefillReplicas replicas form
+    /// the prefill pool, the rest the decode pool.
     size_t prefillReplicas = 0;
-    /** Disaggregated only: the link KV/state blocks ship over. */
+    /// Disaggregated only: the link KV/state blocks ship over.
     LinkConfig link = infinibandLink();
-    /** SLO the fleet-level metrics are judged against. */
+    /// SLO the fleet-level metrics are judged against.
     SloConfig slo;
 };
 
-/** Convenience: @p n identical replicas of one system. */
+/// Convenience: @p n identical replicas of one system.
 FleetConfig homogeneousFleet(SystemKind kind, size_t n,
                              EngineConfig engine = {});
 
-/** Where one request was served. */
+/// Validate @p cfg. Returns the empty string when the fleet is runnable,
+/// else one actionable message (empty fleet, non-positive per-replica
+/// tensor-parallel degree, a bad per-replica EngineConfig, an impossible
+/// disaggregation split, a zero-bandwidth link). The Fleet constructor
+/// enforces this; the scenario loader calls it up front so JSON mistakes
+/// are reported with a file location instead of a fatal abort mid-run.
+std::string validateFleetConfig(const FleetConfig &cfg);
+
+/// Where one request was served.
 struct Assignment
 {
     uint64_t requestId = 0;
@@ -86,15 +94,15 @@ struct Assignment
     bool operator==(const Assignment &) const = default;
 };
 
-/** Outcome of one fleet run over a trace. */
+/// Outcome of one fleet run over a trace.
 struct FleetReport
 {
     FleetMode mode = FleetMode::Colocated;
     RouterPolicy router = RouterPolicy::RoundRobin;
     std::vector<ServingReport> replicas; ///< per replica, replica order
     std::vector<Assignment> assignments; ///< in routing order
-    /** Fleet-level per-request records: end-to-end latencies with the
-     *  transfer charged into TTFT, ordered by completion time. */
+    /// Fleet-level per-request records: end-to-end latencies with the
+    /// transfer charged into TTFT, ordered by completion time.
     std::vector<CompletedRequest> completed;
     ServingMetrics metrics; ///< over the fleet-level records
     double makespan = 0.0;  ///< trace start to last token, fleet-wide
@@ -102,14 +110,14 @@ struct FleetReport
     TransferStats transfer; ///< all-zero for a colocated fleet
 };
 
-/** N-replica fleet simulator for one model. */
+/// N-replica fleet simulator for one model.
 class Fleet
 {
   public:
     Fleet(const ModelConfig &model, FleetConfig cfg);
 
-    /** Serve @p trace to completion across the fleet. Reusable: every
-     *  run re-seeds the router and resets every replica. */
+    /// Serve @p trace to completion across the fleet. Reusable: every
+    /// run re-seeds the router and resets every replica.
     FleetReport run(const std::vector<Request> &trace);
 
     const FleetConfig &config() const { return cfg; }

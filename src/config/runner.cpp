@@ -1,0 +1,437 @@
+#include "config/runner.h"
+
+#include <cstdio>
+
+#include "sim/serving_sim.h"
+
+namespace pimba {
+
+std::string
+ScenarioReport::renderText() const
+{
+    std::string out = "=== " + title + " ===\n";
+    for (const ReportSection &sec : sections) {
+        if (!sec.heading.empty())
+            out += "--- " + sec.heading + " ---\n";
+        if (sec.table)
+            out += sec.table->str();
+        for (const std::string &line : sec.lines)
+            out += line + "\n";
+        out += "\n";
+    }
+    return out;
+}
+
+std::string
+ScenarioReport::renderCsv() const
+{
+    std::string out = "# " + title + "\n";
+    for (const ReportSection &sec : sections) {
+        if (!sec.heading.empty())
+            out += "# " + sec.heading + "\n";
+        if (sec.table)
+            out += sec.table->csv();
+        for (const std::string &line : sec.lines)
+            out += "# " + line + "\n";
+    }
+    return out;
+}
+
+ServingReport
+runServingPoint(const ServingScenario &sc, SystemKind kind,
+                SchedulerPolicy policy, ExecutionMode mode, double rate)
+{
+    TraceConfig tc = sc.trace;
+    tc.ratePerSec = rate;
+    ServingSimulator sim(makeSystem(kind, sc.nGpus));
+    EngineConfig ec = sc.engine;
+    ec.policy = policy;
+    ec.executionMode = mode;
+    ServingEngine engine(sim, sc.model, ec);
+    return engine.run(generateTrace(tc));
+}
+
+FleetReport
+runFleetCase(const FleetScenario &sc, const FleetCase &c,
+             std::optional<RouterPolicy> router)
+{
+    FleetConfig cfg = c.fleet;
+    if (router)
+        cfg.router = *router;
+    Fleet fleet(sc.model, cfg);
+    return fleet.run(generateTrace(sc.trace));
+}
+
+namespace {
+
+/// Execution modes one (system, scenario) row set actually sweeps:
+/// autoModes expands to blocked plus overlapped where a PIM exists.
+std::vector<ExecutionMode>
+modesFor(const ServingScenario &sc, SystemKind kind)
+{
+    if (!sc.autoModes)
+        return sc.modes;
+    std::vector<ExecutionMode> modes = {ExecutionMode::Blocked};
+    if (makeSystem(kind).pim().has_value())
+        modes.push_back(ExecutionMode::Overlapped);
+    return modes;
+}
+
+ScenarioReport
+runThroughput(const Scenario &scenario, bool quiet)
+{
+    const auto &ts = std::get<ThroughputScenario>(scenario.spec);
+    ScenarioReport rep;
+
+    // (mean, max) ratio accumulators per summary, over all grid cells.
+    std::vector<Accumulator> ratios(ts.summaries.size());
+
+    for (const ThroughputGrid &grid : ts.grids) {
+        std::vector<std::string> header = {"model", "batch"};
+        for (SystemKind kind : ts.systems)
+            header.push_back(systemName(kind));
+        Table t(header);
+        for (const ModelConfig &model : grid.models) {
+            for (int batch : grid.batches) {
+                std::vector<double> thr;
+                for (SystemKind kind : ts.systems) {
+                    SystemConfig sys = makeSystem(kind, grid.nGpus,
+                                                  grid.gpu, grid.hbm);
+                    sys.executionMode = ts.executionMode;
+                    ServingSimulator sim(sys);
+                    thr.push_back(sim.generationThroughput(
+                        model, batch, ts.inputLen, ts.outputLen));
+                }
+                double base = thr[0];
+                std::vector<std::string> row = {
+                    model.name, std::to_string(batch)};
+                for (double v : thr)
+                    row.push_back(fmt(v / base, 2));
+                t.addRow(row);
+                for (size_t s = 0; s < ts.summaries.size(); ++s) {
+                    const ThroughputSummary &sum = ts.summaries[s];
+                    double num = 0.0, den = 0.0;
+                    for (size_t i = 0; i < ts.systems.size(); ++i) {
+                        if (ts.systems[i] == sum.system)
+                            num = thr[i];
+                        if (ts.systems[i] == sum.versus)
+                            den = thr[i];
+                    }
+                    if (num > 0.0 && den > 0.0)
+                        ratios[s].add(num / den);
+                }
+            }
+            if (!quiet)
+                fprintf(stderr, "  %s done\n", model.name.c_str());
+        }
+        rep.sections.push_back(
+            ReportSection{grid.label, std::move(t), {}});
+    }
+
+    if (!ts.summaries.empty()) {
+        ReportSection sec;
+        for (size_t s = 0; s < ts.summaries.size(); ++s) {
+            const ThroughputSummary &sum = ts.summaries[s];
+            std::string line = systemName(sum.system) + " vs " +
+                               systemName(sum.versus) + ": avg " +
+                               fmtRatio(ratios[s].mean()) + ", max " +
+                               fmtRatio(ratios[s].max());
+            if (!sum.note.empty())
+                line += " (" + sum.note + ")";
+            sec.lines.push_back(std::move(line));
+        }
+        rep.sections.push_back(std::move(sec));
+    }
+    return rep;
+}
+
+ScenarioReport
+runServing(const Scenario &scenario, bool quiet)
+{
+    const auto &sc = std::get<ServingScenario>(scenario.spec);
+    ScenarioReport rep;
+    Table t({"system", "policy", "mode", "rate", "tok/s", "goodput",
+             "TTFT p50", "TTFT p95", "TPOT p95", "preempt",
+             "blk util"});
+    // Per-system saturation knee: the highest swept rate still served
+    // almost entirely within the SLO (only meaningful for rate sweeps).
+    Table knees({"system", "policy", "mode", "saturation req/s",
+                 "peak tok/s"});
+    for (SystemKind kind : sc.systems) {
+        for (SchedulerPolicy policy : sc.policies) {
+            for (ExecutionMode mode : modesFor(sc, kind)) {
+                double knee_rate = 0.0, peak_tok = 0.0;
+                for (double rate : sc.rates) {
+                    ServingReport r =
+                        runServingPoint(sc, kind, policy, mode, rate);
+                    const ServingMetrics &m = r.metrics;
+                    t.addRow({systemName(kind), policyName(policy),
+                              executionModeName(mode), fmt(rate, 0),
+                              fmt(m.tokensPerSec, 1),
+                              fmt(m.goodput, 2), fmt(m.ttft.p50, 3),
+                              fmt(m.ttft.p95, 3), fmt(m.tpot.p95, 4),
+                              fmt(static_cast<double>(r.preemptions),
+                                  0),
+                              fmt(r.peakBlockUtil, 3)});
+                    peak_tok = std::max(peak_tok, m.tokensPerSec);
+                    if (sustainsSlo(m, 0.9))
+                        knee_rate = rate;
+                }
+                knees.addRow({systemName(kind), policyName(policy),
+                              executionModeName(mode),
+                              fmt(knee_rate, 0), fmt(peak_tok, 0)});
+            }
+        }
+        if (!quiet)
+            fprintf(stderr, "  %s done\n", systemName(kind).c_str());
+    }
+    rep.sections.push_back(ReportSection{"", std::move(t), {}});
+    if (sc.rates.size() > 1)
+        rep.sections.push_back(
+            ReportSection{"saturation knees", std::move(knees), {}});
+    return rep;
+}
+
+ScenarioReport
+runFleet(const Scenario &scenario, bool quiet)
+{
+    const auto &sc = std::get<FleetScenario>(scenario.spec);
+    ScenarioReport rep;
+    Table t({"fleet", "router", "goodput", "TTFT p50", "TTFT p95",
+             "TPOT p50", "TPOT p95", "queue p95", "req imbal",
+             "tok imbal", "xfer MB/req", "xfer p95 ms", "TTFT share"});
+    auto addRow = [&](const FleetCase &c,
+                      std::optional<RouterPolicy> router) {
+        FleetReport r = runFleetCase(sc, c, router);
+        std::string mb_per_req = "-", xfer_p95 = "-", ttft_share = "-";
+        if (r.transfer.transfers > 0) {
+            mb_per_req =
+                fmt(r.transfer.totalBytes /
+                        static_cast<double>(r.transfer.transfers) / 1e6,
+                    2);
+            xfer_p95 = fmt(r.transfer.perTransfer.p95 * 1e3, 3);
+            ttft_share = fmtPercent(r.transfer.meanTtftShare);
+        }
+        t.addRow({c.label, routerName(router ? *router
+                                             : c.fleet.router),
+                  fmt(r.metrics.goodput, 2), fmt(r.metrics.ttft.p50, 3),
+                  fmt(r.metrics.ttft.p95, 3), fmt(r.metrics.tpot.p50, 4),
+                  fmt(r.metrics.tpot.p95, 4),
+                  fmt(r.metrics.queueing.p95, 3),
+                  fmt(r.load.requestImbalance, 3),
+                  fmt(r.load.tokenImbalance, 3), mb_per_req, xfer_p95,
+                  ttft_share});
+    };
+    for (const FleetCase &c : sc.cases) {
+        if (sc.routers.empty()) {
+            addRow(c, {});
+        } else {
+            for (RouterPolicy router : sc.routers)
+                addRow(c, router);
+        }
+        if (!quiet)
+            fprintf(stderr, "  %s done\n", c.label.c_str());
+    }
+    rep.sections.push_back(ReportSection{"", std::move(t), {}});
+    return rep;
+}
+
+// ------------------------------------------------- saturation search
+
+ServingMetrics
+saturationPoint(const SaturationScenario &sc, SystemKind kind,
+                SchedulerPolicy policy, double rate)
+{
+    ServingScenario point;
+    point.systems = {kind};
+    point.model = sc.model;
+    point.engine = sc.engine;
+    point.trace = sc.trace;
+    return runServingPoint(point, kind, policy,
+                           sc.engine.executionMode.value_or(
+                               ExecutionMode::Blocked),
+                           rate)
+        .metrics;
+}
+
+/// Highest rate in [startRate, maxRate] sustaining the SLO fraction:
+/// geometric gallop up from startRate, then bisect the knee.
+double
+saturationRate(const SaturationScenario &sc, SystemKind kind,
+               SchedulerPolicy policy, ServingMetrics &at_knee)
+{
+    double lo = sc.startRate;
+    ServingMetrics m = saturationPoint(sc, kind, policy, lo);
+    if (!sustainsSlo(m, sc.sloFraction)) {
+        at_knee = m;
+        return 0.0;
+    }
+    double hi = lo;
+    while (hi < sc.maxRate) {
+        // Clamp the gallop so no probe (and no reported rate) ever
+        // exceeds the configured search ceiling.
+        hi = std::min(hi * 2.0, sc.maxRate);
+        if (!sustainsSlo(saturationPoint(sc, kind, policy, hi),
+                         sc.sloFraction))
+            break;
+        lo = hi;
+    }
+    for (int i = 0; i < sc.bisectSteps; ++i) {
+        double mid = 0.5 * (lo + hi);
+        if (sustainsSlo(saturationPoint(sc, kind, policy, mid),
+                        sc.sloFraction))
+            lo = mid;
+        else
+            hi = mid;
+    }
+    at_knee = saturationPoint(sc, kind, policy, lo);
+    return lo;
+}
+
+ScenarioReport
+runSaturation(const Scenario &scenario, bool quiet)
+{
+    const auto &sc = std::get<SaturationScenario>(scenario.spec);
+    ScenarioReport rep;
+    Table t({"system", "policy", "saturation req/s", "tok/s",
+             "TTFT p95", "TPOT p95"});
+    double gpu_fcfs_rate = 0.0;
+    for (SystemKind kind : sc.systems) {
+        for (SchedulerPolicy policy : sc.policies) {
+            ServingMetrics knee;
+            double rate = saturationRate(sc, kind, policy, knee);
+            if (kind == SystemKind::GPU &&
+                policy == SchedulerPolicy::FCFS)
+                gpu_fcfs_rate = rate;
+            t.addRow({systemName(kind), policyName(policy),
+                      fmt(rate, 2), fmt(knee.tokensPerSec, 0),
+                      fmt(knee.ttft.p95, 3), fmt(knee.tpot.p95, 4)});
+        }
+        if (!quiet)
+            fprintf(stderr, "  %s done\n", systemName(kind).c_str());
+    }
+    ReportSection sec{"", std::move(t), {}};
+    if (gpu_fcfs_rate > 0.0)
+        sec.lines.push_back("(rates relative to GPU fcfs = 1.00x at " +
+                            fmt(gpu_fcfs_rate, 2) + " req/s)");
+    rep.sections.push_back(std::move(sec));
+    return rep;
+}
+
+// ---------------------------------------------------- fleet planning
+
+/// True if an n-replica homogeneous fleet of @p kind meets the SLO.
+bool
+plannerMeetsSlo(const PlannerScenario &sc, SystemKind kind, size_t n,
+                const std::vector<Request> &trace)
+{
+    FleetConfig cfg = homogeneousFleet(kind, n, sc.engine);
+    cfg.router = sc.router;
+    FleetReport rep = Fleet(sc.model, cfg).run(trace);
+    return sustainsSlo(rep.metrics, sc.sloFraction);
+}
+
+/// Smallest replica count in [1, maxReplicas] meeting the SLO, or 0.
+size_t
+plannerMinReplicas(const PlannerScenario &sc, SystemKind kind,
+                   const std::vector<Request> &trace)
+{
+    // Gallop to a passing upper bound, clamped to maxReplicas so the
+    // ceiling itself is probed even when it is not a power of two,
+    // then bisect the first passing count in (last failure, hi].
+    size_t lo = 1, hi = 1;
+    bool found = false;
+    while (true) {
+        if (plannerMeetsSlo(sc, kind, hi, trace)) {
+            found = true;
+            break;
+        }
+        if (hi >= sc.maxReplicas)
+            break;
+        lo = hi + 1;
+        hi = std::min(hi * 2, sc.maxReplicas);
+    }
+    if (!found)
+        return 0;
+    while (lo < hi) {
+        size_t mid = (lo + hi) / 2;
+        if (plannerMeetsSlo(sc, kind, mid, trace))
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    return hi;
+}
+
+ScenarioReport
+runPlanner(const Scenario &scenario, bool quiet)
+{
+    const auto &sc = std::get<PlannerScenario>(scenario.spec);
+    ScenarioReport rep;
+    std::vector<Request> trace = generateTrace(sc.trace);
+
+    Table t({"system", "min replicas", "goodput", "TTFT p95",
+             "vs Pimba"});
+    size_t pimba_count = 0;
+    std::vector<std::pair<SystemKind, size_t>> results;
+    for (SystemKind kind : sc.systems) {
+        size_t n = plannerMinReplicas(sc, kind, trace);
+        if (kind == SystemKind::PIMBA)
+            pimba_count = n;
+        results.emplace_back(kind, n);
+        if (!quiet)
+            fprintf(stderr, "  %s done\n", systemName(kind).c_str());
+    }
+    for (auto [kind, n] : results) {
+        if (n == 0) {
+            t.addRow({systemName(kind),
+                      "> " + std::to_string(sc.maxReplicas), "-", "-",
+                      "-"});
+            continue;
+        }
+        FleetConfig cfg = homogeneousFleet(kind, n, sc.engine);
+        cfg.router = sc.router;
+        FleetReport r = Fleet(sc.model, cfg).run(trace);
+        t.addRow({systemName(kind), fmt(static_cast<double>(n), 0),
+                  fmt(r.metrics.goodput, 2), fmt(r.metrics.ttft.p95, 3),
+                  pimba_count > 0
+                      ? fmtRatio(static_cast<double>(n) /
+                                 static_cast<double>(pimba_count))
+                      : "-"});
+    }
+    ReportSection sec{"", std::move(t), {}};
+    sec.lines.push_back(
+        "\"vs Pimba\": replica-count ratio against the Pimba fleet — "
+        "the devices one Pimba device replaces at equal SLO.");
+    rep.sections.push_back(std::move(sec));
+    return rep;
+}
+
+} // namespace
+
+ScenarioReport
+runScenario(const Scenario &sc, bool quiet)
+{
+    ScenarioReport rep;
+    switch (sc.kind) {
+      case ScenarioKind::Throughput:
+        rep = runThroughput(sc, quiet);
+        break;
+      case ScenarioKind::Serving:
+        rep = runServing(sc, quiet);
+        break;
+      case ScenarioKind::Fleet:
+        rep = runFleet(sc, quiet);
+        break;
+      case ScenarioKind::Saturation:
+        rep = runSaturation(sc, quiet);
+        break;
+      case ScenarioKind::Planner:
+        rep = runPlanner(sc, quiet);
+        break;
+    }
+    rep.title = sc.description.empty() ? sc.name : sc.description;
+    return rep;
+}
+
+} // namespace pimba

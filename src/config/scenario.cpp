@@ -1,0 +1,1064 @@
+#include "config/scenario.h"
+
+#include <algorithm>
+#include <cctype>
+#include <initializer_list>
+#include <limits>
+
+#include "cluster/workload.h"
+
+namespace pimba {
+
+std::string
+scenarioKindName(ScenarioKind kind)
+{
+    switch (kind) {
+      case ScenarioKind::Throughput: return "throughput";
+      case ScenarioKind::Serving: return "serving";
+      case ScenarioKind::Fleet: return "fleet";
+      case ScenarioKind::Saturation: return "saturation";
+      case ScenarioKind::Planner: return "planner";
+    }
+    return "unknown";
+}
+
+namespace {
+
+[[noreturn]] void
+failAt(const JsonValue &v, const std::string &msg)
+{
+    throw ConfigError(msg, v.line(), v.column());
+}
+
+std::string
+lowered(const std::string &s)
+{
+    std::string out = s;
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) {
+                       return static_cast<char>(std::tolower(c));
+                   });
+    return out;
+}
+
+/// Reject members outside @p allowed so typos are caught, not ignored.
+void
+checkKeys(const JsonValue &obj,
+          std::initializer_list<const char *> allowed)
+{
+    for (const auto &[key, value] : obj.members()) {
+        bool ok = false;
+        for (const char *name : allowed)
+            if (key == name)
+                ok = true;
+        if (!ok) {
+            std::string names;
+            for (const char *name : allowed)
+                names += std::string(names.empty() ? "" : ", ") + name;
+            failAt(value, "unknown key \"" + key +
+                              "\" (expected one of: " + names + ")");
+        }
+    }
+}
+
+double
+getNumber(const JsonValue &obj, const char *key, double fallback)
+{
+    const JsonValue *v = obj.find(key);
+    return v ? v->asNumber() : fallback;
+}
+
+int64_t
+getInt(const JsonValue &obj, const char *key, int64_t fallback)
+{
+    const JsonValue *v = obj.find(key);
+    return v ? v->asInt() : fallback;
+}
+
+/// Integer member destined for an unsigned config field: a negative
+/// value must fail here, located — a static_cast would wrap it past
+/// every downstream validator.
+uint64_t
+getUint(const JsonValue &obj, const char *key, uint64_t fallback)
+{
+    const JsonValue *v = obj.find(key);
+    if (!v)
+        return fallback;
+    int64_t n = v->asInt();
+    if (n < 0)
+        failAt(*v, std::string("\"") + key +
+                       "\" must be >= 0, got " + std::to_string(n));
+    return static_cast<uint64_t>(n);
+}
+
+std::string
+getString(const JsonValue &obj, const char *key,
+          const std::string &fallback)
+{
+    const JsonValue *v = obj.find(key);
+    return v ? v->asString() : fallback;
+}
+
+/// 32-bit seed member: values past 2^32 - 1 must fail here, located —
+/// truncation would silently alias distinct seeds onto one stream.
+uint32_t
+getSeed(const JsonValue &obj, const char *key, uint32_t fallback)
+{
+    uint64_t n = getUint(obj, key, fallback);
+    if (n > 0xFFFFFFFFull)
+        failAt(*obj.find(key),
+               std::string("\"") + key +
+                   "\" must fit in 32 bits, got " + std::to_string(n));
+    return static_cast<uint32_t>(n);
+}
+
+/// Integer member destined for an `int` field: values outside int's
+/// range must fail here, located — a static_cast would silently wrap.
+int
+getInt32(const JsonValue &obj, const char *key, int fallback)
+{
+    const JsonValue *v = obj.find(key);
+    if (!v)
+        return fallback;
+    int64_t n = v->asInt();
+    if (n < std::numeric_limits<int>::min() ||
+        n > std::numeric_limits<int>::max())
+        failAt(*v, std::string("\"") + key + "\" is out of int range: " +
+                       std::to_string(n));
+    return static_cast<int>(n);
+}
+
+SystemKind
+parseSystemKind(const JsonValue &v)
+{
+    std::string name = lowered(v.asString());
+    if (name == "gpu")
+        return SystemKind::GPU;
+    if (name == "gpu+q" || name == "gpu_q")
+        return SystemKind::GPU_Q;
+    if (name == "gpu+pim" || name == "gpu_pim")
+        return SystemKind::GPU_PIM;
+    if (name == "pimba")
+        return SystemKind::PIMBA;
+    if (name == "neupims")
+        return SystemKind::NEUPIMS;
+    failAt(v, "unknown system \"" + v.asString() +
+                  "\" (expected gpu, gpu+q, gpu+pim, pimba, neupims)");
+}
+
+std::vector<SystemKind>
+parseSystems(const JsonValue &obj, const JsonValue &root)
+{
+    const JsonValue *v = obj.find("systems");
+    if (!v)
+        failAt(root, "missing required key \"systems\"");
+    std::vector<SystemKind> out;
+    for (const JsonValue &item : v->items())
+        out.push_back(parseSystemKind(item));
+    if (out.empty())
+        failAt(*v, "\"systems\" must name at least one system");
+    return out;
+}
+
+SchedulerPolicy
+parsePolicy(const JsonValue &v)
+{
+    std::string name = lowered(v.asString());
+    if (name == "fcfs")
+        return SchedulerPolicy::FCFS;
+    if (name == "sjf")
+        return SchedulerPolicy::SJF;
+    if (name == "sarathi")
+        return SchedulerPolicy::Sarathi;
+    failAt(v, "unknown scheduler policy \"" + v.asString() +
+                  "\" (expected fcfs, sjf, sarathi)");
+}
+
+RouterPolicy
+parseRouter(const JsonValue &v)
+{
+    std::string name = lowered(v.asString());
+    if (name == "rr" || name == "round-robin")
+        return RouterPolicy::RoundRobin;
+    if (name == "jsq")
+        return RouterPolicy::JoinShortestQueue;
+    if (name == "lot")
+        return RouterPolicy::LeastOutstandingTokens;
+    if (name == "p2c")
+        return RouterPolicy::PowerOfTwoChoices;
+    failAt(v, "unknown router \"" + v.asString() +
+                  "\" (expected rr, jsq, lot, p2c)");
+}
+
+ExecutionMode
+parseMode(const JsonValue &v)
+{
+    std::string name = lowered(v.asString());
+    if (name == "blocked")
+        return ExecutionMode::Blocked;
+    if (name == "overlapped")
+        return ExecutionMode::Overlapped;
+    failAt(v, "unknown execution mode \"" + v.asString() +
+                  "\" (expected blocked, overlapped)");
+}
+
+/// One model entry: a preset name or {"base", "scaleTo", "name"}.
+ModelConfig
+parseModelValue(const JsonValue &v)
+{
+    if (v.isString()) {
+        try {
+            return modelPreset(v.asString());
+        } catch (const ConfigError &e) {
+            failAt(v, e.what());
+        }
+    }
+    if (!v.isObject())
+        failAt(v, "expected a model name or object");
+    checkKeys(v, {"base", "scaleTo", "name"});
+    const JsonValue *base = v.find("base");
+    if (!base)
+        failAt(v, "a model object needs a \"base\" preset name");
+    ModelConfig m;
+    try {
+        m = modelPreset(base->asString());
+    } catch (const ConfigError &e) {
+        failAt(*base, e.what());
+    }
+    if (const JsonValue *scale = v.find("scaleTo")) {
+        std::string base_name = m.name;
+        m = scaleModel(m, scale->asNumber());
+        m.name = base_name; // keep the family name, as the figures do
+    }
+    m.name = getString(v, "name", m.name);
+    return m;
+}
+
+ModelConfig
+parseModel(const JsonValue &obj, const JsonValue &root)
+{
+    const JsonValue *v = obj.find("model");
+    if (!v)
+        failAt(root, "missing required key \"model\"");
+    return parseModelValue(*v);
+}
+
+TraceConfig
+parseTrace(const JsonValue &obj, const JsonValue &root,
+           bool require = true)
+{
+    TraceConfig tc;
+    const JsonValue *v = obj.find("trace");
+    if (!v) {
+        if (require)
+            failAt(root, "missing required key \"trace\"");
+        return tc;
+    }
+    checkKeys(*v, {"arrivals", "rate", "numRequests", "lengths",
+                   "inputLen", "inputLenMax", "outputLen",
+                   "outputLenMax", "seed"});
+    if (const JsonValue *a = v->find("arrivals")) {
+        std::string name = lowered(a->asString());
+        if (name == "poisson")
+            tc.arrivals = ArrivalProcess::Poisson;
+        else if (name == "fixed")
+            tc.arrivals = ArrivalProcess::Fixed;
+        else
+            failAt(*a, "unknown arrival process \"" + a->asString() +
+                           "\" (expected poisson, fixed)");
+    }
+    tc.ratePerSec = getNumber(*v, "rate", tc.ratePerSec);
+    tc.numRequests = getInt32(*v, "numRequests", tc.numRequests);
+    tc.inputLen = getUint(*v, "inputLen", tc.inputLen);
+    tc.outputLen = getUint(*v, "outputLen", tc.outputLen);
+    tc.inputLenMax = getUint(*v, "inputLenMax", 0);
+    tc.outputLenMax = getUint(*v, "outputLenMax", 0);
+    tc.seed = getSeed(*v, "seed", tc.seed);
+    if (const JsonValue *l = v->find("lengths")) {
+        std::string name = lowered(l->asString());
+        if (name == "fixed")
+            tc.lengths = LengthDistribution::Fixed;
+        else if (name == "uniform")
+            tc.lengths = LengthDistribution::Uniform;
+        else
+            failAt(*l, "unknown length distribution \"" +
+                           l->asString() +
+                           "\" (expected fixed, uniform)");
+    } else if (tc.inputLenMax > 0 || tc.outputLenMax > 0) {
+        tc.lengths = LengthDistribution::Uniform;
+    }
+    if (std::string err = validateTraceConfig(tc); !err.empty())
+        failAt(*v, err);
+    return tc;
+}
+
+SloConfig
+parseSlo(const JsonValue &obj, SloConfig fallback)
+{
+    const JsonValue *v = obj.find("slo");
+    if (!v)
+        return fallback;
+    checkKeys(*v, {"ttft", "tpot"});
+    SloConfig slo = fallback;
+    slo.ttft = getNumber(*v, "ttft", slo.ttft);
+    slo.tpot = getNumber(*v, "tpot", slo.tpot);
+    return slo;
+}
+
+EngineConfig
+parseEngine(const JsonValue &obj)
+{
+    EngineConfig ec;
+    const JsonValue *v = obj.find("engine");
+    if (!v)
+        return ec;
+    checkKeys(*v, {"maxBatch", "prefillChunk", "memoryBudget",
+                   "blockTokens", "iterTokenBudget", "policy",
+                   "executionMode", "slo"});
+    ec.maxBatch = getInt32(*v, "maxBatch", ec.maxBatch);
+    ec.prefillChunk = getUint(*v, "prefillChunk", ec.prefillChunk);
+    ec.memoryBudget = getNumber(*v, "memoryBudget", ec.memoryBudget);
+    ec.blockTokens = getUint(*v, "blockTokens", ec.blockTokens);
+    ec.iterTokenBudget =
+        getUint(*v, "iterTokenBudget", ec.iterTokenBudget);
+    if (const JsonValue *p = v->find("policy"))
+        ec.policy = parsePolicy(*p);
+    if (const JsonValue *m = v->find("executionMode"))
+        ec.executionMode = parseMode(*m);
+    ec.slo = parseSlo(*v, ec.slo);
+    if (std::string err = validateEngineConfig(ec); !err.empty())
+        failAt(*v, err);
+    return ec;
+}
+
+LinkConfig
+parseLink(const JsonValue &v)
+{
+    if (v.isString()) {
+        std::string name = lowered(v.asString());
+        if (name == "nvlink")
+            return nvlinkLink();
+        if (name == "infiniband")
+            return infinibandLink();
+        failAt(v, "unknown link preset \"" + v.asString() +
+                      "\" (expected nvlink, infiniband, or an object)");
+    }
+    checkKeys(v, {"name", "bandwidth", "efficiency", "setupLatency",
+                  "energyPerBit"});
+    LinkConfig link;
+    link.name = getString(v, "name", link.name);
+    link.bandwidth = getNumber(v, "bandwidth", link.bandwidth);
+    link.efficiency = getNumber(v, "efficiency", link.efficiency);
+    link.setupLatency = getNumber(v, "setupLatency", link.setupLatency);
+    link.energyPerBit = getNumber(v, "energyPerBit", link.energyPerBit);
+    return link;
+}
+
+std::vector<ReplicaConfig>
+parseReplicas(const JsonValue &v)
+{
+    std::vector<ReplicaConfig> out;
+    for (const JsonValue &item : v.items()) {
+        checkKeys(item, {"system", "count", "nGpus", "engine"});
+        const JsonValue *sys = item.find("system");
+        if (!sys)
+            failAt(item, "a replica entry needs a \"system\"");
+        ReplicaConfig rc;
+        rc.kind = parseSystemKind(*sys);
+        rc.nGpus = getInt32(item, "nGpus", rc.nGpus);
+        rc.engine = parseEngine(item);
+        int64_t count = getInt(item, "count", 1);
+        if (count < 1 || count > (1 << 16))
+            failAt(item, "replica \"count\" must be in [1, 65536], "
+                         "got " +
+                             std::to_string(count));
+        for (int64_t i = 0; i < count; ++i)
+            out.push_back(rc);
+    }
+    return out;
+}
+
+FleetConfig
+parseFleetConfig(const JsonValue &v)
+{
+    checkKeys(v, {"label", "router", "routerSeed", "mode",
+                  "prefillReplicas", "link", "slo", "replicas"});
+    FleetConfig cfg;
+    const JsonValue *reps = v.find("replicas");
+    if (!reps)
+        failAt(v, "a fleet needs a \"replicas\" array");
+    cfg.replicas = parseReplicas(*reps);
+    if (const JsonValue *r = v.find("router"))
+        cfg.router = parseRouter(*r);
+    cfg.routerSeed = getSeed(v, "routerSeed", cfg.routerSeed);
+    if (const JsonValue *m = v.find("mode")) {
+        std::string name = lowered(m->asString());
+        if (name == "colocated")
+            cfg.mode = FleetMode::Colocated;
+        else if (name == "disaggregated")
+            cfg.mode = FleetMode::Disaggregated;
+        else
+            failAt(*m, "unknown fleet mode \"" + m->asString() +
+                           "\" (expected colocated, disaggregated)");
+    }
+    cfg.prefillReplicas = static_cast<size_t>(
+        getUint(v, "prefillReplicas", cfg.prefillReplicas));
+    if (const JsonValue *l = v.find("link"))
+        cfg.link = parseLink(*l);
+    cfg.slo = parseSlo(v, cfg.slo);
+    if (std::string err = validateFleetConfig(cfg); !err.empty())
+        failAt(v, err);
+    return cfg;
+}
+
+GpuConfig
+parseGpuPreset(const JsonValue &v, HbmConfig &hbm)
+{
+    std::string name = lowered(v.asString());
+    if (name == "a100") {
+        hbm = hbm2eConfig();
+        return a100Config();
+    }
+    if (name == "h100") {
+        hbm = hbm3Config();
+        return h100Config();
+    }
+    failAt(v, "unknown GPU preset \"" + v.asString() +
+                  "\" (expected a100, h100)");
+}
+
+std::vector<ModelConfig>
+parseModelList(const JsonValue &v)
+{
+    std::vector<ModelConfig> out;
+    for (const JsonValue &item : v.items())
+        out.push_back(parseModelValue(item));
+    return out;
+}
+
+ThroughputScenario
+parseThroughput(const JsonValue &root)
+{
+    ThroughputScenario ts;
+    ts.systems = parseSystems(root, root);
+    ts.inputLen = getUint(root, "inputLen", ts.inputLen);
+    ts.outputLen = getUint(root, "outputLen", ts.outputLen);
+    if (const JsonValue *m = root.find("executionMode"))
+        ts.executionMode = parseMode(*m);
+    const JsonValue *grids = root.find("grids");
+    if (!grids)
+        failAt(root, "a throughput scenario needs a \"grids\" array");
+    for (const JsonValue &g : grids->items()) {
+        checkKeys(g, {"label", "gpu", "nGpus", "models", "batches"});
+        ThroughputGrid grid;
+        grid.label = getString(g, "label", "");
+        grid.hbm = hbm2eConfig();
+        grid.gpu = a100Config();
+        if (const JsonValue *gpu = g.find("gpu"))
+            grid.gpu = parseGpuPreset(*gpu, grid.hbm);
+        grid.nGpus = getInt32(g, "nGpus", 1);
+        if (grid.nGpus < 1)
+            failAt(g, "\"nGpus\" must be >= 1, got " +
+                          std::to_string(grid.nGpus));
+        const JsonValue *models = g.find("models");
+        if (!models)
+            failAt(g, "a grid needs a \"models\" array");
+        grid.models = parseModelList(*models);
+        const JsonValue *batches = g.find("batches");
+        if (!batches)
+            failAt(g, "a grid needs a \"batches\" array");
+        for (const JsonValue &b : batches->items()) {
+            int64_t batch = b.asInt();
+            if (batch < 1 || batch > (1 << 20))
+                failAt(b, "batch sizes must be in [1, 1048576], got " +
+                              std::to_string(batch));
+            grid.batches.push_back(static_cast<int>(batch));
+        }
+        if (grid.models.empty() || grid.batches.empty())
+            failAt(g, "a grid needs at least one model and one batch");
+        ts.grids.push_back(std::move(grid));
+    }
+    if (ts.grids.empty())
+        failAt(*grids, "\"grids\" must hold at least one grid");
+    if (const JsonValue *sums = root.find("summaries")) {
+        for (const JsonValue &s : sums->items()) {
+            checkKeys(s, {"system", "versus", "note"});
+            ThroughputSummary sum;
+            if (const JsonValue *sys = s.find("system"))
+                sum.system = parseSystemKind(*sys);
+            if (const JsonValue *vs = s.find("versus"))
+                sum.versus = parseSystemKind(*vs);
+            sum.note = getString(s, "note", "");
+            ts.summaries.push_back(std::move(sum));
+        }
+    }
+    return ts;
+}
+
+ServingScenario
+parseServing(const JsonValue &root)
+{
+    ServingScenario sc;
+    sc.systems = parseSystems(root, root);
+    sc.nGpus = getInt32(root, "nGpus", sc.nGpus);
+    if (sc.nGpus < 1)
+        failAt(root, "\"nGpus\" must be >= 1, got " +
+                         std::to_string(sc.nGpus));
+    if (const JsonValue *p = root.find("policies")) {
+        sc.policies.clear();
+        for (const JsonValue &item : p->items())
+            sc.policies.push_back(parsePolicy(item));
+        if (sc.policies.empty())
+            failAt(*p, "\"policies\" must name at least one policy");
+    }
+    if (const JsonValue *m = root.find("modes")) {
+        if (m->isString()) {
+            if (lowered(m->asString()) != "auto")
+                failAt(*m, "\"modes\" must be \"auto\" or an array of "
+                           "mode names");
+            sc.autoModes = true;
+        } else {
+            sc.modes.clear();
+            for (const JsonValue &item : m->items())
+                sc.modes.push_back(parseMode(item));
+            if (sc.modes.empty())
+                failAt(*m, "\"modes\" must name at least one mode");
+        }
+    }
+    if (const JsonValue *r = root.find("rates")) {
+        // Accepting both and silently preferring one would break the
+        // schema's no-silent-behavior posture.
+        if (const JsonValue *r1 = root.find("rate"))
+            failAt(*r1, "\"rate\" and \"rates\" are mutually "
+                        "exclusive — keep only one");
+        for (const JsonValue &item : r->items()) {
+            double rate = item.asNumber();
+            if (!(rate > 0.0))
+                failAt(item, "rates must be positive req/s");
+            sc.rates.push_back(rate);
+        }
+        if (sc.rates.empty())
+            failAt(*r, "\"rates\" must hold at least one rate");
+    } else if (const JsonValue *r1 = root.find("rate")) {
+        double rate = r1->asNumber();
+        if (!(rate > 0.0))
+            failAt(*r1, "\"rate\" must be positive req/s");
+        sc.rates.push_back(rate);
+    } else {
+        failAt(root, "a serving scenario needs \"rates\" or \"rate\"");
+    }
+    sc.model = parseModel(root, root);
+    sc.engine = parseEngine(root);
+    sc.trace = parseTrace(root, root);
+    if (std::string err =
+            validateEngineAcrossPolicies(sc.engine, sc.policies);
+        !err.empty()) {
+        const JsonValue *ev = root.find("engine");
+        failAt(ev ? *ev : root, err);
+    }
+    return sc;
+}
+
+FleetScenario
+parseFleet(const JsonValue &root)
+{
+    FleetScenario sc;
+    sc.model = parseModel(root, root);
+    sc.trace = parseTrace(root, root);
+    if (const JsonValue *r = root.find("routers")) {
+        for (const JsonValue &item : r->items())
+            sc.routers.push_back(parseRouter(item));
+        if (sc.routers.empty())
+            failAt(*r, "\"routers\" must name at least one router "
+                       "(omit the key to use each fleet's own)");
+    }
+    if (const JsonValue *fleets = root.find("fleets")) {
+        for (const JsonValue &f : fleets->items()) {
+            FleetCase c;
+            c.label = getString(f, "label",
+                                "fleet " +
+                                    std::to_string(sc.cases.size()));
+            c.fleet = parseFleetConfig(f);
+            sc.cases.push_back(std::move(c));
+        }
+    } else if (const JsonValue *fleet = root.find("fleet")) {
+        FleetCase c;
+        c.label = getString(*fleet, "label", "fleet");
+        c.fleet = parseFleetConfig(*fleet);
+        sc.cases.push_back(std::move(c));
+    } else {
+        failAt(root, "a fleet scenario needs \"fleet\" or \"fleets\"");
+    }
+    if (sc.cases.empty())
+        failAt(root, "\"fleets\" must hold at least one fleet");
+    return sc;
+}
+
+SaturationScenario
+parseSaturation(const JsonValue &root)
+{
+    SaturationScenario sc;
+    sc.systems = parseSystems(root, root);
+    if (const JsonValue *p = root.find("policies")) {
+        sc.policies.clear();
+        for (const JsonValue &item : p->items())
+            sc.policies.push_back(parsePolicy(item));
+        if (sc.policies.empty())
+            failAt(*p, "\"policies\" must name at least one policy");
+    }
+    sc.model = parseModel(root, root);
+    sc.engine = parseEngine(root);
+    sc.trace = parseTrace(root, root);
+    if (std::string err =
+            validateEngineAcrossPolicies(sc.engine, sc.policies);
+        !err.empty()) {
+        const JsonValue *ev = root.find("engine");
+        failAt(ev ? *ev : root, err);
+    }
+    sc.startRate = getNumber(root, "startRate", sc.startRate);
+    sc.maxRate = getNumber(root, "maxRate", sc.maxRate);
+    sc.bisectSteps = getInt32(root, "bisectSteps", sc.bisectSteps);
+    sc.sloFraction = getNumber(root, "sloFraction", sc.sloFraction);
+    if (!(sc.startRate > 0.0) || sc.maxRate < sc.startRate)
+        failAt(root, "saturation search needs 0 < startRate <= "
+                     "maxRate");
+    if (sc.bisectSteps < 0)
+        failAt(root, "\"bisectSteps\" must be >= 0");
+    if (!(sc.sloFraction > 0.0) || sc.sloFraction > 1.0)
+        failAt(root, "\"sloFraction\" must be in (0, 1]");
+    return sc;
+}
+
+PlannerScenario
+parsePlanner(const JsonValue &root)
+{
+    PlannerScenario sc;
+    sc.systems = parseSystems(root, root);
+    sc.model = parseModel(root, root);
+    sc.engine = parseEngine(root);
+    sc.trace = parseTrace(root, root);
+    if (const JsonValue *r = root.find("router"))
+        sc.router = parseRouter(*r);
+    sc.sloFraction = getNumber(root, "sloFraction", sc.sloFraction);
+    int64_t max_replicas = getInt(
+        root, "maxReplicas", static_cast<int64_t>(sc.maxReplicas));
+    if (max_replicas < 1)
+        failAt(root, "\"maxReplicas\" must be >= 1");
+    sc.maxReplicas = static_cast<size_t>(max_replicas);
+    if (!(sc.sloFraction > 0.0) || sc.sloFraction > 1.0)
+        failAt(root, "\"sloFraction\" must be in (0, 1]");
+    return sc;
+}
+
+} // namespace
+
+std::string
+validateEngineAcrossPolicies(const EngineConfig &engine,
+                             const std::vector<SchedulerPolicy> &policies)
+{
+    for (SchedulerPolicy policy : policies) {
+        EngineConfig ec = engine;
+        ec.policy = policy;
+        if (std::string err = validateEngineConfig(ec); !err.empty())
+            return err + " (with policy " + policyName(policy) + ")";
+    }
+    return "";
+}
+
+ModelConfig
+modelPreset(const std::string &name)
+{
+    std::string key = lowered(name);
+    if (key == "retnet-2.7b")
+        return retnet2p7b();
+    if (key == "gla-2.7b")
+        return gla2p7b();
+    if (key == "hgrn2-2.7b")
+        return hgrn2_2p7b();
+    if (key == "mamba2-2.7b")
+        return mamba2_2p7b();
+    if (key == "zamba2-7b")
+        return zamba2_7b();
+    if (key == "opt-7b")
+        return opt7b();
+    if (key == "opt-2.7b")
+        return opt2p7b();
+    throw ConfigError(
+        "unknown model preset \"" + name +
+        "\" (expected retnet-2.7b, gla-2.7b, hgrn2-2.7b, mamba2-2.7b, "
+        "zamba2-7b, opt-7b, opt-2.7b)");
+}
+
+Scenario
+parseScenario(const JsonValue &root, bool smoke)
+{
+    if (!root.isObject())
+        failAt(root, "a scenario must be a JSON object");
+    JsonValue doc = root;
+    if (smoke) {
+        if (const JsonValue *overlay = root.find("smoke"))
+            doc = mergeJson(root, *overlay);
+    }
+    // The merged document still carries the "smoke" member; it is an
+    // allowed (and already consumed) key for every kind.
+    static const std::initializer_list<const char *> kByKind[] = {
+        /* throughput */
+        {"name", "description", "kind", "smoke", "systems", "inputLen",
+         "outputLen", "executionMode", "grids", "summaries"},
+        /* serving */
+        {"name", "description", "kind", "smoke", "systems", "nGpus",
+         "policies", "modes", "rates", "rate", "model", "engine",
+         "trace"},
+        /* fleet */
+        {"name", "description", "kind", "smoke", "model", "trace",
+         "routers", "fleet", "fleets"},
+        /* saturation */
+        {"name", "description", "kind", "smoke", "systems", "policies",
+         "model", "engine", "trace", "startRate", "maxRate",
+         "bisectSteps", "sloFraction"},
+        /* planner */
+        {"name", "description", "kind", "smoke", "systems", "model",
+         "engine", "trace", "router", "sloFraction", "maxReplicas"},
+    };
+
+    Scenario sc;
+    sc.name = getString(doc, "name", "scenario");
+    sc.description = getString(doc, "description", "");
+    const JsonValue *kind = doc.find("kind");
+    if (!kind)
+        failAt(doc, "missing required key \"kind\" (throughput, "
+                    "serving, fleet, saturation, planner)");
+    std::string kind_name = lowered(kind->asString());
+    if (kind_name == "throughput")
+        sc.kind = ScenarioKind::Throughput;
+    else if (kind_name == "serving")
+        sc.kind = ScenarioKind::Serving;
+    else if (kind_name == "fleet")
+        sc.kind = ScenarioKind::Fleet;
+    else if (kind_name == "saturation")
+        sc.kind = ScenarioKind::Saturation;
+    else if (kind_name == "planner")
+        sc.kind = ScenarioKind::Planner;
+    else
+        failAt(*kind, "unknown scenario kind \"" + kind->asString() +
+                          "\" (expected throughput, serving, fleet, "
+                          "saturation, planner)");
+    checkKeys(doc, kByKind[static_cast<size_t>(sc.kind)]);
+    switch (sc.kind) {
+      case ScenarioKind::Throughput:
+        sc.spec = parseThroughput(doc);
+        break;
+      case ScenarioKind::Serving:
+        sc.spec = parseServing(doc);
+        break;
+      case ScenarioKind::Fleet:
+        sc.spec = parseFleet(doc);
+        break;
+      case ScenarioKind::Saturation:
+        sc.spec = parseSaturation(doc);
+        break;
+      case ScenarioKind::Planner:
+        sc.spec = parsePlanner(doc);
+        break;
+    }
+    return sc;
+}
+
+Scenario
+parseScenarioText(const std::string &text, bool smoke)
+{
+    return parseScenario(parseJson(text), smoke);
+}
+
+Scenario
+loadScenarioFile(const std::string &path, bool smoke)
+{
+    try {
+        return parseScenario(loadJsonFile(path), smoke);
+    } catch (const ConfigError &e) {
+        throw ConfigError(path + ": " + e.what());
+    }
+}
+
+// ---------------------------------------------------- built-in studies
+
+Scenario
+fig12Scenario(bool smoke)
+{
+    Scenario sc;
+    sc.name = "fig12_throughput";
+    sc.description = "Figure 12: normalized generation throughput";
+    sc.kind = ScenarioKind::Throughput;
+    ThroughputScenario ts;
+    ts.systems = mainSystems();
+    ts.inputLen = 2048;
+    ts.outputLen = 2048;
+
+    ThroughputGrid small;
+    small.label = "Small scale (2.7B, 7B) - 1x A100";
+    small.gpu = a100Config();
+    small.hbm = hbm2eConfig();
+    small.nGpus = 1;
+    small.models = evaluationModels();
+    small.batches = {32, 64, 128};
+
+    ThroughputGrid large;
+    large.label = "Large scale (70B) - 8x A100";
+    large.gpu = a100Config();
+    large.hbm = hbm2eConfig();
+    large.nGpus = 8;
+    large.models = evaluationModels70b();
+    large.batches = {32, 64, 128};
+
+    if (smoke) {
+        small.models.resize(2);
+        small.batches = {32};
+        large.models.resize(2);
+        large.batches = {32};
+    }
+    ts.grids = {std::move(small), std::move(large)};
+    ts.summaries = {
+        {SystemKind::PIMBA, SystemKind::GPU,
+         "paper: avg 1.9x, up to 4.1x"},
+        {SystemKind::PIMBA, SystemKind::GPU_PIM,
+         "paper: avg 1.4x, up to 2.1x"},
+    };
+    sc.spec = std::move(ts);
+    return sc;
+}
+
+Scenario
+fig16Scenario(bool smoke)
+{
+    Scenario sc;
+    sc.name = "fig16_h100";
+    sc.description = "Figure 16: throughput on H100 (70B, 8 GPUs)";
+    sc.kind = ScenarioKind::Throughput;
+    ThroughputScenario ts;
+    ts.systems = mainSystems();
+    ts.inputLen = 2048;
+    ts.outputLen = 2048;
+
+    ThroughputGrid grid;
+    grid.gpu = h100Config();
+    grid.hbm = hbm3Config();
+    grid.nGpus = 8;
+    grid.models = evaluationModels70b();
+    grid.batches = {32, 64, 128};
+    if (smoke) {
+        grid.models.resize(2);
+        grid.batches = {32};
+    }
+    ts.grids = {std::move(grid)};
+    ts.summaries = {
+        {SystemKind::PIMBA, SystemKind::GPU, "paper: 1.8x"},
+        {SystemKind::PIMBA, SystemKind::GPU_PIM, "paper: 1.3x"},
+    };
+    sc.spec = std::move(ts);
+    return sc;
+}
+
+Scenario
+servingRateSweepScenario(const ModelConfig &model, bool smoke)
+{
+    Scenario sc;
+    sc.name = "serving_rate_sweep";
+    sc.description = model.name +
+                     ", Poisson arrivals, input 512 / output 256, "
+                     "batch cap 64";
+    sc.kind = ScenarioKind::Serving;
+    ServingScenario ss;
+    ss.systems = {SystemKind::GPU, SystemKind::GPU_Q,
+                  SystemKind::GPU_PIM, SystemKind::PIMBA,
+                  SystemKind::NEUPIMS};
+    ss.rates = {1, 2, 4, 8, 16, 32, 64};
+    ss.model = model;
+    ss.engine.maxBatch = 64;
+    ss.trace.arrivals = ArrivalProcess::Poisson;
+    ss.trace.numRequests = 64;
+    ss.trace.inputLen = 512;
+    ss.trace.outputLen = 256;
+    ss.trace.seed = 0x5EED0001u;
+    if (smoke) {
+        ss.rates = {2, 8, 32};
+        ss.trace.numRequests = 24;
+    }
+    sc.spec = std::move(ss);
+    return sc;
+}
+
+Scenario
+policyShootoutScenario(const ModelConfig &model, bool smoke)
+{
+    Scenario sc;
+    sc.name = "policy_shootout";
+    sc.description = model.name +
+                     ", policy comparison at 32 req/s (saturating), "
+                     "uniform lengths";
+    sc.kind = ScenarioKind::Serving;
+    ServingScenario ss;
+    ss.systems = {SystemKind::GPU, SystemKind::PIMBA};
+    ss.policies = allPolicies();
+    ss.autoModes = true;
+    ss.rates = {32};
+    ss.model = model;
+    ss.engine.maxBatch = 64;
+    ss.trace.arrivals = ArrivalProcess::Poisson;
+    ss.trace.numRequests = 64;
+    ss.trace.lengths = LengthDistribution::Uniform;
+    ss.trace.inputLen = 256;
+    ss.trace.inputLenMax = 768; // uniform, mean 512
+    ss.trace.outputLen = 128;
+    ss.trace.outputLenMax = 384; // uniform, mean 256
+    ss.trace.seed = 0x5EED0001u;
+    if (smoke)
+        ss.trace.numRequests = 24;
+    sc.spec = std::move(ss);
+    return sc;
+}
+
+namespace {
+
+/// The canonical cluster trace of cluster/workload.h, as a TraceConfig.
+TraceConfig
+clusterTraceConfig(double rate, int num_requests)
+{
+    TraceConfig tc;
+    tc.arrivals = ArrivalProcess::Poisson;
+    tc.ratePerSec = rate;
+    tc.numRequests = num_requests;
+    tc.lengths = LengthDistribution::Uniform;
+    tc.inputLen = 256;
+    tc.inputLenMax = 768;
+    tc.outputLen = 128;
+    tc.outputLenMax = 384;
+    tc.seed = 0x5EEDC0DEu;
+    return tc;
+}
+
+} // namespace
+
+Scenario
+routerShootoutScenario(bool smoke)
+{
+    Scenario sc;
+    sc.name = "cluster_routers";
+    sc.description =
+        "Router shootout: 2x Pimba + 2x GPU, Mamba-2 2.7B";
+    sc.kind = ScenarioKind::Fleet;
+    FleetScenario fs;
+    fs.model = mamba2_2p7b();
+    fs.trace = clusterTraceConfig(48.0, smoke ? 48 : 192);
+    fs.routers = allRouterPolicies();
+    FleetCase c;
+    c.label = "2x Pimba + 2x GPU";
+    c.fleet = heterogeneousFleet();
+    fs.cases = {std::move(c)};
+    sc.spec = std::move(fs);
+    return sc;
+}
+
+Scenario
+disaggregationScenario(bool smoke)
+{
+    Scenario sc;
+    sc.name = "cluster_disaggregation";
+    sc.description =
+        "Prefill/decode disaggregation: 4x Pimba, Mamba-2 2.7B";
+    sc.kind = ScenarioKind::Fleet;
+    FleetScenario fs;
+    fs.model = mamba2_2p7b();
+    fs.trace = clusterTraceConfig(24.0, smoke ? 48 : 192);
+    FleetCase colo;
+    colo.label = "colocated 4";
+    colo.fleet = colocatedPimbaFleet();
+    fs.cases.push_back(std::move(colo));
+    for (const LinkConfig &link : {nvlinkLink(), infinibandLink()}) {
+        FleetCase c;
+        c.label = "2p+2d " + link.name;
+        c.fleet = disaggregatedPimbaFleet(link);
+        fs.cases.push_back(std::move(c));
+    }
+    sc.spec = std::move(fs);
+    return sc;
+}
+
+Scenario
+executionModeScenario(bool smoke)
+{
+    Scenario sc;
+    sc.name = "cluster_execution_modes";
+    sc.description =
+        "Execution modes: 4x Pimba colocated, Mamba-2 2.7B";
+    sc.kind = ScenarioKind::Fleet;
+    FleetScenario fs;
+    fs.model = mamba2_2p7b();
+    fs.trace = clusterTraceConfig(48.0, smoke ? 48 : 192);
+    FleetCase blocked;
+    blocked.label = "blocked x4";
+    blocked.fleet = colocatedPimbaFleet(4, ExecutionMode::Blocked);
+    FleetCase overlapped;
+    overlapped.label = "overlapped x4";
+    overlapped.fleet = colocatedPimbaFleet(4, ExecutionMode::Overlapped);
+    FleetCase mixed;
+    mixed.label = "mixed 2+2";
+    mixed.fleet = mixedModePimbaFleet(4);
+    fs.cases = {std::move(blocked), std::move(overlapped),
+                std::move(mixed)};
+    sc.spec = std::move(fs);
+    return sc;
+}
+
+Scenario
+saturationScenario(bool smoke)
+{
+    Scenario sc;
+    sc.name = "saturation_search";
+    sc.description = "Saturation sweep: Mamba-2 2.7B, Poisson, "
+                     "uniform input 256..768 / output 128..384";
+    sc.kind = ScenarioKind::Saturation;
+    SaturationScenario ss;
+    ss.systems = {SystemKind::GPU, SystemKind::GPU_Q,
+                  SystemKind::GPU_PIM, SystemKind::PIMBA,
+                  SystemKind::NEUPIMS};
+    ss.policies = allPolicies();
+    ss.model = mamba2_2p7b();
+    ss.engine.maxBatch = 64;
+    ss.trace.arrivals = ArrivalProcess::Poisson;
+    ss.trace.numRequests = smoke ? 32 : 96;
+    ss.trace.lengths = LengthDistribution::Uniform;
+    ss.trace.inputLen = 256;
+    ss.trace.inputLenMax = 768;
+    ss.trace.outputLen = 128;
+    ss.trace.outputLenMax = 384;
+    ss.trace.seed = 0x5EED0001u;
+    ss.bisectSteps = smoke ? 2 : 6;
+    sc.spec = std::move(ss);
+    return sc;
+}
+
+Scenario
+plannerScenario(bool smoke)
+{
+    Scenario sc;
+    sc.name = "fleet_planner";
+    sc.description =
+        "Fleet planner: min replicas for >= 90% SLO attainment";
+    sc.kind = ScenarioKind::Planner;
+    PlannerScenario ps;
+    ps.systems = mainSystems();
+    ps.model = mamba2_2p7b();
+    ps.trace.arrivals = ArrivalProcess::Poisson;
+    ps.trace.ratePerSec = smoke ? 24.0 : 48.0;
+    ps.trace.numRequests = smoke ? 64 : 192;
+    ps.trace.inputLen = 512;
+    ps.trace.outputLen = 256;
+    ps.trace.seed = 0x5EEDF1EEu;
+    ps.router = RouterPolicy::JoinShortestQueue;
+    ps.sloFraction = 0.9;
+    ps.maxReplicas = 32;
+    sc.spec = std::move(ps);
+    return sc;
+}
+
+} // namespace pimba

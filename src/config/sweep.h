@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Parameter sweeps over scenarios, fanned across a thread pool.
+ *
+ * A grid spec names one scenario parameter and the values to sweep:
+ *
+ *     rate=1..8        -> 1, 2, ..., 8        (linear, step 1)
+ *     rate=4..16:4     -> 4, 8, 12, 16        (linear, given step)
+ *     rate=1..32:x2    -> 1, 2, 4, 8, 16, 32  (geometric, given factor)
+ *     rate=1,3,7       -> explicit list
+ *
+ * Each grid point runs a private copy of the scenario (engines and
+ * fleets are deterministic, self-contained values, so per-point
+ * isolation is free) on a worker pool; results are committed into a
+ * pre-sized slot array by grid index and merged in grid order after the
+ * join. The merged report is therefore byte-identical at any thread
+ * count — the pinned determinism guarantee the sweep tests enforce.
+ */
+
+#ifndef PIMBA_CONFIG_SWEEP_H
+#define PIMBA_CONFIG_SWEEP_H
+
+#include <string>
+#include <vector>
+
+#include "config/runner.h"
+#include "config/scenario.h"
+
+namespace pimba {
+
+/// One sweep axis: the parameter name and its grid values, in order.
+struct GridAxis
+{
+    std::string param;
+    std::vector<double> values;
+};
+
+/// Parse "param=spec" (see file comment). Throws ConfigError on a
+/// malformed spec, an empty grid, or a non-positive geometric factor.
+GridAxis parseGridSpec(const std::string &spec);
+
+/**
+ * Set @p param to @p value on a scenario copy. Supported parameters:
+ * `rate` (arrival rate; replaces a serving scenario's rate list),
+ * `requests` (trace length), `seed` (trace seed), `maxBatch` (engine
+ * batch cap; serving/saturation/planner kinds), and `replicas` (fleet
+ * kind: resize every case to N by replicating its first replica).
+ * Throws ConfigError when the parameter does not apply to the kind.
+ */
+void applyGridParam(Scenario &sc, const std::string &param,
+                    double value);
+
+/**
+ * Run one scenario per grid value across @p threads workers
+ * (threads < 1 selects the hardware concurrency) and merge the
+ * per-point reports in grid order. Same scenario + axis => identical
+ * bytes at any thread count.
+ */
+ScenarioReport runSweep(const Scenario &sc, const GridAxis &axis,
+                        int threads = 1);
+
+} // namespace pimba
+
+#endif // PIMBA_CONFIG_SWEEP_H

@@ -26,25 +26,57 @@ bucketCenter(uint64_t seq)
 
 } // namespace
 
+uint64_t
+resolvedIterTokenBudget(const EngineConfig &cfg)
+{
+    return cfg.iterTokenBudget != 0
+               ? cfg.iterTokenBudget
+               : static_cast<uint64_t>(cfg.maxBatch) + cfg.prefillChunk;
+}
+
+std::string
+validateEngineConfig(const EngineConfig &cfg)
+{
+    if (cfg.maxBatch < 1)
+        return "engine: maxBatch must be >= 1, got " +
+               std::to_string(cfg.maxBatch);
+    if (cfg.prefillChunk < 1)
+        return "engine: prefillChunk must be >= 1 (a chunk of zero "
+               "prompt tokens never finishes a prefill)";
+    if (cfg.blockTokens < 1)
+        return "engine: blockTokens must be >= 1 (the paged allocator "
+               "cannot carve zero-token blocks)";
+    if (cfg.memoryBudget < 0.0)
+        return "engine: memoryBudget must be >= 0 bytes (0 selects the "
+               "system's HBM capacity), got " +
+               std::to_string(cfg.memoryBudget);
+    if (!(cfg.slo.ttft > 0.0) || !(cfg.slo.tpot > 0.0))
+        return "engine: SLO targets must be positive seconds (ttft " +
+               std::to_string(cfg.slo.ttft) + ", tpot " +
+               std::to_string(cfg.slo.tpot) + ")";
+    if (cfg.policy == SchedulerPolicy::Sarathi) {
+        // The fused-step memo packs (decode batch, prefill tokens) into
+        // its key; reject configs that could overflow it mid-run.
+        uint64_t budget = resolvedIterTokenBudget(cfg);
+        if (cfg.maxBatch >= (1 << 12))
+            return "engine: the Sarathi policy requires maxBatch < "
+                   "4096, got " +
+                   std::to_string(cfg.maxBatch);
+        if (budget >= (1ull << 16))
+            return "engine: the Sarathi policy requires an iteration "
+                   "token budget < 65536, got " +
+                   std::to_string(budget);
+    }
+    return "";
+}
+
 ServingEngine::ServingEngine(const ServingSimulator &sim_,
                              const ModelConfig &model_, EngineConfig cfg_)
     : sim(sim_), model(model_), cfg(cfg_)
 {
-    PIMBA_ASSERT(cfg.maxBatch >= 1, "batch cap must be positive");
-    PIMBA_ASSERT(cfg.prefillChunk >= 1, "prefill chunk must be positive");
-    PIMBA_ASSERT(cfg.blockTokens >= 1, "block size must be positive");
-    if (cfg.iterTokenBudget == 0)
-        cfg.iterTokenBudget =
-            static_cast<uint64_t>(cfg.maxBatch) + cfg.prefillChunk;
-    if (cfg.policy == SchedulerPolicy::Sarathi) {
-        // The fused-step memo packs (decode batch, prefill tokens) into
-        // its key; reject configs that could overflow it mid-run.
-        PIMBA_ASSERT(cfg.maxBatch < (1 << 12),
-                     "Sarathi requires maxBatch < 4096");
-        PIMBA_ASSERT(cfg.iterTokenBudget < (1ull << 16),
-                     "Sarathi requires an iteration token budget "
-                     "< 65536");
-    }
+    if (std::string err = validateEngineConfig(cfg); !err.empty())
+        PIMBA_FATAL(err);
+    cfg.iterTokenBudget = resolvedIterTokenBudget(cfg);
     if (cfg.executionMode)
         sim.setExecutionMode(*cfg.executionMode);
     sched = makeScheduler(cfg.policy, cfg.prefillChunk,

@@ -49,46 +49,55 @@
 
 namespace pimba {
 
-/** Scheduler/engine tunables. */
+/// Scheduler/engine tunables.
 struct EngineConfig
 {
     int maxBatch = 128;          ///< concurrently admitted request cap
                                  ///  (prefill- and decode-phase combined)
     uint64_t prefillChunk = 512; ///< prompt tokens per prefill chunk
-    /**
-     * HBM budget in bytes across the whole tensor-parallel group; 0
-     * selects memCapacity x nGpus of the system. The block pool is
-     * carved from the budget minus ServingSimulator::weightFootprint(),
-     * which charges the (otherwise tensor-parallel-sharded) embedding
-     * table once per shard — subtracting the whole-model byte count
-     * instead would over-pledge the pool of an nGpus > 1 replica by
-     * nGpus - 1 embedding tables.
-     */
+    /// HBM budget in bytes across the whole tensor-parallel group; 0
+    /// selects memCapacity x nGpus of the system. The block pool is
+    /// carved from the budget minus ServingSimulator::weightFootprint(),
+    /// which charges the (otherwise tensor-parallel-sharded) embedding
+    /// table once per shard — subtracting the whole-model byte count
+    /// instead would over-pledge the pool of an nGpus > 1 replica by
+    /// nGpus - 1 embedding tables.
     double memoryBudget = 0.0;
-    /** Cached tokens per KV block of the paged allocator. */
+    /// Cached tokens per KV block of the paged allocator.
     uint64_t blockTokens = 16;
-    /**
-     * Per-iteration new-token budget (decode + prefill) for the Sarathi
-     * policy; 0 resolves to maxBatch + prefillChunk so a full decode
-     * batch always leaves one chunk's worth of prefill budget. Decode
-     * is never throttled — see makeScheduler(). The Sarathi policy's
-     * fused-step memo requires maxBatch < 4096 and a resolved budget
-     * < 65536 (checked at engine construction).
-     */
+    /// Per-iteration new-token budget (decode + prefill) for the Sarathi
+    /// policy; 0 resolves to maxBatch + prefillChunk so a full decode
+    /// batch always leaves one chunk's worth of prefill budget. Decode
+    /// is never throttled — see makeScheduler(). The Sarathi policy's
+    /// fused-step memo requires maxBatch < 4096 and a resolved budget
+    /// < 65536 (checked at engine construction).
     uint64_t iterTokenBudget = 0;
     SchedulerPolicy policy = SchedulerPolicy::FCFS;
-    /**
-     * GPU<->PIM execution mode override for this replica. nullopt
-     * inherits the mode of the SystemConfig the simulator was built
-     * with; setting it lets a fleet mix blocked and overlapped replicas
-     * of the same system kind (the override is applied to the engine's
-     * private simulator copy at construction).
-     */
+    /// GPU<->PIM execution mode override for this replica. nullopt
+    /// inherits the mode of the SystemConfig the simulator was built
+    /// with; setting it lets a fleet mix blocked and overlapped replicas
+    /// of the same system kind (the override is applied to the engine's
+    /// private simulator copy at construction).
     std::optional<ExecutionMode> executionMode;
     SloConfig slo;
 };
 
-/** Outcome of one engine run over a trace. */
+/// The iteration token budget a config resolves to: the explicit value,
+/// or maxBatch + prefillChunk when 0. Shared by validateEngineConfig
+/// and the engine constructor so the Sarathi memo bound is always
+/// checked against exactly the budget the engine will run with.
+uint64_t resolvedIterTokenBudget(const EngineConfig &cfg);
+
+/// Validate @p cfg. Returns the empty string when the config is sane,
+/// else one actionable message naming the offending field and bound
+/// (non-positive batch cap, zero block size, negative memory budget,
+/// non-positive SLO targets, Sarathi memo-key overflow). The engine
+/// constructor enforces this; the scenario loader calls it up front so
+/// JSON mistakes are reported with a file location instead of a fatal
+/// abort mid-run.
+std::string validateEngineConfig(const EngineConfig &cfg);
+
+/// Outcome of one engine run over a trace.
 struct ServingReport
 {
     std::vector<CompletedRequest> completed; ///< in completion order
@@ -98,7 +107,7 @@ struct ServingReport
     uint64_t generatedTokens = 0; ///< delivered tokens (evictions net out)
     uint64_t prefillChunks = 0;
     uint64_t preemptions = 0;  ///< evictions under memory pressure
-    /** Prompt + output tokens discarded by evictions (recompute debt). */
+    /// Prompt + output tokens discarded by evictions (recompute debt).
     uint64_t recomputedTokens = 0;
     double peakMemory = 0.0;   ///< max bytes resident at any iteration
     double memoryBudget = 0.0; ///< the budget the run enforced
@@ -107,18 +116,18 @@ struct ServingReport
     double peakBlockUtil = 0.0; ///< max fraction of the pool allocated
     double avgBlockUtil = 0.0;  ///< iteration-averaged pool allocation
     SchedulerPolicy policy = SchedulerPolicy::FCFS;
-    /** Mode every iteration of the run was costed under. */
+    /// Mode every iteration of the run was costed under.
     ExecutionMode executionMode = ExecutionMode::Blocked;
 };
 
-/** Request-level continuous-batching engine for one system + model. */
+/// Request-level continuous-batching engine for one system + model.
 class ServingEngine
 {
   public:
     ServingEngine(const ServingSimulator &sim, const ModelConfig &model,
                   EngineConfig cfg = {});
 
-    /** Serve @p trace to completion and report fleet metrics. */
+    /// Serve @p trace to completion and report fleet metrics.
     ServingReport run(const std::vector<Request> &trace);
 
     // ------------------------------------------------- session API
@@ -128,80 +137,74 @@ class ServingEngine
     // global timestamp, drain() completes all submitted work, and
     // finish() closes the session and returns the report.
 
-    /** Open a session: reset all run state and size the block pool. */
+    /// Open a session: reset all run state and size the block pool.
     void begin();
 
-    /** Feed one arrival. Arrival times must be non-decreasing. */
+    /// Feed one arrival. Arrival times must be non-decreasing.
     void submit(const Request &r);
 
-    /**
-     * Feed one request whose prompt was prefilled on another replica
-     * and whose cached KV/state blocks have been shipped here
-     * (disaggregated serving). @p r.arrival is the time the blocks land
-     * on this replica; admission allocates the whole prompt's blocks up
-     * front and the request enters directly in Decode with its first
-     * output token already delivered upstream, so it must still need at
-     * least one decode step (outputLen >= 2). If memory pressure later
-     * evicts it, the shipped blocks are assumed retained in the
-     * transfer staging buffer: re-admission re-materializes the prompt
-     * without a second link transfer, and only locally decoded tokens
-     * count as recompute debt.
-     */
+    /// Feed one request whose prompt was prefilled on another replica
+    /// and whose cached KV/state blocks have been shipped here
+    /// (disaggregated serving). @p r.arrival is the time the blocks land
+    /// on this replica; admission allocates the whole prompt's blocks up
+    /// front and the request enters directly in Decode with its first
+    /// output token already delivered upstream, so it must still need at
+    /// least one decode step (outputLen >= 2). If memory pressure later
+    /// evicts it, the shipped blocks are assumed retained in the
+    /// transfer staging buffer: re-admission re-materializes the prompt
+    /// without a second link transfer, and only locally decoded tokens
+    /// count as recompute debt.
     void submitPrefilled(const Request &r);
 
-    /**
-     * Run iterations until the clock reaches @p t or the engine idles
-     * with no submitted arrival due by @p t. An iteration in flight at
-     * @p t completes (and overshoots) — real schedulers do not preempt
-     * a launched step. Returns the clock after advancing.
-     */
+    /// Run iterations until the clock reaches @p t or the engine idles
+    /// with no submitted arrival due by @p t. An iteration in flight at
+    /// @p t completes (and overshoots) — real schedulers do not preempt
+    /// a launched step. Returns the clock after advancing.
     double advanceTo(double t);
 
-    /** Serve every submitted request to completion. */
+    /// Serve every submitted request to completion.
     void drain();
 
-    /** Close the session (must be drained) and return its report. */
+    /// Close the session (must be drained) and return its report.
     ServingReport finish();
 
     // --------------------------------------- router introspection
-    /** Simulated clock of the open session (seconds). */
+    /// Simulated clock of the open session (seconds).
     double now() const { return clock; }
-    /** Submitted requests not yet admitted (queued work). */
+    /// Submitted requests not yet admitted (queued work).
     size_t waitingCount() const;
-    /** Requests currently resident in the batch. */
+    /// Requests currently resident in the batch.
     size_t runningCount() const { return running.size(); }
-    /** Submitted requests not yet completed (waiting + running). */
+    /// Submitted requests not yet completed (waiting + running).
     size_t queueDepth() const;
-    /**
-     * Total tokens of work still to serve across queued and resident
-     * requests: unprocessed prompt tokens plus ungenerated output
-     * tokens. The least-outstanding-tokens router's load signal.
-     */
+    /// Total tokens of work still to serve across queued and resident
+    /// requests: unprocessed prompt tokens plus ungenerated output
+    /// tokens. The least-outstanding-tokens router's load signal.
     uint64_t outstandingTokens() const;
-    /** Requests completed so far in the open session. */
+    /// Requests completed so far in the open session.
     size_t completedCount() const { return report.completed.size(); }
-    /** Completion records so far (the fleet polls for hand-offs). */
+    /// Completion records so far (the fleet polls for hand-offs).
     const std::vector<CompletedRequest> &completedSoFar() const
     {
         return report.completed;
     }
 
     const EngineConfig &config() const { return cfg; }
-    /** The replica's simulator (footprint math for transfer sizing). */
+    /// The replica's simulator (footprint math for transfer sizing).
     const ServingSimulator &simulator() const { return sim; }
 
   private:
-    /** Decode-step latency, memoized by (batch, cache-length bucket). */
+    /// Decode-step latency, memoized by (batch, cache-length bucket).
     double decodeSeconds(int batch, uint64_t mean_seq);
-    /** Prefill-chunk latency, memoized by (chunk, position bucket). */
+    /// Prefill-chunk latency, memoized by (chunk, position bucket).
     double prefillSeconds(uint64_t chunk, uint64_t seq_pos);
-    /** Fused-iteration latency, memoized like the two above. */
+    /// Fused-iteration latency, memoized like the two above.
     double mixedSeconds(int decode_batch, uint64_t decode_seq,
                         uint64_t prefill_tokens, uint64_t prefill_pos);
 
-    /** Move pending arrivals with arrival <= clock into the queue. */
+    /// Move pending arrivals with arrival <= clock into the queue.
     void revealArrivals();
-    /** One scheduler iteration (admission, planning, costing, retire). */
+    /// One scheduler iteration (admission, planning, costing, retire).
     void iterate();
 
     ServingSimulator sim;
@@ -213,8 +216,8 @@ class ServingEngine
     std::unordered_map<uint64_t, double> mixedCache;
 
     // ------------------------------------------------ session state
-    /** Queueing-delay / preemption bookkeeping that must survive
-     *  evictions (RequestState is discarded on preemption). */
+    /// Queueing-delay / preemption bookkeeping that must survive
+    /// evictions (RequestState is discarded on preemption).
     struct Lifecycle
     {
         double firstAdmitted = -1.0;

@@ -26,21 +26,41 @@ sampleLength(LengthDistribution dist, uint64_t lo, uint64_t hi,
 
 } // namespace
 
+std::string
+validateTraceConfig(const TraceConfig &cfg)
+{
+    if (!(cfg.ratePerSec > 0.0))
+        return "trace: ratePerSec must be positive, got " +
+               std::to_string(cfg.ratePerSec);
+    if (cfg.numRequests < 1)
+        return "trace: numRequests must be >= 1, got " +
+               std::to_string(cfg.numRequests);
+    if (cfg.inputLen < 1)
+        return "trace: inputLen must be >= 1 (requests need a "
+               "non-empty prompt)";
+    if (cfg.outputLen < 1)
+        return "trace: outputLen must be >= 1 (requests must generate "
+               "a token)";
+    if (cfg.lengths == LengthDistribution::Uniform) {
+        if (cfg.inputLenMax != 0 && cfg.inputLenMax < cfg.inputLen)
+            return "trace: uniform input-length bounds are inverted "
+                   "(inputLenMax " +
+                   std::to_string(cfg.inputLenMax) + " < inputLen " +
+                   std::to_string(cfg.inputLen) + ")";
+        if (cfg.outputLenMax != 0 && cfg.outputLenMax < cfg.outputLen)
+            return "trace: uniform output-length bounds are inverted "
+                   "(outputLenMax " +
+                   std::to_string(cfg.outputLenMax) + " < outputLen " +
+                   std::to_string(cfg.outputLen) + ")";
+    }
+    return "";
+}
+
 std::vector<Request>
 generateTrace(const TraceConfig &cfg)
 {
-    PIMBA_ASSERT(cfg.ratePerSec > 0.0, "arrival rate must be positive");
-    PIMBA_ASSERT(cfg.numRequests > 0, "empty trace");
-    PIMBA_ASSERT(cfg.inputLen >= 1, "requests need a non-empty prompt");
-    PIMBA_ASSERT(cfg.outputLen >= 1, "requests must generate a token");
-    if (cfg.lengths == LengthDistribution::Uniform) {
-        PIMBA_ASSERT(cfg.inputLenMax == 0 ||
-                         cfg.inputLenMax >= cfg.inputLen,
-                     "uniform input-length bounds are inverted");
-        PIMBA_ASSERT(cfg.outputLenMax == 0 ||
-                         cfg.outputLenMax >= cfg.outputLen,
-                     "uniform output-length bounds are inverted");
-    }
+    if (std::string err = validateTraceConfig(cfg); !err.empty())
+        PIMBA_FATAL(err);
 
     // Separate streams so changing the length distribution does not
     // perturb the arrival times (and vice versa).

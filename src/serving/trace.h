@@ -11,6 +11,7 @@
 #define PIMBA_SERVING_TRACE_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "serving/request.h"
@@ -48,8 +49,16 @@ struct TraceConfig
 };
 
 /**
+ * Validate @p cfg. Returns the empty string when it is serveable, else
+ * one actionable message naming the bad field (non-positive rate, empty
+ * trace, zero-length prompts/outputs, inverted uniform bounds).
+ */
+std::string validateTraceConfig(const TraceConfig &cfg);
+
+/**
  * Generate the trace described by @p cfg: requests with ids 0..n-1 in
- * non-decreasing arrival order starting at time 0.
+ * non-decreasing arrival order starting at time 0. An invalid config
+ * (see validateTraceConfig) is a fatal error.
  */
 std::vector<Request> generateTrace(const TraceConfig &cfg);
 

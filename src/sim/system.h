@@ -18,7 +18,7 @@
 
 namespace pimba {
 
-/** The serving systems compared in the evaluation. */
+/// The serving systems compared in the evaluation.
 enum class SystemKind
 {
     GPU,     ///< plain GPU, fp16 state and KV cache
@@ -28,61 +28,59 @@ enum class SystemKind
     NEUPIMS, ///< GPU + per-bank attention-only PIM, fp16
 };
 
-/** Display name matching the paper's figure legends. */
+/// Display name matching the paper's figure legends.
 std::string systemName(SystemKind kind);
 
-/**
- * How GPU and PIM phases of one step are scheduled against each other.
- *
- * Blocked is the paper's Section 5.6 model: every PIM kernel serializes
- * against the GPU stream, so step latency is the sum of all phase
- * latencies. Overlapped is the NeuPIMs-style sub-batch pipeline of
- * Figure 15: the decode batch splits into two sub-batches and one
- * sub-batch's PIM phases (state update, attention score/attend) run
- * concurrently with the other's GPU phases (GEMMs, softmax), so each
- * pipeline stage costs max(gpu, pim) instead of gpu + pim, plus the
- * non-overlappable softmax sync between the PIM score and attend
- * phases. Energy is unaffected — the same work runs either way.
- */
+/// How GPU and PIM phases of one step are scheduled against each other.
+///
+/// Blocked is the paper's Section 5.6 model: every PIM kernel serializes
+/// against the GPU stream, so step latency is the sum of all phase
+/// latencies. Overlapped is the NeuPIMs-style sub-batch pipeline of
+/// Figure 15: the decode batch splits into two sub-batches and one
+/// sub-batch's PIM phases (state update, attention score/attend) run
+/// concurrently with the other's GPU phases (GEMMs, softmax), so each
+/// pipeline stage costs max(gpu, pim) instead of gpu + pim, plus the
+/// non-overlappable softmax sync between the PIM score and attend
+/// phases. Energy is unaffected — the same work runs either way.
 enum class ExecutionMode
 {
     Blocked,    ///< PIM ops serialize against the GPU stream (Sec. 5.6)
     Overlapped, ///< two-sub-batch GPU<->PIM pipeline (Fig. 15)
 };
 
-/** Lower-case mode name ("blocked" / "overlapped") for tables. */
+/// Lower-case mode name ("blocked" / "overlapped") for tables.
 std::string executionModeName(ExecutionMode mode);
 
-/** Full system description. */
+/// Full system description.
 struct SystemConfig
 {
     SystemKind kind = SystemKind::GPU;
     GpuConfig gpu;
     HbmConfig hbm;
     int nGpus = 1; ///< tensor-parallel degree (one PIM device per GPU)
-    /** GPU<->PIM phase scheduling; no effect on GPU-only systems. */
+    /// GPU<->PIM phase scheduling; no effect on GPU-only systems.
     ExecutionMode executionMode = ExecutionMode::Blocked;
 
-    /** PIM design used by this system (nullopt for GPU-only systems). */
+    /// PIM design used by this system (nullopt for GPU-only systems).
     std::optional<PimDesign> pim() const;
 
-    /** Storage format of the recurrent state. */
+    /// Storage format of the recurrent state.
     NumberFormat stateFormat() const;
-    /** Storage format of the KV cache. */
+    /// Storage format of the KV cache.
     NumberFormat kvFormat() const;
 
-    /** True if state updates execute on the PIM. */
+    /// True if state updates execute on the PIM.
     bool stateUpdateOnPim() const;
-    /** True if attention executes on the PIM. */
+    /// True if attention executes on the PIM.
     bool attentionOnPim() const;
 };
 
-/** Build a system around the A100/HBM2E (or given) platform. */
+/// Build a system around the A100/HBM2E (or given) platform.
 SystemConfig makeSystem(SystemKind kind, int n_gpus = 1,
                         const GpuConfig &gpu = a100Config(),
                         const HbmConfig &hbm = hbm2eConfig());
 
-/** All four systems of Figs. 12-14. */
+/// All four systems of Figs. 12-14.
 std::vector<SystemKind> mainSystems();
 
 } // namespace pimba

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Preset parity: the checked-in scenario presets that mirror
+ * built-in bench studies must reproduce them byte for byte. Since
+ * bench_fig12_throughput / bench_fig16_h100 print exactly
+ * runScenario(fig12Scenario()/fig16Scenario()).renderText(), equality
+ * here pins the acceptance claim that `pimba run
+ * scenarios/fig12_throughput.json` reproduces the bench's tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "config/runner.h"
+
+using namespace pimba;
+
+namespace {
+
+std::string
+scenarioPath(const std::string &file)
+{
+    return std::string(PIMBA_SCENARIO_DIR) + "/" + file;
+}
+
+TEST(PresetParity, Fig12JsonMatchesBuiltin)
+{
+    Scenario from_json =
+        loadScenarioFile(scenarioPath("fig12_throughput.json"));
+    ScenarioReport json_rep = runScenario(from_json);
+    ScenarioReport builtin_rep = runScenario(fig12Scenario());
+    EXPECT_EQ(json_rep.renderText(), builtin_rep.renderText());
+    EXPECT_EQ(json_rep.renderCsv(), builtin_rep.renderCsv());
+}
+
+TEST(PresetParity, Fig12SmokeOverlayMatchesBuiltinSmoke)
+{
+    Scenario from_json = loadScenarioFile(
+        scenarioPath("fig12_throughput.json"), /*smoke=*/true);
+    EXPECT_EQ(runScenario(from_json).renderText(),
+              runScenario(fig12Scenario(/*smoke=*/true)).renderText());
+}
+
+TEST(PresetParity, Fig16JsonMatchesBuiltin)
+{
+    Scenario from_json =
+        loadScenarioFile(scenarioPath("fig16_h100.json"));
+    EXPECT_EQ(runScenario(from_json).renderText(),
+              runScenario(fig16Scenario()).renderText());
+}
+
+TEST(PresetParity, ClusterRoutersJsonMatchesBuiltin)
+{
+    // Smoke mode keeps the fleet runs CI-sized; the builtin smoke flag
+    // shrinks the same knob (trace length), so the reports must agree.
+    Scenario from_json = loadScenarioFile(
+        scenarioPath("cluster_routers.json"), /*smoke=*/true);
+    EXPECT_EQ(
+        runScenario(from_json).renderText(),
+        runScenario(routerShootoutScenario(/*smoke=*/true)).renderText());
+}
+
+TEST(PresetParity, EveryPresetParsesAndValidates)
+{
+    const char *presets[] = {
+        "fig12_throughput.json",  "fig15_neupims.json",
+        "fig16_h100.json",        "serving_rate_sweep.json",
+        "policy_shootout.json",   "cluster_routers.json",
+        "cluster_disaggregation.json", "saturation_search.json",
+        "fleet_planner.json",
+    };
+    for (const char *file : presets) {
+        EXPECT_NO_THROW({
+            loadScenarioFile(scenarioPath(file));
+            loadScenarioFile(scenarioPath(file), /*smoke=*/true);
+        }) << file;
+    }
+}
+
+} // namespace

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Layer-validator tests: validateEngineConfig / validateFleetConfig /
+ * validateTraceConfig reject nonsensical values with actionable
+ * messages (and accept every default and canonical config).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/workload.h"
+#include "serving/trace.h"
+
+using namespace pimba;
+
+namespace {
+
+TEST(ValidateEngine, DefaultsAndCanonicalConfigsPass)
+{
+    EXPECT_EQ(validateEngineConfig(EngineConfig{}), "");
+    EngineConfig sarathi;
+    sarathi.policy = SchedulerPolicy::Sarathi;
+    sarathi.iterTokenBudget = 768;
+    EXPECT_EQ(validateEngineConfig(sarathi), "");
+}
+
+TEST(ValidateEngine, RejectsNonsenseWithActionableMessages)
+{
+    EngineConfig ec;
+    ec.maxBatch = 0;
+    EXPECT_NE(validateEngineConfig(ec).find("maxBatch"),
+              std::string::npos);
+
+    ec = EngineConfig{};
+    ec.memoryBudget = -5e9;
+    EXPECT_NE(validateEngineConfig(ec).find("memoryBudget"),
+              std::string::npos);
+
+    ec = EngineConfig{};
+    ec.blockTokens = 0;
+    EXPECT_NE(validateEngineConfig(ec).find("blockTokens"),
+              std::string::npos);
+
+    ec = EngineConfig{};
+    ec.prefillChunk = 0;
+    EXPECT_NE(validateEngineConfig(ec).find("prefillChunk"),
+              std::string::npos);
+
+    ec = EngineConfig{};
+    ec.slo.ttft = 0.0;
+    EXPECT_NE(validateEngineConfig(ec).find("SLO"), std::string::npos);
+}
+
+TEST(ValidateEngine, SarathiMemoBoundsEnforced)
+{
+    EngineConfig ec;
+    ec.policy = SchedulerPolicy::Sarathi;
+    ec.maxBatch = 4096;
+    EXPECT_NE(validateEngineConfig(ec).find("4096"), std::string::npos);
+
+    ec = EngineConfig{};
+    ec.policy = SchedulerPolicy::Sarathi;
+    ec.iterTokenBudget = 1ull << 16;
+    EXPECT_NE(validateEngineConfig(ec).find("65536"),
+              std::string::npos);
+
+    // The same budget is fine for the one-chunk policies.
+    ec.policy = SchedulerPolicy::FCFS;
+    EXPECT_EQ(validateEngineConfig(ec), "");
+}
+
+TEST(ValidateFleet, CanonicalFleetsPass)
+{
+    EXPECT_EQ(validateFleetConfig(homogeneousFleet(SystemKind::GPU, 2)),
+              "");
+    EXPECT_EQ(validateFleetConfig(heterogeneousFleet()), "");
+    EXPECT_EQ(validateFleetConfig(disaggregatedPimbaFleet()), "");
+    EXPECT_EQ(validateFleetConfig(mixedModePimbaFleet()), "");
+}
+
+TEST(ValidateFleet, RejectsNonsense)
+{
+    FleetConfig empty;
+    EXPECT_NE(validateFleetConfig(empty).find("at least 1 replica"),
+              std::string::npos);
+
+    FleetConfig bad_gpus = homogeneousFleet(SystemKind::GPU, 2);
+    bad_gpus.replicas[1].nGpus = 0;
+    std::string msg = validateFleetConfig(bad_gpus);
+    EXPECT_NE(msg.find("replica 1"), std::string::npos);
+    EXPECT_NE(msg.find("nGpus"), std::string::npos);
+
+    // A bad per-replica engine config surfaces with its index.
+    FleetConfig bad_engine = homogeneousFleet(SystemKind::PIMBA, 2);
+    bad_engine.replicas[0].engine.blockTokens = 0;
+    EXPECT_NE(validateFleetConfig(bad_engine).find("replica 0"),
+              std::string::npos);
+
+    // Disaggregation needs both pools non-empty.
+    FleetConfig disagg = homogeneousFleet(SystemKind::PIMBA, 2);
+    disagg.mode = FleetMode::Disaggregated;
+    disagg.prefillReplicas = 0;
+    EXPECT_NE(validateFleetConfig(disagg).find(">= 1 prefill"),
+              std::string::npos);
+    disagg.prefillReplicas = 2; // no decode replica left
+    EXPECT_NE(validateFleetConfig(disagg).find(">= 1 prefill"),
+              std::string::npos);
+
+    FleetConfig dead_link = disaggregatedPimbaFleet();
+    dead_link.link.bandwidth = 0.0;
+    EXPECT_NE(validateFleetConfig(dead_link).find("bandwidth"),
+              std::string::npos);
+}
+
+TEST(ValidateTrace, DefaultsPassAndNonsenseRejected)
+{
+    EXPECT_EQ(validateTraceConfig(TraceConfig{}), "");
+
+    TraceConfig tc;
+    tc.ratePerSec = 0.0;
+    EXPECT_NE(validateTraceConfig(tc).find("ratePerSec"),
+              std::string::npos);
+
+    tc = TraceConfig{};
+    tc.numRequests = 0;
+    EXPECT_NE(validateTraceConfig(tc).find("numRequests"),
+              std::string::npos);
+
+    tc = TraceConfig{};
+    tc.inputLen = 0;
+    EXPECT_NE(validateTraceConfig(tc).find("inputLen"),
+              std::string::npos);
+
+    tc = TraceConfig{};
+    tc.lengths = LengthDistribution::Uniform;
+    tc.inputLen = 512;
+    tc.inputLenMax = 256;
+    EXPECT_NE(validateTraceConfig(tc).find("inverted"),
+              std::string::npos);
+
+    // Inverted bounds are fine under the Fixed distribution (ignored).
+    tc.lengths = LengthDistribution::Fixed;
+    EXPECT_EQ(validateTraceConfig(tc), "");
+}
+
+} // namespace

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * `pimba` — the scenario CLI. Runs declarative JSON experiment
+ * descriptions (see docs/scenarios.md) through the scenario registry:
+ *
+ *     pimba run scenarios/fig12_throughput.json
+ *     pimba run scenarios/serving_rate_sweep.json --smoke --csv
+ *     pimba sweep scenarios/policy_shootout.json --grid rate=1..32:x2
+ *     pimba fleet scenarios/fleet_planner.json
+ *     pimba validate scenarios/cluster_routers.json
+ *
+ * `run` executes any scenario kind; `sweep` fans one grid axis across
+ * a thread pool (same scenario + seed => byte-identical report at any
+ * thread count); `fleet` insists on the cluster kinds (fleet/planner);
+ * `validate` parses and type-checks without running. Schema errors
+ * print as `file: line L, column C: message`.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "config/sweep.h"
+#include "core/args.h"
+
+using namespace pimba;
+
+namespace {
+
+void
+printTopLevelHelp()
+{
+    fputs(
+        "usage: pimba <command> <scenario.json> [options]\n"
+        "\n"
+        "Declarative scenario runner for the Pimba serving simulator.\n"
+        "\n"
+        "commands:\n"
+        "  run       execute a scenario and print its report\n"
+        "  sweep     run a scenario once per grid point, in parallel\n"
+        "  fleet     execute a cluster scenario (fleet/planner kinds)\n"
+        "  validate  parse and type-check a scenario without running\n"
+        "\n"
+        "common options:\n"
+        "  --smoke       apply the scenario's \"smoke\" overlay "
+        "(CI-sized run)\n"
+        "  --csv         emit CSV instead of aligned tables\n"
+        "  --grid <p=v>  sweep axis, e.g. rate=1..32:x2 (sweep only)\n"
+        "  --threads <n> sweep worker threads, 0 = all cores "
+        "(sweep only)\n"
+        "  --help        this message, or per-command usage\n",
+        stdout);
+}
+
+int
+runCommand(const std::string &command, int argc, char **argv)
+{
+    std::string path, grid;
+    bool smoke = false, csv = false;
+    int threads = 1;
+
+    ArgParser args("pimba " + command,
+                   command == "sweep"
+                       ? "Run a scenario once per grid point across a "
+                         "worker pool."
+                       : command == "fleet"
+                             ? "Execute a cluster (fleet or planner) "
+                               "scenario."
+                             : command == "validate"
+                                   ? "Parse and type-check a scenario "
+                                     "without running it."
+                                   : "Execute a scenario and print its "
+                                     "report.");
+    args.positional("scenario.json", "scenario description to load",
+                    &path);
+    args.flag("--smoke", "apply the scenario's \"smoke\" overlay",
+              &smoke);
+    if (command != "validate")
+        args.flag("--csv", "emit CSV instead of aligned tables", &csv);
+    if (command == "sweep") {
+        args.option("--grid", "param=spec",
+                    "sweep axis (rate=1..32, rate=1..32:x2, "
+                    "rate=1,2,4)",
+                    &grid);
+        args.option("--threads", "n",
+                    "worker threads; 0 selects all cores", &threads);
+    }
+    if (!args.parse(argc, argv))
+        return args.exitCode();
+
+    try {
+        Scenario sc = loadScenarioFile(path, smoke);
+        if (command == "validate") {
+            // Check both the plain document and its smoke overlay — a
+            // typo inside "smoke" must not survive validation only to
+            // abort CI's --smoke run.
+            loadScenarioFile(path, !smoke);
+            printf("%s: ok (%s scenario \"%s\")\n", path.c_str(),
+                   scenarioKindName(sc.kind).c_str(), sc.name.c_str());
+            return 0;
+        }
+        if (command == "fleet" && sc.kind != ScenarioKind::Fleet &&
+            sc.kind != ScenarioKind::Planner) {
+            fprintf(stderr,
+                    "pimba fleet: %s is a %s scenario; expected kind "
+                    "fleet or planner (use `pimba run`)\n",
+                    path.c_str(), scenarioKindName(sc.kind).c_str());
+            return 1;
+        }
+        ScenarioReport rep;
+        if (command == "sweep") {
+            if (grid.empty()) {
+                fprintf(stderr, "pimba sweep: --grid param=spec is "
+                                "required (try --help)\n");
+                return 1;
+            }
+            rep = runSweep(sc, parseGridSpec(grid), threads);
+        } else {
+            rep = runScenario(sc);
+        }
+        fputs(csv ? rep.renderCsv().c_str() : rep.renderText().c_str(),
+              stdout);
+        return 0;
+    } catch (const ConfigError &e) {
+        fprintf(stderr, "pimba %s: %s\n", command.c_str(), e.what());
+        return 1;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2 || std::strcmp(argv[1], "--help") == 0 ||
+        std::strcmp(argv[1], "-h") == 0) {
+        printTopLevelHelp();
+        return argc < 2 ? 1 : 0;
+    }
+    std::string command = argv[1];
+    if (command != "run" && command != "sweep" && command != "fleet" &&
+        command != "validate") {
+        fprintf(stderr, "pimba: unknown command '%s' (try --help)\n",
+                command.c_str());
+        return 1;
+    }
+    return runCommand(command, argc - 1, argv + 1);
+}
