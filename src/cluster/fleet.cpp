@@ -13,18 +13,58 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/** Load snapshots of the replicas in @p pool, in pool order. */
-std::vector<ReplicaSnapshot>
+/** Load snapshots of the replicas in @p pool, in pool order, into the
+ *  caller's reused buffer (one routing decision per request makes this
+ *  a per-request allocation otherwise). */
+void
 snapshotPool(const std::vector<ServingEngine> &engines,
-             const std::vector<size_t> &pool)
+             const std::vector<size_t> &pool,
+             std::vector<ReplicaSnapshot> &snap)
 {
-    std::vector<ReplicaSnapshot> snap;
+    snap.clear();
     snap.reserve(pool.size());
     for (size_t i : pool)
         snap.push_back(ReplicaSnapshot{engines[i].queueDepth(),
                                        engines[i].outstandingTokens()});
-    return snap;
 }
+
+/**
+ * Cached per-replica next-event times gating the fleet's advanceTo
+ * broadcasts. The cache is refreshed after every state-changing engine
+ * call (advance/submit/drain), so a cached time later than the target
+ * proves the replica is idle until after it — advanceTo would be a pure
+ * no-op — and the broadcast skips it. This turns the former
+ * O(requests x replicas) advance loop into O(requests x replicas with
+ * due work) while leaving every engine in exactly the state the eager
+ * broadcast produced (routing snapshots, and therefore reports, are
+ * byte-identical).
+ */
+class AdvanceGate
+{
+  public:
+    explicit AdvanceGate(std::vector<ServingEngine> &engines_)
+        : engines(engines_), nextEvent(engines_.size(), 0.0)
+    {}
+
+    /** advanceTo(@p t) on every pool replica not provably idle past t. */
+    void
+    advancePool(const std::vector<size_t> &pool, double t)
+    {
+        for (size_t i : pool) {
+            if (nextEvent[i] > t)
+                continue;
+            engines[i].advanceTo(t);
+            nextEvent[i] = engines[i].nextEventTime();
+        }
+    }
+
+    /** Refresh replica @p i's cache after a submit/drain on it. */
+    void refresh(size_t i) { nextEvent[i] = engines[i].nextEventTime(); }
+
+  private:
+    std::vector<ServingEngine> &engines;
+    std::vector<double> nextEvent;
+};
 
 /** Completion instant of a fleet-level record. */
 double
@@ -192,12 +232,14 @@ Fleet::run(const std::vector<Request> &trace)
         // ---------------------------------------------- colocated
         auto router = makeRouter(cfg.router, cfg.routerSeed);
         const std::vector<size_t> pool = prefillPool(); // all replicas
+        AdvanceGate gate(engines);
+        std::vector<ReplicaSnapshot> snap;
         for (const Request &r : sorted) {
-            for (size_t i : pool)
-                engines[i].advanceTo(r.arrival);
-            size_t pick =
-                pool[router->route(snapshotPool(engines, pool), r)];
+            gate.advancePool(pool, r.arrival);
+            snapshotPool(engines, pool, snap);
+            size_t pick = pool[router->route(snap, r)];
             engines[pick].submit(r);
+            gate.refresh(pick);
             // decodeReplica stays -1: the field marks a disaggregated
             // hand-off, and a colocated replica decodes its own work.
             report.assignments.push_back(Assignment{r.id, pick, -1});
@@ -233,6 +275,8 @@ Fleet::run(const std::vector<Request> &trace)
     std::priority_queue<Handoff, std::vector<Handoff>, HandoffLater> due;
     std::vector<CompletedRequest> prefillOnly; // single-token requests
     std::vector<size_t> polled(engines.size(), 0);
+    AdvanceGate gate(engines);
+    std::vector<ReplicaSnapshot> snap;
 
     // Collect fresh prefill completions into transfer hand-offs. The
     // shipped bytes are the request's cached state + KV at prompt + 1
@@ -290,16 +334,17 @@ Fleet::run(const std::vector<Request> &trace)
         if (t == kInf) {
             // No event in hand, but prefill work is still in flight:
             // run it out to discover the remaining hand-offs.
-            for (size_t i : prefills)
+            for (size_t i : prefills) {
                 engines[i].drain();
+                gate.refresh(i);
+            }
             pollPrefills();
             continue;
         }
         // Advance the prefill pool to the event horizon *before*
         // committing to the event order: a completion inside (now, t]
         // may ready a hand-off earlier than the one queued.
-        for (size_t i : prefills)
-            engines[i].advanceTo(t);
+        gate.advancePool(prefills, t);
         pollPrefills();
         th = due.empty() ? kInf : due.top().ready;
 
@@ -307,23 +352,24 @@ Fleet::run(const std::vector<Request> &trace)
             const Request &r = sorted[next++];
             PIMBA_ASSERT(originals.emplace(r.id, r).second,
                          "duplicate request id ", r.id, " in trace");
-            size_t pick = prefills[prefillRouter->route(
-                snapshotPool(engines, prefills), r)];
+            snapshotPool(engines, prefills, snap);
+            size_t pick = prefills[prefillRouter->route(snap, r)];
             Request pr = r;
             pr.outputLen = 1; // prefill stage emits the first token only
             engines[pick].submit(pr);
+            gate.refresh(pick);
             assignmentIdx.emplace(r.id, report.assignments.size());
             report.assignments.push_back(Assignment{r.id, pick, -1});
         } else {
             Handoff h = due.top();
             due.pop();
-            for (size_t i : decodes)
-                engines[i].advanceTo(h.ready);
-            size_t pick = decodes[decodeRouter->route(
-                snapshotPool(engines, decodes), h.req)];
+            gate.advancePool(decodes, h.ready);
+            snapshotPool(engines, decodes, snap);
+            size_t pick = decodes[decodeRouter->route(snap, h.req)];
             Request dr = h.req;
             dr.arrival = h.ready; // blocks land; decode clock starts
             engines[pick].submitPrefilled(dr);
+            gate.refresh(pick);
             report.assignments[assignmentIdx.at(h.req.id)].decodeReplica =
                 static_cast<int>(pick);
             handoffMeta.emplace(h.req.id, h);

@@ -307,6 +307,31 @@ generationStepOps(const ModelConfig &model, int batch, uint64_t seq_len,
                   int tp_degree)
 {
     std::vector<OpSpec> ops;
+    generationStepOpsInto(model, batch, seq_len, tp_degree, ops);
+    return ops;
+}
+
+namespace {
+
+/** Append @p copies copies of the ops from @p first to the end. */
+void
+replicateOps(std::vector<OpSpec> &ops, size_t first, int copies)
+{
+    size_t per_layer = ops.size() - first;
+    ops.reserve(ops.size() + per_layer * static_cast<size_t>(copies));
+    for (int c = 0; c < copies; ++c)
+        for (size_t i = 0; i < per_layer; ++i)
+            ops.push_back(ops[first + i]);
+}
+
+} // namespace
+
+void
+generationStepOpsInto(const ModelConfig &model, int batch,
+                      uint64_t seq_len, int tp_degree,
+                      std::vector<OpSpec> &ops)
+{
+    ops.clear();
     const double b = batch;
     const double d = model.dModel;
     const int tp = std::max(1, tp_degree);
@@ -324,7 +349,11 @@ generationStepOps(const ModelConfig &model, int batch, uint64_t seq_len,
         double v_dim = heads * model.dimState;
         double d_inner = qk_dim; // Mamba-2 naming
 
-        for (int layer = 0; layer < su_layers; ++layer) {
+        // The block's op sequence does not depend on the layer index —
+        // every stacked block is architecturally identical — so one
+        // layer is built and the rest are copies (replicateOps below).
+        size_t first = ops.size();
+        {
             // Input projections (q/k/v/decay or merged in_proj).
             double proj_w = 0.0;
             double out_w = 0.0;
@@ -405,6 +434,7 @@ generationStepOps(const ModelConfig &model, int batch, uint64_t seq_len,
                 ops.push_back(comm);
             }
         }
+        replicateOps(ops, first, su_layers - 1);
     }
 
     // --- Attention blocks ---
@@ -415,7 +445,8 @@ generationStepOps(const ModelConfig &model, int batch, uint64_t seq_len,
             static_cast<uint64_t>(tp));
         double attn_dim = heads * model.attnDimHead;
 
-        for (int layer = 0; layer < attn_layers; ++layer) {
+        size_t first = ops.size();
+        {
             addGemm(ops, b, 3.0 * d * attn_dim, d, 3.0 * attn_dim);
 
             OpSpec at;
@@ -455,6 +486,7 @@ generationStepOps(const ModelConfig &model, int batch, uint64_t seq_len,
                 ops.push_back(comm);
             }
         }
+        replicateOps(ops, first, attn_layers - 1);
     }
 
     // LM head (sharded along vocab) + embedding glue.
@@ -465,8 +497,6 @@ generationStepOps(const ModelConfig &model, int batch, uint64_t seq_len,
     embed.flops = b * d;
     embed.memBytes = b * d * 4.0;
     ops.push_back(embed);
-
-    return ops;
 }
 
 } // namespace pimba

@@ -147,6 +147,17 @@ std::vector<OpSpec> generationStepOps(const ModelConfig &model,
                                       int batch, uint64_t seq_len,
                                       int tp_degree = 1);
 
+/**
+ * generationStepOps() into a caller-owned vector (cleared first), so a
+ * hot caller can reuse one buffer across steps. The per-layer op
+ * sequence of a stack is independent of the layer index, so the body is
+ * built once per layer family and replicated — identical OpSpecs, not
+ * re-derived ones — for the remaining layers.
+ */
+void generationStepOpsInto(const ModelConfig &model, int batch,
+                           uint64_t seq_len, int tp_degree,
+                           std::vector<OpSpec> &ops);
+
 } // namespace pimba
 
 #endif // PIMBA_MODELS_MODEL_CONFIG_H

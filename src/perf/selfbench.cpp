@@ -1,0 +1,393 @@
+#include "perf/selfbench.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+#include "config/runner.h"
+#include "config/scenario.h"
+#include "core/table.h"
+#include "serving/engine.h"
+#include "serving/trace.h"
+#include "sim/serving_sim.h"
+
+namespace pimba {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Seconds elapsed since @p start. */
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/**
+ * Pinned trace of the engine-level layers. The shapes are part of the
+ * benchmark's contract: changing them breaks comparability of the
+ * BENCH_*.json trajectory across PRs (see docs/benchmarking.md).
+ */
+TraceConfig
+benchTrace(bool smoke, double rate)
+{
+    TraceConfig tc;
+    tc.arrivals = ArrivalProcess::Poisson;
+    tc.ratePerSec = rate;
+    tc.numRequests = smoke ? 24 : 96;
+    tc.inputLen = smoke ? 256 : 512;
+    tc.outputLen = smoke ? 128 : 256;
+    tc.seed = 0x5EEDBE4Cu;
+    return tc;
+}
+
+EngineConfig
+benchEngine()
+{
+    EngineConfig ec;
+    ec.maxBatch = 32;
+    return ec;
+}
+
+/** Layer 1: cold-cache generation-step evaluation. */
+BenchLayer
+benchStepCost(const SelfBenchOptions &opts)
+{
+    BenchLayer layer;
+    layer.name = "step_cost";
+    const std::vector<ModelConfig> models = {retnet2p7b(), mamba2_2p7b(),
+                                             opt7b()};
+    const std::vector<int> batches =
+        opts.smoke ? std::vector<int>{8} : std::vector<int>{32, 128};
+    const uint64_t seq = opts.smoke ? 256 : 2048;
+    layer.detail = "cold generationStep, Pimba system, "
+                   "RetNet/Mamba-2/OPT x batches, seq " +
+                   std::to_string(seq);
+
+    Clock::time_point start = Clock::now();
+    for (int rep = 0; rep < opts.reps; ++rep) {
+        // A fresh simulator per rep: cold PIM kernel caches, so this
+        // layer times the raw command-level evaluation path.
+        ServingSimulator sim(makeSystem(SystemKind::PIMBA));
+        for (const ModelConfig &m : models) {
+            for (int batch : batches) {
+                StepResult step = sim.generationStep(m, batch, seq);
+                layer.simSeconds += step.seconds;
+                layer.simTokens += static_cast<uint64_t>(batch);
+            }
+        }
+    }
+    layer.wallSeconds = secondsSince(start);
+    return layer;
+}
+
+/** Layer 2: one memoized serving-engine run. */
+BenchLayer
+benchEngineRun(const SelfBenchOptions &opts)
+{
+    BenchLayer layer;
+    layer.name = "engine";
+    TraceConfig tc = benchTrace(opts.smoke, 16.0);
+    layer.detail = "ServingEngine, Pimba, FCFS, Poisson 16 req/s, " +
+                   std::to_string(tc.numRequests) + " requests";
+
+    std::vector<Request> trace = generateTrace(tc);
+    Clock::time_point start = Clock::now();
+    for (int rep = 0; rep < opts.reps; ++rep) {
+        ServingSimulator sim(makeSystem(SystemKind::PIMBA));
+        ServingEngine engine(sim, mamba2_2p7b(), benchEngine());
+        ServingReport r = engine.run(trace);
+        layer.simRequests += r.metrics.requests;
+        layer.simTokens += r.generatedTokens;
+        layer.simSeconds += r.makespan;
+    }
+    layer.wallSeconds = secondsSince(start);
+    return layer;
+}
+
+/** Layer 3: a serving study (systems x policies x rates). */
+BenchLayer
+benchServingStudy(const SelfBenchOptions &opts)
+{
+    BenchLayer layer;
+    layer.name = "serving";
+    const std::vector<SystemKind> systems = {
+        SystemKind::GPU, SystemKind::GPU_Q, SystemKind::PIMBA};
+    const std::vector<SchedulerPolicy> policies = {
+        SchedulerPolicy::FCFS, SchedulerPolicy::Sarathi};
+    const std::vector<double> rates =
+        opts.smoke ? std::vector<double>{8.0}
+                   : std::vector<double>{4.0, 16.0};
+    layer.detail = "GPU/GPU+Q/Pimba x fcfs/sarathi x " +
+                   std::to_string(rates.size()) + " rates";
+
+    Clock::time_point start = Clock::now();
+    for (int rep = 0; rep < opts.reps; ++rep) {
+        for (SystemKind kind : systems) {
+            ServingSimulator sim(makeSystem(kind));
+            for (SchedulerPolicy policy : policies) {
+                for (double rate : rates) {
+                    EngineConfig ec = benchEngine();
+                    ec.policy = policy;
+                    ServingEngine engine(sim, mamba2_2p7b(), ec);
+                    ServingReport r = engine.run(
+                        generateTrace(benchTrace(opts.smoke, rate)));
+                    layer.simRequests += r.metrics.requests;
+                    layer.simTokens += r.generatedTokens;
+                    layer.simSeconds += r.makespan;
+                }
+            }
+        }
+    }
+    layer.wallSeconds = secondsSince(start);
+    return layer;
+}
+
+/** Layer 4: a multi-replica fleet run behind a router. */
+BenchLayer
+benchFleetRun(const SelfBenchOptions &opts)
+{
+    BenchLayer layer;
+    layer.name = "fleet";
+    const size_t replicas = opts.smoke ? 2 : 4;
+    FleetConfig cfg = homogeneousFleet(SystemKind::PIMBA, replicas,
+                                       benchEngine());
+    cfg.router = RouterPolicy::JoinShortestQueue;
+    TraceConfig tc = benchTrace(opts.smoke, 24.0);
+    layer.detail = std::to_string(replicas) +
+                   "x Pimba, join-shortest-queue, Poisson 24 req/s, " +
+                   std::to_string(tc.numRequests) + " requests";
+
+    std::vector<Request> trace = generateTrace(tc);
+    Clock::time_point start = Clock::now();
+    for (int rep = 0; rep < opts.reps; ++rep) {
+        Fleet fleet(mamba2_2p7b(), cfg);
+        FleetReport r = fleet.run(trace);
+        layer.simRequests += r.metrics.requests;
+        layer.simTokens += r.metrics.generatedTokens;
+        layer.simSeconds += r.makespan;
+    }
+    layer.wallSeconds = secondsSince(start);
+    return layer;
+}
+
+/** Layer 5: the full fig12-scale throughput sweep. */
+BenchLayer
+benchFig12Sweep(const SelfBenchOptions &opts)
+{
+    BenchLayer layer;
+    layer.name = "sweep_fig12";
+    layer.detail = opts.smoke ? "fig12 throughput scenario (smoke)"
+                              : "fig12 throughput scenario (full)";
+    Scenario sc = fig12Scenario(opts.smoke);
+    Clock::time_point start = Clock::now();
+    // The grid cells are step-level (no request lifecycle), so the
+    // layer reports wall time only.
+    for (int rep = 0; rep < opts.reps; ++rep)
+        runScenario(sc, /*quiet=*/true);
+    layer.wallSeconds = secondsSince(start);
+    return layer;
+}
+
+/** Minimal JSON string escaping (the details are ASCII by contract). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    return buf;
+}
+
+/** Required-member check shared by the layer validators. */
+const JsonValue *
+requireMember(const JsonValue &obj, const char *key,
+              JsonValue::Kind kind, std::string &err)
+{
+    const JsonValue *v = obj.find(key);
+    if (!v) {
+        err = std::string("missing member \"") + key + "\"";
+        return nullptr;
+    }
+    if (v->kind() != kind) {
+        err = std::string("member \"") + key + "\" has type " +
+              v->typeName();
+        return nullptr;
+    }
+    return v;
+}
+
+} // namespace
+
+double
+BenchLayer::requestsPerWallSec() const
+{
+    return wallSeconds > 0.0
+               ? static_cast<double>(simRequests) / wallSeconds
+               : 0.0;
+}
+
+double
+BenchLayer::tokensPerWallSec() const
+{
+    return wallSeconds > 0.0
+               ? static_cast<double>(simTokens) / wallSeconds
+               : 0.0;
+}
+
+double
+SelfBenchReport::totalWallSeconds() const
+{
+    double total = 0.0;
+    for (const BenchLayer &l : layers)
+        total += l.wallSeconds;
+    return total;
+}
+
+std::string
+SelfBenchReport::renderJson() const
+{
+    std::string out = "{\n";
+    out += "  \"schema\": \"" + std::string(kSchema) + "\",\n";
+    out += "  \"scale\": \"" + jsonEscape(scale) + "\",\n";
+    out += "  \"reps\": " + std::to_string(reps) + ",\n";
+    out += "  \"totalWallSeconds\": " + jsonNumber(totalWallSeconds()) +
+           ",\n";
+    out += "  \"layers\": [\n";
+    for (size_t i = 0; i < layers.size(); ++i) {
+        const BenchLayer &l = layers[i];
+        out += "    {\n";
+        out += "      \"name\": \"" + jsonEscape(l.name) + "\",\n";
+        out += "      \"detail\": \"" + jsonEscape(l.detail) + "\",\n";
+        out += "      \"wallSeconds\": " + jsonNumber(l.wallSeconds) +
+               ",\n";
+        out += "      \"simSeconds\": " + jsonNumber(l.simSeconds) +
+               ",\n";
+        out += "      \"simRequests\": " + std::to_string(l.simRequests) +
+               ",\n";
+        out += "      \"simTokens\": " + std::to_string(l.simTokens) +
+               ",\n";
+        out += "      \"requestsPerWallSec\": " +
+               jsonNumber(l.requestsPerWallSec()) + ",\n";
+        out += "      \"tokensPerWallSec\": " +
+               jsonNumber(l.tokensPerWallSec()) + "\n";
+        out += i + 1 < layers.size() ? "    },\n" : "    }\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+std::string
+SelfBenchReport::renderText() const
+{
+    Table t({"layer", "wall s", "sim req/s", "sim tok/s", "sim s"});
+    for (const BenchLayer &l : layers)
+        t.addRow({l.name, fmt(l.wallSeconds, 3),
+                  fmt(l.requestsPerWallSec(), 0),
+                  fmt(l.tokensPerWallSec(), 0), fmt(l.simSeconds, 2)});
+    std::string out = "=== Simulator self-benchmark (" + scale + ", " +
+                      std::to_string(reps) + " reps) ===\n";
+    out += t.str();
+    out += "total wall: " + fmt(totalWallSeconds(), 3) + " s\n";
+    return out;
+}
+
+SelfBenchReport
+runSelfBench(const SelfBenchOptions &opts)
+{
+    SelfBenchReport report;
+    report.scale = opts.smoke ? "smoke" : "full";
+    report.reps = opts.reps;
+    report.layers.push_back(benchStepCost(opts));
+    report.layers.push_back(benchEngineRun(opts));
+    report.layers.push_back(benchServingStudy(opts));
+    report.layers.push_back(benchFleetRun(opts));
+    report.layers.push_back(benchFig12Sweep(opts));
+    return report;
+}
+
+std::string
+validateSelfBenchJson(const std::string &text)
+{
+    JsonValue root;
+    try {
+        root = parseJson(text);
+    } catch (const ConfigError &e) {
+        return std::string("not parseable JSON: ") + e.what();
+    }
+    if (!root.isObject())
+        return "document root is not an object";
+
+    std::string err;
+    const JsonValue *schema = requireMember(
+        root, "schema", JsonValue::Kind::String, err);
+    if (!schema)
+        return err;
+    if (schema->asString() != SelfBenchReport::kSchema)
+        return "unexpected schema id \"" + schema->asString() + "\"";
+
+    const JsonValue *scale = requireMember(
+        root, "scale", JsonValue::Kind::String, err);
+    if (!scale)
+        return err;
+    if (scale->asString() != "smoke" && scale->asString() != "full")
+        return "scale must be \"smoke\" or \"full\"";
+
+    const JsonValue *reps = requireMember(
+        root, "reps", JsonValue::Kind::Number, err);
+    if (!reps)
+        return err;
+    if (reps->asInt() < 1)
+        return "reps must be >= 1";
+
+    if (!requireMember(root, "totalWallSeconds",
+                       JsonValue::Kind::Number, err))
+        return err;
+
+    const JsonValue *layers = requireMember(
+        root, "layers", JsonValue::Kind::Array, err);
+    if (!layers)
+        return err;
+    if (layers->items().empty())
+        return "layers array is empty";
+
+    for (const JsonValue &l : layers->items()) {
+        if (!l.isObject())
+            return "layer entry is not an object";
+        const JsonValue *name = requireMember(
+            l, "name", JsonValue::Kind::String, err);
+        if (!name)
+            return err;
+        if (name->asString().empty())
+            return "layer name is empty";
+        if (!requireMember(l, "detail", JsonValue::Kind::String, err))
+            return "layer \"" + name->asString() + "\": " + err;
+        for (const char *key :
+             {"wallSeconds", "simSeconds", "simRequests", "simTokens",
+              "requestsPerWallSec", "tokensPerWallSec"}) {
+            const JsonValue *v = requireMember(
+                l, key, JsonValue::Kind::Number, err);
+            if (!v)
+                return "layer \"" + name->asString() + "\": " + err;
+            if (v->asNumber() < 0.0)
+                return "layer \"" + name->asString() + "\": member \"" +
+                       key + "\" is negative";
+        }
+    }
+    return "";
+}
+
+} // namespace pimba

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Simulator self-benchmark: times the simulator's own layers — not what
+ * it predicts, but how fast it predicts it — so every PR extends a
+ * measurable performance trajectory (the `BENCH_*.json` history the
+ * roadmap calls for).
+ *
+ * Five layers, from micro to macro:
+ *
+ *  - `step_cost`: raw generation-step evaluation on a cold simulator
+ *    (the PIM command-level kernel model plus the GPU roofline, no
+ *    memo hits) across pinned model/batch shapes.
+ *  - `engine`: one memoized ServingEngine run over a seeded trace —
+ *    the continuous-batching inner loop with warm step memos.
+ *  - `serving`: a serving-trace study (systems x policies x rates),
+ *    the shape of one serving-scenario table.
+ *  - `fleet`: a multi-replica fleet run behind a router.
+ *  - `sweep_fig12`: the full fig12 throughput scenario, the paper's
+ *    headline grid and the repo's dominant batch workload.
+ *
+ * Each layer reports wall seconds plus the simulated work it pushed
+ * through (requests, tokens, simulated seconds), so the headline rates
+ * are *simulated* requests/sec and tokens/sec **per wall-clock
+ * second** — a simulator-throughput number that is comparable across
+ * PRs as long as the pinned shapes stay untouched.
+ *
+ * The JSON emitted by renderJson() follows the schema described in
+ * docs/benchmarking.md (`"schema": "pimba-selfbench-v1"`) and is
+ * self-checked: validateSelfBenchJson() re-parses the text with the
+ * scenario subsystem's JSON parser and verifies every required member,
+ * which is also what CI's perf job runs against the artifact.
+ */
+
+#ifndef PIMBA_PERF_SELFBENCH_H
+#define PIMBA_PERF_SELFBENCH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pimba {
+
+/** Knobs of one self-benchmark execution. */
+struct SelfBenchOptions
+{
+    bool smoke = false; ///< CI-sized shapes instead of the full ones
+    int reps = 3;       ///< repetitions per layer (wall time summed)
+};
+
+/** Measured outcome of one benchmark layer. */
+struct BenchLayer
+{
+    std::string name;   ///< layer id ("step_cost", "engine", ...)
+    std::string detail; ///< human description of the pinned shapes
+    double wallSeconds = 0.0; ///< total wall time across all reps
+    double simSeconds = 0.0;  ///< simulated time covered (0 when n/a)
+    uint64_t simRequests = 0; ///< simulated requests completed (reps summed)
+    uint64_t simTokens = 0;   ///< simulated tokens generated (reps summed)
+
+    /** Simulated requests per wall-clock second (0 when n/a). */
+    double requestsPerWallSec() const;
+    /** Simulated tokens per wall-clock second (0 when n/a). */
+    double tokensPerWallSec() const;
+};
+
+/** Full self-benchmark outcome. */
+struct SelfBenchReport
+{
+    /// Schema id stamped into the JSON; bump on breaking changes.
+    static constexpr const char *kSchema = "pimba-selfbench-v1";
+
+    std::string scale; ///< "smoke" or "full"
+    int reps = 0;
+    std::vector<BenchLayer> layers;
+
+    /** Wall seconds summed over all layers. */
+    double totalWallSeconds() const;
+
+    /** The BENCH_*.json document (always schema-valid by construction). */
+    std::string renderJson() const;
+
+    /** Aligned stdout table for interactive runs. */
+    std::string renderText() const;
+};
+
+/** Run every layer and collect the report. */
+SelfBenchReport runSelfBench(const SelfBenchOptions &opts);
+
+/**
+ * Validate @p text against the pimba-selfbench-v1 schema (parseable
+ * JSON, schema id, per-layer required members with sane types/ranges).
+ * Returns the empty string when valid, else one actionable message.
+ */
+std::string validateSelfBenchJson(const std::string &text);
+
+} // namespace pimba
+
+#endif // PIMBA_PERF_SELFBENCH_H

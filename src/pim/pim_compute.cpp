@@ -18,6 +18,33 @@ computeEnergyPerValuePj(NumberFormat fmt)
     return fmt == NumberFormat::MX8 ? 0.45 : 1.0;
 }
 
+/**
+ * Pack a state-update shape into a nonzero memo key, or 0 if a field
+ * exceeds its bit range (instances >= 1 keeps in-range keys nonzero).
+ */
+uint64_t
+suShapeKey(const StateUpdateShape &s)
+{
+    if (s.instances >= (1ull << 40) || s.dimHead < 0 ||
+        s.dimHead >= (1 << 12) || s.dimState < 0 ||
+        s.dimState >= (1 << 12))
+        return 0;
+    return (s.instances << 24) |
+           (static_cast<uint64_t>(s.dimHead) << 12) |
+           static_cast<uint64_t>(s.dimState);
+}
+
+/** Packed attention-shape memo key, or 0 if out of range. */
+uint64_t
+attnShapeKey(const AttentionShape &s)
+{
+    if (s.instances >= (1ull << 20) || s.dimHead < 0 ||
+        s.dimHead >= (1 << 12) || s.seqLen >= (1ull << 32))
+        return 0;
+    return (s.instances << 44) |
+           (static_cast<uint64_t>(s.dimHead) << 32) | s.seqLen;
+}
+
 } // namespace
 
 PimDesign
@@ -135,6 +162,39 @@ PimComputeModel::runPasses(uint64_t passes, uint64_t total_comps,
 PimKernelResult
 PimComputeModel::stateUpdate(const StateUpdateShape &shape) const
 {
+    uint64_t key = suShapeKey(shape);
+    if (key == 0)
+        return stateUpdateUncached(shape);
+    if (const PimKernelResult *hit = suCache.find(key))
+        return *hit;
+    return suCache.insert(key, stateUpdateUncached(shape));
+}
+
+PimKernelResult
+PimComputeModel::attentionScore(const AttentionShape &shape) const
+{
+    uint64_t key = attnShapeKey(shape);
+    if (key == 0)
+        return attentionScoreUncached(shape);
+    if (const PimKernelResult *hit = scoreCache.find(key))
+        return *hit;
+    return scoreCache.insert(key, attentionScoreUncached(shape));
+}
+
+PimKernelResult
+PimComputeModel::attentionAttend(const AttentionShape &shape) const
+{
+    uint64_t key = attnShapeKey(shape);
+    if (key == 0)
+        return attentionAttendUncached(shape);
+    if (const PimKernelResult *hit = attendCache.find(key))
+        return *hit;
+    return attendCache.insert(key, attentionAttendUncached(shape));
+}
+
+PimKernelResult
+PimComputeModel::stateUpdateUncached(const StateUpdateShape &shape) const
+{
     PIMBA_ASSERT(pimDesign.supportsStateUpdate,
                  pimDesign.name, " cannot execute state updates");
     const auto &org = hbmCfg.org;
@@ -159,7 +219,7 @@ PimComputeModel::stateUpdate(const StateUpdateShape &shape) const
 }
 
 PimKernelResult
-PimComputeModel::attentionScore(const AttentionShape &shape) const
+PimComputeModel::attentionScoreUncached(const AttentionShape &shape) const
 {
     PIMBA_ASSERT(pimDesign.supportsAttention,
                  pimDesign.name, " cannot execute attention");
@@ -182,7 +242,7 @@ PimComputeModel::attentionScore(const AttentionShape &shape) const
 }
 
 PimKernelResult
-PimComputeModel::attentionAttend(const AttentionShape &shape) const
+PimComputeModel::attentionAttendUncached(const AttentionShape &shape) const
 {
     PIMBA_ASSERT(pimDesign.supportsAttention,
                  pimDesign.name, " cannot execute attention");

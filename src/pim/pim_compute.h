@@ -15,6 +15,7 @@
 
 #include <string>
 
+#include "core/flat_table.h"
 #include "dram/hbm_config.h"
 #include "dram/pim_scheduler.h"
 #include "pim/data_layout.h"
@@ -65,7 +66,18 @@ struct PimKernelResult
     PimEnergy energy;       ///< whole-device energy
 };
 
-/** Performance/energy model of one PIM device. */
+/**
+ * Performance/energy model of one PIM device.
+ *
+ * Kernel results are memoized by their exact shape: every one of a
+ * model's stacked layers invokes the device with identical shapes, so
+ * the per-command DRAM simulation runs once per distinct shape and the
+ * stored result — bit-identical to recomputation, since the model is a
+ * pure function of (shape, config) — is replayed for the rest. The
+ * caches make the model stateful-but-const; a model instance is
+ * therefore not safe to share across threads (each sweep worker builds
+ * its own simulator, which is how the scenario layer already runs).
+ */
 class PimComputeModel
 {
   public:
@@ -90,8 +102,21 @@ class PimComputeModel
                               uint64_t processed_bytes_per_pc,
                               bool writes_back) const;
 
+    PimKernelResult stateUpdateUncached(
+        const StateUpdateShape &shape) const;
+    PimKernelResult attentionScoreUncached(
+        const AttentionShape &shape) const;
+    PimKernelResult attentionAttendUncached(
+        const AttentionShape &shape) const;
+
     HbmConfig hbmCfg;
     PimDesign pimDesign;
+
+    // Shape-keyed result memos (see class comment). Shapes whose fields
+    // exceed the packed-key ranges fall back to direct computation.
+    mutable FlatTable<PimKernelResult> suCache;
+    mutable FlatTable<PimKernelResult> scoreCache;
+    mutable FlatTable<PimKernelResult> attendCache;
 };
 
 } // namespace pimba

@@ -5,26 +5,9 @@
 #include <limits>
 
 #include "core/logging.h"
+#include "serving/step_memo.h"
 
 namespace pimba {
-
-namespace {
-
-/// Cache-length bucket width for the step memos. Attention cost is
-/// affine in cache length, so quantizing to the bucket center bounds the
-/// per-step error at half a bucket of KV traffic while making rate
-/// sweeps O(distinct buckets) instead of O(iterations) model walks.
-constexpr uint64_t kSeqBucket = 64;
-
-/// Evaluation point of a memo bucket: its center, used uniformly by the
-/// decode, prefill, and fused memos so the three stay comparable.
-uint64_t
-bucketCenter(uint64_t seq)
-{
-    return (seq / kSeqBucket) * kSeqBucket + kSeqBucket / 2;
-}
-
-} // namespace
 
 uint64_t
 resolvedIterTokenBudget(const EngineConfig &cfg)
@@ -86,15 +69,12 @@ ServingEngine::ServingEngine(const ServingSimulator &sim_,
 double
 ServingEngine::decodeSeconds(int batch, uint64_t mean_seq)
 {
-    uint64_t bucket = mean_seq / kSeqBucket;
-    uint64_t key = (static_cast<uint64_t>(batch) << 32) | bucket;
-    auto it = decodeCache.find(key);
-    if (it != decodeCache.end())
-        return it->second;
+    uint64_t key = decodeMemoKey(batch, mean_seq);
+    if (const double *hit = decodeCache.find(key))
+        return *hit;
     double secs =
         sim.generationStep(model, batch, bucketCenter(mean_seq)).seconds;
-    decodeCache.emplace(key, secs);
-    return secs;
+    return decodeCache.insert(key, secs);
 }
 
 double
@@ -105,38 +85,32 @@ ServingEngine::prefillSeconds(uint64_t chunk, uint64_t seq_pos)
     // including evaluating at the bucket *center*, matching
     // decodeSeconds (the seed evaluated this memo at the bucket floor,
     // biasing prefill cost low by half a bucket).
-    uint64_t bucket = seq_pos / kSeqBucket;
-    uint64_t key = (chunk << 32) | bucket;
-    auto it = prefillCache.find(key);
-    if (it != prefillCache.end())
-        return it->second;
+    uint64_t key = prefillMemoKey(chunk, seq_pos);
+    if (const double *hit = prefillCache.find(key))
+        return *hit;
     double secs =
         sim.prefillStep(model, chunk, bucketCenter(seq_pos)).seconds;
-    prefillCache.emplace(key, secs);
-    return secs;
+    return prefillCache.insert(key, secs);
 }
 
 double
 ServingEngine::mixedSeconds(int decode_batch, uint64_t decode_seq,
                             uint64_t prefill_tokens, uint64_t prefill_pos)
 {
-    uint64_t db = static_cast<uint64_t>(decode_batch);
-    uint64_t dbucket = decode_seq / kSeqBucket;
-    uint64_t pbucket = prefill_pos / kSeqBucket;
-    PIMBA_ASSERT(db < (1ull << 12) && prefill_tokens < (1ull << 16) &&
-                     dbucket < (1ull << 18) && pbucket < (1ull << 18),
+    PIMBA_ASSERT(static_cast<uint64_t>(decode_batch) < kMixedMaxBatch &&
+                     prefill_tokens < kMixedMaxPrefillTokens &&
+                     seqBucket(decode_seq) < kMixedMaxBucket &&
+                     seqBucket(prefill_pos) < kMixedMaxBucket,
                  "fused-step memo key overflow");
-    uint64_t key = (db << 52) | (prefill_tokens << 36) |
-                   (dbucket << 18) | pbucket;
-    auto it = mixedCache.find(key);
-    if (it != mixedCache.end())
-        return it->second;
+    uint64_t key = mixedMemoKey(decode_batch, decode_seq, prefill_tokens,
+                                prefill_pos);
+    if (const double *hit = mixedCache.find(key))
+        return *hit;
     double secs = sim.mixedStep(model, decode_batch,
                                 bucketCenter(decode_seq), prefill_tokens,
                                 bucketCenter(prefill_pos))
                       .seconds;
-    mixedCache.emplace(key, secs);
-    return secs;
+    return mixedCache.insert(key, secs);
 }
 
 void
@@ -282,6 +256,16 @@ ServingEngine::waitingCount() const
     return waiting.size() + pendingArrivals.size();
 }
 
+double
+ServingEngine::nextEventTime() const
+{
+    if (!running.empty() || !waiting.empty())
+        return clock; // resident or revealed work: actionable now
+    if (!pendingArrivals.empty())
+        return pendingArrivals.front().arrival;
+    return std::numeric_limits<double>::infinity();
+}
+
 size_t
 ServingEngine::queueDepth() const
 {
@@ -379,18 +363,17 @@ ServingEngine::iterate()
     // freed, cached tokens discarded, re-queued at the head of the
     // waiting line to recompute — and the iteration is re-planned over
     // the survivors.
-    IterationPlan plan;
     while (true) {
-        plan = sched->planIteration(running);
+        sched->planInto(running, plan);
         PIMBA_ASSERT(!plan.empty(), "iteration made no progress");
 
         uint64_t extra = 0;
-        std::vector<std::pair<uint64_t, uint64_t>> grows;
+        growScratch.clear();
         auto demand = [&](const RequestState &rs, uint64_t cached) {
             uint64_t target = mapper.blocksFor(cached);
             uint64_t cur = blocks->holding(rs.req.id);
             if (target > cur) {
-                grows.emplace_back(rs.req.id, target);
+                growScratch.emplace_back(rs.req.id, target);
                 extra += target - cur;
             }
         };
@@ -404,7 +387,7 @@ ServingEngine::iterate()
             demand(rs, cached);
         }
         if (extra <= blocks->freeBlocks()) {
-            for (const auto &[id, target] : grows) {
+            for (const auto &[id, target] : growScratch) {
                 bool ok = blocks->growTo(id, target);
                 PIMBA_ASSERT(ok, "planned growth failed");
             }
@@ -431,8 +414,16 @@ ServingEngine::iterate()
         // so re-admission re-materializes them without a second link
         // transfer (re-fetch cost is not modeled).
         if (victim.preloaded) {
-            report.recomputedTokens += victim.generated - 1;
-            report.generatedTokens -= victim.generated - 1;
+            // Clamp: a preloaded victim evicted before its first local
+            // decode step still sits at generated == 1 (the imported
+            // first token) — and must never go below. Subtracting an
+            // unclamped `generated - 1` would wrap the unsigned counter
+            // if a zero-generated state ever reached here, corrupting
+            // both counters for the rest of the run.
+            uint64_t locallyDecoded =
+                victim.generated > 0 ? victim.generated - 1 : 0;
+            report.recomputedTokens += locallyDecoded;
+            report.generatedTokens -= locallyDecoded;
         } else {
             report.recomputedTokens +=
                 victim.prefilled + victim.generated;

@@ -39,8 +39,10 @@
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "core/flat_table.h"
 #include "serving/block_manager.h"
 #include "serving/metrics.h"
 #include "serving/request.h"
@@ -171,6 +173,13 @@ class ServingEngine
     // --------------------------------------- router introspection
     /// Simulated clock of the open session (seconds).
     double now() const { return clock; }
+    /// Earliest time this replica has anything to do: the clock when
+    /// work is resident or revealed, the next pending arrival when
+    /// idle, +inf when fully drained. The fleet skips advanceTo()
+    /// broadcasts to replicas whose next event lies beyond the target
+    /// time — a pure no-op there — turning the per-request
+    /// O(replicas) advance into O(replicas with due work).
+    double nextEventTime() const;
     /// Submitted requests not yet admitted (queued work).
     size_t waitingCount() const;
     /// Requests currently resident in the batch.
@@ -211,9 +220,13 @@ class ServingEngine
     ModelConfig model;
     EngineConfig cfg;
     std::unique_ptr<Scheduler> sched;
-    std::unordered_map<uint64_t, double> decodeCache;
-    std::unordered_map<uint64_t, double> prefillCache;
-    std::unordered_map<uint64_t, double> mixedCache;
+    // Step-cost memos: packed (batch, bucket) keys (see step_memo.h) to
+    // modeled seconds, in flat open-addressing tables — the memo lookup
+    // is the innermost operation of every sweep, and the node-based
+    // unordered_map's hash + pointer chase dominated it.
+    FlatTable<double> decodeCache;
+    FlatTable<double> prefillCache;
+    FlatTable<double> mixedCache;
 
     // ------------------------------------------------ session state
     /// Queueing-delay / preemption bookkeeping that must survive
@@ -237,6 +250,11 @@ class ServingEngine
     std::optional<BlockManager> blocks;
     BlockMapper mapper;
     ServingReport report;
+
+    // Per-iteration scratch, reused across iterations so the inner loop
+    // allocates nothing once capacities settle.
+    IterationPlan plan;
+    std::vector<std::pair<uint64_t, uint64_t>> growScratch;
 };
 
 } // namespace pimba

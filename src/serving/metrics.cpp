@@ -9,16 +9,21 @@ namespace pimba {
 LatencySummary
 summarizeLatency(const std::vector<double> &samples)
 {
+    // Single pass over one sorted copy: the sort gives the percentiles
+    // and the max for free, and the mean accumulates from the sorted
+    // vector — this runs once per metric per grid point, so the
+    // previous extra Welford walk over the unsorted samples was pure
+    // overhead.
     LatencySummary s;
     if (samples.empty())
         return s;
-    Accumulator acc;
-    for (double x : samples)
-        acc.add(x);
-    s.mean = acc.mean();
-    s.max = acc.max();
     std::vector<double> sorted = samples;
     std::sort(sorted.begin(), sorted.end());
+    double sum = 0.0;
+    for (double x : sorted)
+        sum += x;
+    s.mean = sum / static_cast<double>(sorted.size());
+    s.max = sorted.back();
     s.p50 = percentileSorted(sorted, 50.0);
     s.p95 = percentileSorted(sorted, 95.0);
     s.p99 = percentileSorted(sorted, 99.0);
@@ -45,14 +50,18 @@ computeMetrics(const std::vector<CompletedRequest> &done, double makespan,
         ttft.push_back(c.ttft);
         // Single-token requests have no inter-token gap; their tpot of
         // 0.0 would drag the TPOT percentiles down, so they are
-        // excluded from the summary sample. The SLO check below keeps
-        // them: with no decode steps there is no TPOT to violate.
+        // excluded from the summary sample.
         if (c.req.outputLen > 1)
             tpot.push_back(c.tpot);
         latency.push_back(c.latency);
         queueing.push_back(c.queueing);
         preemptions.push_back(static_cast<double>(c.preemptions));
-        if (c.ttft <= slo.ttft && c.tpot <= slo.tpot)
+        // The SLO's TPOT clause is vacuous for a single-token request —
+        // with no decode steps there is no inter-token time to violate —
+        // so it is skipped *explicitly*, not by relying on the record's
+        // incidental 0.0 sentinel passing the comparison.
+        bool tpotOk = c.req.outputLen <= 1 || c.tpot <= slo.tpot;
+        if (c.ttft <= slo.ttft && tpotOk)
             ++good;
     }
     m.sloViolations = m.requests - good;

@@ -9,14 +9,13 @@ namespace pimba {
 namespace {
 
 /** Decode indices shared by every policy: all decode-phase residents. */
-std::vector<size_t>
-decodeResidents(const std::vector<RequestState> &running)
+void
+decodeResidents(const std::vector<RequestState> &running,
+                std::vector<size_t> &idx)
 {
-    std::vector<size_t> idx;
     for (size_t i = 0; i < running.size(); ++i)
         if (running[i].phase == RequestPhase::Decode)
             idx.push_back(i);
-    return idx;
 }
 
 /** Shared base holding the chunk/budget knobs. */
@@ -45,11 +44,12 @@ class OneChunkScheduler : public SchedulerBase
   public:
     using SchedulerBase::SchedulerBase;
 
-    IterationPlan
-    planIteration(const std::vector<RequestState> &running) const override
+    void
+    planInto(const std::vector<RequestState> &running,
+             IterationPlan &plan) const override
     {
-        IterationPlan plan;
-        plan.decodeIdx = decodeResidents(running);
+        plan.clear();
+        decodeResidents(running, plan.decodeIdx);
         for (size_t i = 0; i < running.size(); ++i) {
             if (running[i].phase == RequestPhase::Prefill) {
                 uint64_t left =
@@ -58,7 +58,6 @@ class OneChunkScheduler : public SchedulerBase
                 break;
             }
         }
-        return plan;
     }
 };
 
@@ -123,12 +122,13 @@ class SarathiScheduler : public SchedulerBase
         return 0; // FCFS admission; fairness comes from chunk packing
     }
 
-    IterationPlan
-    planIteration(const std::vector<RequestState> &running) const override
+    void
+    planInto(const std::vector<RequestState> &running,
+             IterationPlan &plan) const override
     {
-        IterationPlan plan;
+        plan.clear();
         plan.fused = true;
-        plan.decodeIdx = decodeResidents(running);
+        decodeResidents(running, plan.decodeIdx);
         // Decode tokens are never throttled (one per resident decode);
         // the leftover budget is packed with prefill chunks from as
         // many prompt-phase requests as fit, oldest admitted first.
@@ -141,7 +141,6 @@ class SarathiScheduler : public SchedulerBase
             plan.prefill.push_back({i, grant});
             spent += grant;
         }
-        return plan;
     }
 };
 

@@ -65,6 +65,14 @@ struct IterationPlan
     bool fused = false;
 
     bool empty() const { return decodeIdx.empty() && prefill.empty(); }
+
+    /** Reset to an empty plan, keeping the vectors' capacity. */
+    void clear()
+    {
+        decodeIdx.clear();
+        prefill.clear();
+        fused = false;
+    }
 };
 
 /** Iteration-level scheduling policy. */
@@ -83,9 +91,23 @@ class Scheduler
     virtual size_t pickAdmission(
         const std::deque<Request> &waiting) const = 0;
 
-    /** Compose the coming iteration over the resident requests. */
-    virtual IterationPlan planIteration(
-        const std::vector<RequestState> &running) const = 0;
+    /**
+     * Compose the coming iteration over the resident requests into
+     * @p out (cleared first). The out-param form is what the engine
+     * calls: plan vectors are reused across iterations, so the steady
+     * state of the inner loop allocates nothing.
+     */
+    virtual void planInto(const std::vector<RequestState> &running,
+                          IterationPlan &out) const = 0;
+
+    /** planInto() into a fresh plan (convenience for tests/tools). */
+    IterationPlan
+    planIteration(const std::vector<RequestState> &running) const
+    {
+        IterationPlan plan;
+        planInto(running, plan);
+        return plan;
+    }
 };
 
 /**

@@ -157,8 +157,12 @@ ServingSimulator::generationStep(const ModelConfig &model, int batch,
                                  uint64_t seq_len) const
 {
     StepResult acc;
-    for (const auto &op : generationStepOps(model, batch, seq_len,
-                                            sys.nGpus))
+    // One op buffer per thread, reused across steps: the op graph is
+    // rebuilt every step but its capacity is stable, so the steady
+    // state allocates nothing (sweep workers each get their own).
+    static thread_local std::vector<OpSpec> ops;
+    generationStepOpsInto(model, batch, seq_len, sys.nGpus, ops);
+    for (const auto &op : ops)
         runOp(op, acc);
     // The two-sub-batch pipeline needs two sub-batches to fill both
     // stages and a PIM to overlap against; otherwise the step degrades

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Golden-output pinning: the checked-in fixtures under tests/golden/
+ * are the *pre-optimization* stdout of `pimba run` on the scenario
+ * presets, captured before the step-memo flattening, the PIM
+ * kernel-shape cache, and the layer-replicated op builder landed. The
+ * hot-path work is only allowed to make the simulator faster, never to
+ * move a digit — so every report here must match its fixture byte for
+ * byte, at full size and under the smoke overlay.
+ *
+ * Regenerate a fixture (only when an intentional modeling change lands,
+ * with the diff reviewed):
+ *
+ *     ./build/pimba run scenarios/<file>.json [--smoke] \
+ *         > tests/golden/<name>.txt 2>/dev/null
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "config/runner.h"
+
+using namespace pimba;
+
+namespace {
+
+std::string
+readFixture(const std::string &name)
+{
+    std::string path = std::string(PIMBA_GOLDEN_DIR) + "/" + name;
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "missing golden fixture " << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+std::string
+runPreset(const std::string &file, bool smoke)
+{
+    Scenario sc = loadScenarioFile(
+        std::string(PIMBA_SCENARIO_DIR) + "/" + file, smoke);
+    return runScenario(sc, /*quiet=*/true).renderText();
+}
+
+TEST(GoldenOutput, Fig12SmokeMatchesPreOptimizationCapture)
+{
+    EXPECT_EQ(runPreset("fig12_throughput.json", true),
+              readFixture("fig12_smoke.txt"));
+}
+
+TEST(GoldenOutput, Fig12FullMatchesPreOptimizationCapture)
+{
+    // The full paper-scale grid — the workload the hot-path work was
+    // measured on, and the byte-identity claim of the speedup number.
+    EXPECT_EQ(runPreset("fig12_throughput.json", false),
+              readFixture("fig12_full.txt"));
+}
+
+TEST(GoldenOutput, ServingRateSweepSmokeMatchesPreOptimizationCapture)
+{
+    // Exercises the engine's decode/prefill/fused step memos end to
+    // end (systems x policies x rates).
+    EXPECT_EQ(runPreset("serving_rate_sweep.json", true),
+              readFixture("serving_smoke.txt"));
+}
+
+TEST(GoldenOutput, ClusterRoutersSmokeMatchesPreOptimizationCapture)
+{
+    // Exercises the fleet's advance gating: skipped no-op broadcasts
+    // must not change a single digit of the router comparison.
+    EXPECT_EQ(runPreset("cluster_routers.json", true),
+              readFixture("routers_smoke.txt"));
+}
+
+TEST(GoldenOutput, Fig16SmokeMatchesPreOptimizationCapture)
+{
+    EXPECT_EQ(runPreset("fig16_h100.json", true),
+              readFixture("fig16_smoke.txt"));
+}
+
+} // namespace

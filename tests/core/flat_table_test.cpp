@@ -1,0 +1,79 @@
+/**
+ * @file
+ * FlatTable (open-addressing memo map) tests: exactness of hit/miss,
+ * growth rehashing, and the stored-copy reference contract. The
+ * serving-engine memos and the PIM kernel-shape cache both sit on this
+ * table, and the byte-determinism guarantee assumes a lookup never
+ * returns a value stored under a different key.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/flat_table.h"
+
+namespace pimba {
+namespace {
+
+TEST(FlatTable, MissReturnsNullHitReturnsExactValue)
+{
+    FlatTable<double> t;
+    EXPECT_EQ(t.find(42), nullptr);
+    t.insert(42, 1.5);
+    ASSERT_NE(t.find(42), nullptr);
+    EXPECT_DOUBLE_EQ(*t.find(42), 1.5);
+    // A different key — even one likely to probe the same
+    // neighbourhood — must still miss.
+    EXPECT_EQ(t.find(43), nullptr);
+    EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(FlatTable, InsertReturnsReferenceToStoredCopy)
+{
+    FlatTable<std::vector<int>> t;
+    const std::vector<int> &stored = t.insert(7, {1, 2, 3});
+    EXPECT_EQ(stored, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(t.find(7), &stored);
+}
+
+TEST(FlatTable, GrowthRehashKeepsEveryEntryFindable)
+{
+    FlatTable<uint64_t> t(16);
+    size_t initial_cap = t.capacity();
+    // Push far past the 1/2 load cap so the table grows repeatedly.
+    // Sequential keys differ only in low bits — the worst case for a
+    // weak hash — so this also exercises probe-chain correctness.
+    const uint64_t n = 4096;
+    for (uint64_t k = 1; k <= n; ++k)
+        t.insert(k, k * k);
+    EXPECT_EQ(t.size(), n);
+    EXPECT_GT(t.capacity(), initial_cap);
+    // Load stays at or under 1/2 after growth.
+    EXPECT_GE(t.capacity(), 2 * t.size());
+    for (uint64_t k = 1; k <= n; ++k) {
+        const uint64_t *v = t.find(k);
+        ASSERT_NE(v, nullptr) << "lost key " << k;
+        EXPECT_EQ(*v, k * k);
+    }
+    EXPECT_EQ(t.find(n + 1), nullptr);
+}
+
+TEST(FlatTable, SparseHighBitKeysDoNotAlias)
+{
+    // Packed memo keys put fields in high lanes; make sure keys that
+    // differ only above bit 32 resolve independently.
+    FlatTable<int> t;
+    for (uint64_t i = 1; i <= 64; ++i)
+        t.insert(i << 32, static_cast<int>(i));
+    for (uint64_t i = 1; i <= 64; ++i) {
+        const int *v = t.find(i << 32);
+        ASSERT_NE(v, nullptr);
+        EXPECT_EQ(*v, static_cast<int>(i));
+    }
+    EXPECT_EQ(t.find(65ull << 32), nullptr);
+}
+
+} // namespace
+} // namespace pimba

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Self-benchmark subsystem tests: the smoke run produces every layer
+ * with sane counters, renderJson() always passes its own validator
+ * (the invariant CI's perf job leans on), and the validator actually
+ * rejects the failure shapes it claims to catch.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "perf/selfbench.h"
+
+namespace pimba {
+namespace {
+
+SelfBenchReport
+smokeReport()
+{
+    // One shared run: the smoke bench simulates real workloads, so
+    // rerunning it per TEST would triple this suite's wall time.
+    static SelfBenchReport rep = [] {
+        SelfBenchOptions opts;
+        opts.smoke = true;
+        opts.reps = 1;
+        return runSelfBench(opts);
+    }();
+    return rep;
+}
+
+TEST(SelfBench, SmokeRunCoversEveryLayer)
+{
+    SelfBenchReport rep = smokeReport();
+    ASSERT_EQ(rep.layers.size(), 5u);
+    const char *expected[] = {"step_cost", "engine", "serving", "fleet",
+                              "sweep_fig12"};
+    for (size_t i = 0; i < rep.layers.size(); ++i) {
+        EXPECT_EQ(rep.layers[i].name, expected[i]);
+        EXPECT_FALSE(rep.layers[i].detail.empty());
+        EXPECT_GE(rep.layers[i].wallSeconds, 0.0);
+    }
+    EXPECT_EQ(rep.scale, "smoke");
+    EXPECT_EQ(rep.reps, 1);
+    EXPECT_GT(rep.totalWallSeconds(), 0.0);
+    // The macro layers push simulated requests through the engine.
+    bool anyRequests = false;
+    for (const auto &l : rep.layers)
+        anyRequests |= l.simRequests > 0;
+    EXPECT_TRUE(anyRequests);
+}
+
+TEST(SelfBench, EmittedJsonValidatesAgainstItsOwnSchema)
+{
+    std::string json = smokeReport().renderJson();
+    EXPECT_EQ(validateSelfBenchJson(json), "");
+    EXPECT_NE(json.find(SelfBenchReport::kSchema), std::string::npos);
+}
+
+TEST(SelfBench, ValidatorRejectsBrokenDocuments)
+{
+    std::string good = smokeReport().renderJson();
+
+    // Not JSON at all.
+    EXPECT_NE(validateSelfBenchJson("not json"), "");
+    // Wrong schema id.
+    std::string wrong = good;
+    size_t at = wrong.find("pimba-selfbench-v1");
+    ASSERT_NE(at, std::string::npos);
+    wrong.replace(at, 18, "pimba-selfbench-v9");
+    EXPECT_NE(validateSelfBenchJson(wrong), "");
+    // A required per-layer member renamed away.
+    std::string renamed = good;
+    at = renamed.find("\"wallSeconds\"");
+    ASSERT_NE(at, std::string::npos);
+    renamed.replace(at, 13, "\"wallSecondz\"");
+    EXPECT_NE(validateSelfBenchJson(renamed), "");
+    // Layers emptied out.
+    EXPECT_NE(validateSelfBenchJson(
+                  "{\"schema\":\"pimba-selfbench-v1\",\"scale\":\"smoke\","
+                  "\"reps\":1,\"totalWallSeconds\":0.1,\"layers\":[]}"),
+              "");
+}
+
+} // namespace
+} // namespace pimba

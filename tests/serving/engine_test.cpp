@@ -211,6 +211,75 @@ TEST(ServingEngine, PreemptionCountsSurfacePerRequest)
     EXPECT_GT(rep.metrics.preemptions.max, 0.0);
 }
 
+TEST(ServingEngine, PreloadedVictimBeforeFirstLocalDecodeKeepsCounts)
+{
+    // Regression: a preloaded (disaggregated) request evicted before
+    // its first *local* decode step sits at generated == 1 — only the
+    // imported first token, produced and counted by its prefill
+    // replica. The eviction must contribute zero recompute debt and
+    // must not touch generatedTokens; the old unclamped
+    // `generated - 1` arithmetic wrapped the unsigned counters here.
+    ModelConfig model = opt2p7b();
+    ServingSimulator sim(makeSystem(SystemKind::GPU));
+
+    // Rebuild the engine's own block arithmetic (see begin()) so the
+    // pool holds *exactly* both admission pledges: A's one-chunk
+    // prefill then demands its full pledge while B's first decode
+    // demands one block past its pledge -> B (most recently admitted)
+    // is evicted in the very iteration it was admitted.
+    const double fixed = sim.requestFootprint(model, 0);
+    const double perToken = sim.requestFootprint(model, 1) - fixed;
+    EngineConfig ec; // blockTokens 16, prefillChunk 512, FCFS
+    BlockMapper mapper = BlockMapper::make(fixed, perToken, ec.blockTokens);
+
+    Request a; // plain request, admitted first (front of the queue)
+    a.id = 1;
+    a.inputLen = 256; // one prefill chunk, pledge blocksFor(257)
+    a.outputLen = 64;
+    Request b; // preloaded: arrives in Decode with generated == 1
+    b.id = 2;
+    b.inputLen = 63; // pledge blocksFor(64); first decode wants a
+    b.outputLen = 8; // 65th cached token = one block past the pledge
+    ASSERT_EQ(mapper.blocksFor(b.inputLen + 2),
+              mapper.blocksFor(b.inputLen + 1) + 1);
+
+    uint64_t pool = mapper.blocksFor(a.inputLen + 1) +
+                    mapper.blocksFor(b.inputLen + 1);
+    ec.memoryBudget = sim.weightFootprint(model) +
+                      (static_cast<double>(pool) + 0.5) * mapper.blockBytes;
+
+    ServingEngine engine(sim, model, ec);
+    engine.begin();
+    engine.submit(a);
+    engine.submitPrefilled(b);
+    engine.drain();
+    ServingReport rep = engine.finish();
+
+    ASSERT_EQ(rep.completed.size(), 2u);
+    EXPECT_GT(rep.preemptions, 0u);
+    // Every eviction of B happened at generated == 1: no local decode
+    // was ever discarded, so no recompute debt and no token clawback.
+    EXPECT_EQ(rep.recomputedTokens, 0u);
+    EXPECT_EQ(rep.generatedTokens, a.outputLen + b.outputLen - 1);
+    for (const auto &c : rep.completed)
+        if (c.req.id == b.id)
+            EXPECT_GT(c.preemptions, 0u);
+
+    // The pressured run delivers exactly what a pressure-free run of
+    // the same workload delivers (a wrap would corrupt the totals).
+    EngineConfig roomy = ec;
+    roomy.memoryBudget = 0.0; // default: the system's full HBM capacity
+    ServingEngine reference(sim, model, roomy);
+    reference.begin();
+    reference.submit(a);
+    reference.submitPrefilled(b);
+    reference.drain();
+    ServingReport ref = reference.finish();
+    EXPECT_EQ(ref.preemptions, 0u);
+    EXPECT_EQ(rep.generatedTokens, ref.generatedTokens);
+    EXPECT_EQ(rep.completed.size(), ref.completed.size());
+}
+
 TEST(ServingEngine, WorksForAllFiveSystems)
 {
     TraceConfig tc;

@@ -114,5 +114,27 @@ TEST(ServingMetricsAgg, SloViolationsCountTtftAndTpotMisses)
     EXPECT_DOUBLE_EQ(m.goodput, 1.0); // 2 good / 2 s makespan
 }
 
+TEST(ServingMetricsAgg, SingleTokenTpotIsVacuousRegardlessOfStoredValue)
+{
+    // The goodput rule must skip the TPOT clause for outputLen <= 1
+    // *explicitly*, not by assuming c.tpot == 0.0 for singletons: a
+    // sentinel (or garbage) tpot on a single-token record must not
+    // flip its SLO verdict in either direction.
+    SloConfig slo;
+    slo.ttft = 0.5;
+    slo.tpot = 0.02;
+    std::vector<CompletedRequest> done = {
+        // Single token, TTFT good, absurd tpot value: still good.
+        completed(1, 0.1, 99.0, 0.1),
+        // Single token, TTFT miss: bad (TTFT clause still applies).
+        completed(1, 0.9, 0.0, 0.9),
+        // Two tokens: the TPOT clause is live again.
+        completed(2, 0.1, 0.050, 0.2),
+    };
+    ServingMetrics m = computeMetrics(done, 2.0, slo);
+    EXPECT_EQ(m.sloViolations, 2u);
+    EXPECT_DOUBLE_EQ(m.goodput, 0.5); // only the first request is good
+}
+
 } // namespace
 } // namespace pimba
