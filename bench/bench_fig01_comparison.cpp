@@ -34,14 +34,16 @@ main(int argc, char **argv)
 
     auto mem_tf = gpu.memoryUsage(tf, batch, in_len + out_len / 2);
     auto mem_mb = gpu.memoryUsage(mamba, batch, in_len + out_len / 2);
-    double thr_tf = gpu.generationThroughput(tf, batch, in_len, out_len);
+    double thr_tf =
+        gpu.generationThroughput(tf, batch, in_len, out_len).value();
     double thr_mb = gpu.generationThroughput(mamba, batch, in_len,
-                                             out_len);
+                                             out_len)
+                        .value();
 
     Table t({"model", "memory (GB)", "throughput (wps)"});
-    t.addRow({"Transformer", fmt(mem_tf.total() / 1e9, 1),
+    t.addRow({"Transformer", fmt(mem_tf.total().value() / 1e9, 1),
               fmt(thr_tf, 0)});
-    t.addRow({"Mamba-2", fmt(mem_mb.total() / 1e9, 1), fmt(thr_mb, 0)});
+    t.addRow({"Mamba-2", fmt(mem_mb.total().value() / 1e9, 1), fmt(thr_mb, 0)});
     printf("%s", t.str().c_str());
     printf("memory ratio   %s (paper ~2.3x)\n",
            fmtRatio(mem_tf.total() / mem_mb.total()).c_str());
@@ -58,7 +60,7 @@ main(int argc, char **argv)
              "bound"});
     auto add_point = [&](const char *name, double flops, double bytes) {
         double ai = flops / bytes;
-        double secs = kern.kernel(flops, bytes).seconds;
+        double secs = kern.kernel(flops, bytes).seconds.value();
         double tflops = flops / secs / 1e12;
         r.addRow({name, fmt(ai, 2), fmt(tflops, 1),
                   ai < kern.ridgeIntensity() ? "memory" : "compute"});
@@ -71,7 +73,7 @@ main(int argc, char **argv)
         for (const auto &op : ops)
             if (op.cls == OpClass::Attention) {
                 f += op.flops;
-                b += op.memBytes;
+                b += op.memBytes.value();
             }
         add_point("Attention", f, b);
     }
@@ -82,7 +84,7 @@ main(int argc, char **argv)
         for (const auto &op : ops)
             if (op.cls == OpClass::StateUpdate) {
                 f += op.flops;
-                b += op.memBytes;
+                b += op.memBytes.value();
             }
         add_point("StateUpdate", f, b);
     }
@@ -93,7 +95,7 @@ main(int argc, char **argv)
         for (const auto &op : ops)
             if (op.cls == OpClass::GEMM) {
                 f += op.flops;
-                b += op.memBytes;
+                b += op.memBytes.value();
             }
         add_point("GEMM (b=64)", f, b);
     }
@@ -103,7 +105,7 @@ main(int argc, char **argv)
         for (const auto &op : ops)
             if (op.cls == OpClass::GEMM) {
                 f += op.flops;
-                b += op.memBytes;
+                b += op.memBytes.value();
             }
         add_point("GEMM (b=2048)", f, b);
     }

@@ -35,7 +35,7 @@ pimStateUpdateTime(const ModelConfig &m, int batch,
     StateUpdateShape shape{static_cast<uint64_t>(batch) * m.suHeads,
                            m.dimHead, m.dimState};
     double launch = a100Config().kernelLaunchOverhead;
-    return (pim.stateUpdate(shape).seconds + launch) *
+    return (pim.stateUpdate(shape).seconds.value() + launch) *
            m.stateUpdateLayers();
 }
 

@@ -46,7 +46,7 @@ main(int argc, char **argv)
     printf("--------------------\n");
     for (const auto &rec : sched.trace())
         printf("%-6llu %-12s\n",
-               static_cast<unsigned long long>(rec.cycle),
+               static_cast<unsigned long long>(rec.cycle.value()),
                commandName(rec.cmd).c_str());
 
     printf("\ntFAW=%d keeps ACT4s %d cycles apart; REG_WRITEs fill the "
@@ -55,7 +55,7 @@ main(int argc, char **argv)
            cfg.timing.tFAW, cfg.timing.tFAW, cfg.timing.tCCD_L,
            cfg.timing.tRP);
     printf("finish cycle: %llu (%.1f ns)\n",
-           static_cast<unsigned long long>(sched.finishCycle()),
+           static_cast<unsigned long long>(sched.finishCycle().value()),
            sched.finishSeconds() * 1e9);
     return 0;
 }

@@ -41,14 +41,15 @@ main(int argc, char **argv)
                 ServingSimulator sim(makeSystem(kind, 8));
                 auto step = sim.generationStep(model, batch, 3072);
                 if (kind == SystemKind::GPU) {
-                    base = step.seconds;
+                    base = step.seconds.value();
                     gpu_step = step;
                 }
                 if (kind == SystemKind::GPU_PIM)
                     pim_step = step;
                 std::vector<std::string> row = {systemName(kind),
                                                 std::to_string(batch),
-                                                fmt(step.seconds * 1e3,
+                                                fmt(step.seconds.value() *
+                                                        1e3,
                                                     2)};
                 for (const char *c : cats)
                     row.push_back(fmt(step.latency.get(c) / base, 3));

@@ -56,9 +56,11 @@ main(int argc, char **argv)
             auto nl = neupims.generationStep(model, 128, seq);
             auto pm = pimba.memoryUsage(model, 128, seq);
             auto nm = neupims.memoryUsage(model, 128, seq);
-            t.addRow({std::to_string(out), fmt(nl.seconds * 1e3, 2),
-                      fmt(pl.seconds * 1e3, 2), fmt(nm.total() / 1e9, 1),
-                      fmt(pm.total() / 1e9, 1)});
+            t.addRow({std::to_string(out),
+                      fmt(nl.seconds.value() * 1e3, 2),
+                      fmt(pl.seconds.value() * 1e3, 2),
+                      fmt(nm.total().value() / 1e9, 1),
+                      fmt(pm.total().value() / 1e9, 1)});
         }
         printf("--- %s execution ---\n%s",
                executionModeName(mode).c_str(), t.str().c_str());
@@ -73,8 +75,9 @@ main(int argc, char **argv)
                        .generationStep(model, 128, input_len + 512);
         auto ovl = makeSim(kind, ExecutionMode::Overlapped)
                        .generationStep(model, 128, input_len + 512);
-        cmp.addRow({systemName(kind), fmt(blk.seconds * 1e3, 2),
-                    fmt(ovl.seconds * 1e3, 2),
+        cmp.addRow({systemName(kind),
+                    fmt(blk.seconds.value() * 1e3, 2),
+                    fmt(ovl.seconds.value() * 1e3, 2),
                     fmt(blk.seconds / ovl.seconds, 2),
                     fmt(blk.energy.total(), 2),
                     fmt(ovl.energy.total(), 2)});

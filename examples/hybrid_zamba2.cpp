@@ -51,7 +51,7 @@ main(int argc, char **argv)
         }
         if (at > top)
             bottleneck = "Attention";
-        t.addRow({systemName(kind), fmt(step.seconds * 1e3, 2),
+        t.addRow({systemName(kind), fmt(step.seconds.value() * 1e3, 2),
                   fmt(su * 1e3, 2), fmt(at * 1e3, 2), bottleneck});
     }
     printf("%s", t.str().c_str());

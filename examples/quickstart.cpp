@@ -37,7 +37,8 @@ main(int argc, char **argv)
     // 3. Simulate one generation step for a batch of 64 requests.
     const int batch = 64;
     StepResult step = sim.generationStep(model, batch, /*seq_len=*/2048);
-    printf("\nper-token step latency: %.3f ms\n", step.seconds * 1e3);
+    printf("\nper-token step latency: %.3f ms\n",
+           step.seconds.value() * 1e3);
     for (const auto &key : step.latency.keys())
         printf("  %-15s %7.3f ms (%4.1f%%)\n", key.c_str(),
                step.latency.get(key) * 1e3,
@@ -45,9 +46,11 @@ main(int argc, char **argv)
 
     // 4. Throughput over a (2048 in, 2048 out) serving window, and the
     //    same on a plain GPU for comparison.
-    double pimba_thr = sim.generationThroughput(model, batch, 2048, 2048);
+    double pimba_thr =
+        sim.generationThroughput(model, batch, 2048, 2048).value();
     ServingSimulator gpu(makeSystem(SystemKind::GPU));
-    double gpu_thr = gpu.generationThroughput(model, batch, 2048, 2048);
+    double gpu_thr =
+        gpu.generationThroughput(model, batch, 2048, 2048).value();
     printf("\nthroughput: %.0f tok/s on Pimba vs %.0f tok/s on GPU "
            "(%.2fx)\n", pimba_thr, gpu_thr, pimba_thr / gpu_thr);
 

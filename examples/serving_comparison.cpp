@@ -69,17 +69,18 @@ main(int argc, char **argv)
          {SystemKind::GPU, SystemKind::GPU_Q, SystemKind::GPU_PIM,
           SystemKind::PIMBA, SystemKind::NEUPIMS}) {
         ServingSimulator sim(makeSystem(kind));
-        double thr = sim.generationThroughput(model, batch, 2048, 2048);
+        double thr =
+            sim.generationThroughput(model, batch, 2048, 2048).value();
         if (kind == SystemKind::GPU)
             base = thr;
         auto step = sim.averagedStep(model, batch, 2048, 2048);
         auto mem = sim.memoryUsage(model, batch, 3072);
         t.addRow({systemName(kind), fmt(thr, 0), fmtRatio(thr / base),
-                  fmt(step.seconds * 1e3, 2),
+                  fmt(step.seconds.value() * 1e3, 2),
                   fmt(step.latency.get("StateUpdate") * 1e3, 2),
                   fmt(step.latency.get("Attention") * 1e3, 2),
                   fmt(step.energy.total(), 3),
-                  fmt(mem.total() / 1e9, 1)});
+                  fmt(mem.total().value() / 1e9, 1)});
     }
     printf("%s", t.str().c_str());
     return 0;

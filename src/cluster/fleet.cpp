@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <queue>
-#include <unordered_map>
+#include <unordered_map> // pimba-lint: allow(node-container) per-run handoff bookkeeping
 
 #include "core/logging.h"
 
@@ -11,7 +11,7 @@ namespace pimba {
 
 namespace {
 
-constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr Seconds kInf{std::numeric_limits<double>::infinity()};
 
 /** Load snapshots of the replicas in @p pool, in pool order, into the
  *  caller's reused buffer (one routing decision per request makes this
@@ -43,12 +43,12 @@ class AdvanceGate
 {
   public:
     explicit AdvanceGate(std::vector<ServingEngine> &engines_)
-        : engines(engines_), nextEvent(engines_.size(), 0.0)
+        : engines(engines_), nextEvent(engines_.size(), Seconds(0.0))
     {}
 
     /** advanceTo(@p t) on every pool replica not provably idle past t. */
     void
-    advancePool(const std::vector<size_t> &pool, double t)
+    advancePool(const std::vector<size_t> &pool, Seconds t)
     {
         for (size_t i : pool) {
             if (nextEvent[i] > t)
@@ -63,11 +63,11 @@ class AdvanceGate
 
   private:
     std::vector<ServingEngine> &engines;
-    std::vector<double> nextEvent;
+    std::vector<Seconds> nextEvent;
 };
 
 /** Completion instant of a fleet-level record. */
-double
+Seconds
 finishTime(const CompletedRequest &c)
 {
     return c.req.arrival + c.latency;
@@ -81,7 +81,7 @@ sortByCompletion(std::vector<CompletedRequest> &completed)
     std::stable_sort(completed.begin(), completed.end(),
                      [](const CompletedRequest &a,
                         const CompletedRequest &b) {
-                         double fa = finishTime(a), fb = finishTime(b);
+                         Seconds fa = finishTime(a), fb = finishTime(b);
                          if (fa != fb)
                              return fa < fb;
                          return a.req.id < b.req.id;
@@ -91,11 +91,11 @@ sortByCompletion(std::vector<CompletedRequest> &completed)
 /** One prefill-complete request waiting for its blocks to land. */
 struct Handoff
 {
-    double ready = 0.0;        ///< transfer completes on the link
+    Seconds ready{0.0};        ///< transfer completes on the link
     Request req;               ///< the original request
-    double prefillFinish = 0.0;
-    double linkSeconds = 0.0;
-    double prefillQueueing = 0.0;
+    Seconds prefillFinish{0.0};
+    Seconds linkSeconds{0.0};
+    Seconds prefillQueueing{0.0};
     uint64_t prefillPreemptions = 0;
 };
 
@@ -122,7 +122,7 @@ finalizeReport(FleetReport &report, const SloConfig &slo)
 {
     sortByCompletion(report.completed);
     report.makespan = report.completed.empty()
-                          ? 0.0
+                          ? Seconds(0.0)
                           : finishTime(report.completed.back());
     report.metrics =
         computeMetrics(report.completed, report.makespan, slo);
@@ -163,15 +163,15 @@ validateFleetConfig(const FleetConfig &cfg)
                    std::to_string(cfg.prefillReplicas) +
                    " prefill of " + std::to_string(cfg.replicas.size()) +
                    " total";
-        if (!(cfg.link.bandwidth > 0.0) ||
+        if (!(cfg.link.bandwidth > BytesPerSecond(0.0)) ||
             !(cfg.link.efficiency > 0.0))
             return "fleet: the disaggregation link needs positive "
                    "bandwidth and efficiency (" + cfg.link.name + ")";
     }
-    if (!(cfg.slo.ttft > 0.0) || !(cfg.slo.tpot > 0.0))
+    if (!(cfg.slo.ttft > Seconds(0.0)) || !(cfg.slo.tpot > Seconds(0.0)))
         return "fleet: SLO targets must be positive seconds (ttft " +
-               std::to_string(cfg.slo.ttft) + ", tpot " +
-               std::to_string(cfg.slo.tpot) + ")";
+               std::to_string(cfg.slo.ttft.value()) + ", tpot " +
+               std::to_string(cfg.slo.tpot.value()) + ")";
     return "";
 }
 
@@ -269,9 +269,10 @@ Fleet::run(const std::vector<Request> &trace)
     auto decodeRouter = makeRouter(cfg.router, cfg.routerSeed ^ 0x9E3779B9u);
     const LinkModel link(cfg.link);
 
+    // pimba-lint: allow(node-container) touched once per request, not per step
     std::unordered_map<uint64_t, Request> originals;
-    std::unordered_map<uint64_t, size_t> assignmentIdx;
-    std::unordered_map<uint64_t, Handoff> handoffMeta;
+    std::unordered_map<uint64_t, size_t> assignmentIdx; // pimba-lint: allow(node-container) ditto
+    std::unordered_map<uint64_t, Handoff> handoffMeta; // pimba-lint: allow(node-container) ditto
     std::priority_queue<Handoff, std::vector<Handoff>, HandoffLater> due;
     std::vector<CompletedRequest> prefillOnly; // single-token requests
     std::vector<size_t> polled(engines.size(), 0);
@@ -294,7 +295,7 @@ Fleet::run(const std::vector<Request> &trace)
                 }
                 MemoryUsage mem = engines[i].simulator().memoryUsage(
                     model, 1, orig.inputLen + 1);
-                double bytes = mem.state + mem.kvCache;
+                Bytes bytes = mem.state + mem.kvCache;
                 LinkCost cost = link.transfer(bytes);
                 Handoff h;
                 h.prefillFinish = finishTime(c);
@@ -308,7 +309,7 @@ Fleet::run(const std::vector<Request> &trace)
                 // only for degenerate models) ships nothing: it is a
                 // hand-off, not a transfer, and must not count into the
                 // transfer-overhead breakdown.
-                if (bytes > 0.0) {
+                if (bytes > Bytes(0.0)) {
                     ++report.transfer.transfers;
                     report.transfer.totalBytes += bytes;
                     report.transfer.totalSeconds += cost.seconds;
@@ -328,9 +329,9 @@ Fleet::run(const std::vector<Request> &trace)
 
     size_t next = 0;
     while (next < sorted.size() || !due.empty() || prefillBusy()) {
-        double ta = next < sorted.size() ? sorted[next].arrival : kInf;
-        double th = due.empty() ? kInf : due.top().ready;
-        double t = std::min(ta, th);
+        Seconds ta = next < sorted.size() ? sorted[next].arrival : kInf;
+        Seconds th = due.empty() ? kInf : due.top().ready;
+        Seconds t = std::min(ta, th);
         if (t == kInf) {
             // No event in hand, but prefill work is still in flight:
             // run it out to discover the remaining hand-offs.
@@ -402,7 +403,7 @@ Fleet::run(const std::vector<Request> &trace)
             out.preemptions = h.prefillPreemptions + c.preemptions;
             report.completed.push_back(out);
             shareSum += h.linkSeconds / out.ttft;
-            transferSeconds.push_back(h.linkSeconds);
+            transferSeconds.push_back(h.linkSeconds.value());
         }
     }
     report.completed.insert(report.completed.end(), prefillOnly.begin(),

@@ -105,7 +105,7 @@ struct FleetReport
     /// transfer charged into TTFT, ordered by completion time.
     std::vector<CompletedRequest> completed;
     ServingMetrics metrics; ///< over the fleet-level records
-    double makespan = 0.0;  ///< trace start to last token, fleet-wide
+    Seconds makespan;       ///< trace start to last token, fleet-wide
     LoadStats load;
     TransferStats transfer; ///< all-zero for a colocated fleet
 };

@@ -6,7 +6,7 @@ namespace pimba {
 
 ServingMetrics
 aggregateMetrics(const std::vector<ServingReport> &replicas,
-                 double makespan, const SloConfig &slo)
+                 Seconds makespan, const SloConfig &slo)
 {
     std::vector<CompletedRequest> merged;
     size_t total = 0;

@@ -25,7 +25,7 @@ namespace pimba {
  * the all-zero metrics record.
  */
 ServingMetrics aggregateMetrics(const std::vector<ServingReport> &replicas,
-                                double makespan, const SloConfig &slo);
+                                Seconds makespan, const SloConfig &slo);
 
 /** How evenly the router spread requests/tokens over the replicas. */
 struct LoadStats
@@ -45,10 +45,10 @@ LoadStats computeLoadStats(const std::vector<ServingReport> &replicas);
 /** Cross-replica KV/state transfer costs of a disaggregated run. */
 struct TransferStats
 {
-    uint64_t transfers = 0;    ///< prefill -> decode hand-offs
-    double totalBytes = 0.0;   ///< KV/state bytes shipped
-    double totalSeconds = 0.0; ///< link seconds across all transfers
-    double totalEnergyJ = 0.0; ///< link energy across all transfers
+    uint64_t transfers = 0;     ///< prefill -> decode hand-offs
+    Bytes totalBytes{0.0};      ///< KV/state bytes shipped
+    Seconds totalSeconds{0.0};  ///< link seconds across all transfers
+    Joules totalEnergyJ{0.0};   ///< link energy across all transfers
     LatencySummary perTransfer; ///< seconds of each hand-off
     /** Mean fraction of a transferred request's TTFT spent on the
      *  link — the disaggregation tax the TTFT percentiles carry. */

@@ -99,8 +99,11 @@ runThroughput(const Scenario &scenario, bool quiet)
                                                   grid.gpu, grid.hbm);
                     sys.executionMode = ts.executionMode;
                     ServingSimulator sim(sys);
-                    thr.push_back(sim.generationThroughput(
-                        model, batch, ts.inputLen, ts.outputLen));
+                    thr.push_back(
+                        sim.generationThroughput(model, batch,
+                                                 ts.inputLen,
+                                                 ts.outputLen)
+                            .value());
                 }
                 double base = thr[0];
                 std::vector<std::string> row = {
@@ -167,13 +170,15 @@ runServing(const Scenario &scenario, bool quiet)
                     const ServingMetrics &m = r.metrics;
                     t.addRow({systemName(kind), policyName(policy),
                               executionModeName(mode), fmt(rate, 0),
-                              fmt(m.tokensPerSec, 1),
-                              fmt(m.goodput, 2), fmt(m.ttft.p50, 3),
+                              fmt(m.tokensPerSec.value(), 1),
+                              fmt(m.goodput.value(), 2),
+                              fmt(m.ttft.p50, 3),
                               fmt(m.ttft.p95, 3), fmt(m.tpot.p95, 4),
                               fmt(static_cast<double>(r.preemptions),
                                   0),
                               fmt(r.peakBlockUtil, 3)});
-                    peak_tok = std::max(peak_tok, m.tokensPerSec);
+                    peak_tok =
+                        std::max(peak_tok, m.tokensPerSec.value());
                     if (sustainsSlo(m, 0.9))
                         knee_rate = rate;
                 }
@@ -206,7 +211,7 @@ runFleet(const Scenario &scenario, bool quiet)
         std::string mb_per_req = "-", xfer_p95 = "-", ttft_share = "-";
         if (r.transfer.transfers > 0) {
             mb_per_req =
-                fmt(r.transfer.totalBytes /
+                fmt(r.transfer.totalBytes.value() /
                         static_cast<double>(r.transfer.transfers) / 1e6,
                     2);
             xfer_p95 = fmt(r.transfer.perTransfer.p95 * 1e3, 3);
@@ -214,7 +219,8 @@ runFleet(const Scenario &scenario, bool quiet)
         }
         t.addRow({c.label, routerName(router ? *router
                                              : c.fleet.router),
-                  fmt(r.metrics.goodput, 2), fmt(r.metrics.ttft.p50, 3),
+                  fmt(r.metrics.goodput.value(), 2),
+                  fmt(r.metrics.ttft.p50, 3),
                   fmt(r.metrics.ttft.p95, 3), fmt(r.metrics.tpot.p50, 4),
                   fmt(r.metrics.tpot.p95, 4),
                   fmt(r.metrics.queueing.p95, 3),
@@ -304,7 +310,7 @@ runSaturation(const Scenario &scenario, bool quiet)
                 policy == SchedulerPolicy::FCFS)
                 gpu_fcfs_rate = rate;
             t.addRow({systemName(kind), policyName(policy),
-                      fmt(rate, 2), fmt(knee.tokensPerSec, 0),
+                      fmt(rate, 2), fmt(knee.tokensPerSec.value(), 0),
                       fmt(knee.ttft.p95, 3), fmt(knee.tpot.p95, 4)});
         }
         if (!quiet)
@@ -393,7 +399,8 @@ runPlanner(const Scenario &scenario, bool quiet)
         cfg.router = sc.router;
         FleetReport r = Fleet(sc.model, cfg).run(trace);
         t.addRow({systemName(kind), fmt(static_cast<double>(n), 0),
-                  fmt(r.metrics.goodput, 2), fmt(r.metrics.ttft.p95, 3),
+                  fmt(r.metrics.goodput.value(), 2),
+                  fmt(r.metrics.ttft.p95, 3),
                   pimba_count > 0
                       ? fmtRatio(static_cast<double>(n) /
                                  static_cast<double>(pimba_count))

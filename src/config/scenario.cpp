@@ -300,8 +300,8 @@ parseSlo(const JsonValue &obj, SloConfig fallback)
         return fallback;
     checkKeys(*v, {"ttft", "tpot"});
     SloConfig slo = fallback;
-    slo.ttft = getNumber(*v, "ttft", slo.ttft);
-    slo.tpot = getNumber(*v, "tpot", slo.tpot);
+    slo.ttft = Seconds(getNumber(*v, "ttft", slo.ttft.value()));
+    slo.tpot = Seconds(getNumber(*v, "tpot", slo.tpot.value()));
     return slo;
 }
 
@@ -316,11 +316,14 @@ parseEngine(const JsonValue &obj)
                    "blockTokens", "iterTokenBudget", "policy",
                    "executionMode", "slo"});
     ec.maxBatch = getInt32(*v, "maxBatch", ec.maxBatch);
-    ec.prefillChunk = getUint(*v, "prefillChunk", ec.prefillChunk);
-    ec.memoryBudget = getNumber(*v, "memoryBudget", ec.memoryBudget);
-    ec.blockTokens = getUint(*v, "blockTokens", ec.blockTokens);
-    ec.iterTokenBudget =
-        getUint(*v, "iterTokenBudget", ec.iterTokenBudget);
+    ec.prefillChunk =
+        Tokens(getUint(*v, "prefillChunk", ec.prefillChunk.value()));
+    ec.memoryBudget =
+        Bytes(getNumber(*v, "memoryBudget", ec.memoryBudget.value()));
+    ec.blockTokens =
+        Tokens(getUint(*v, "blockTokens", ec.blockTokens.value()));
+    ec.iterTokenBudget = Tokens(
+        getUint(*v, "iterTokenBudget", ec.iterTokenBudget.value()));
     if (const JsonValue *p = v->find("policy"))
         ec.policy = parsePolicy(*p);
     if (const JsonValue *m = v->find("executionMode"))
@@ -347,9 +350,11 @@ parseLink(const JsonValue &v)
                   "energyPerBit"});
     LinkConfig link;
     link.name = getString(v, "name", link.name);
-    link.bandwidth = getNumber(v, "bandwidth", link.bandwidth);
+    link.bandwidth = BytesPerSecond(
+        getNumber(v, "bandwidth", link.bandwidth.value()));
     link.efficiency = getNumber(v, "efficiency", link.efficiency);
-    link.setupLatency = getNumber(v, "setupLatency", link.setupLatency);
+    link.setupLatency = Seconds(
+        getNumber(v, "setupLatency", link.setupLatency.value()));
     link.energyPerBit = getNumber(v, "energyPerBit", link.energyPerBit);
     return link;
 }

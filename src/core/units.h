@@ -1,20 +1,253 @@
 /**
  * @file
- * Unit helpers and common scalar types shared across the library.
+ * Strong quantity types and unit helpers shared across the library.
  *
- * The simulators mostly work in seconds / bytes / joules (double) and DRAM
- * cycles (uint64_t); these helpers keep the conversions explicit.
+ * Every fidelity bug the simulator has shipped so far (midpoint
+ * off-by-half, uncharged append writes, zero-byte transfer costs, the
+ * unsigned `generated - 1` wrap) was a *dimensional* or *invariant*
+ * error in code that typed every quantity as a bare `double` or
+ * `uint64_t`. This header makes those errors compile errors:
+ *
+ *  - Quantity<Tag, Rep> is a zero-overhead tagged wrapper. Same-unit
+ *    addition/subtraction/comparison, scalar scaling, and same-unit
+ *    ratios are allowed; `Seconds + Joules` (or passing a Bytes where a
+ *    Tokens is expected) does not compile.
+ *  - Cross-unit arithmetic is whitelisted through UnitQuotient /
+ *    UnitProduct trait specializations (e.g. Joules / Seconds -> Watts,
+ *    Bytes / BytesPerSecond -> Seconds), so dimensional analysis is
+ *    checked by the compiler instead of by code review.
+ *  - The wrappers compile away: every operation is a constexpr inline
+ *    over the underlying representation, in the same order the bare
+ *    arithmetic ran, so migrated cost paths are bit-identical (pinned
+ *    by the golden-output tests).
+ *
+ * Crossing between the cycle domain and the wall-clock domain goes
+ * through cyclesToSeconds()/secondsToCycles() only.
  */
 
 #ifndef PIMBA_CORE_UNITS_H
 #define PIMBA_CORE_UNITS_H
 
+#include <compare>
 #include <cstdint>
+#include <limits>
+#include <type_traits>
 
 namespace pimba {
 
-/** DRAM-command-clock cycle count. */
-using Cycles = uint64_t;
+// ------------------------------------------------------------- Quantity
+
+/**
+ * A value of one physical unit, tagged at compile time.
+ *
+ * @tparam Tag unique tag struct naming the unit (never instantiated)
+ * @tparam Rep underlying representation (double for continuous
+ *             quantities, uint64_t for counters)
+ */
+template <typename Tag, typename Rep = double>
+class Quantity
+{
+  public:
+    using tag = Tag;
+    using rep = Rep;
+
+    constexpr Quantity() = default;
+
+    /** Construction from a raw number is always explicit: the one
+     *  place a unit is (re)asserted rather than checked. */
+    template <typename T,
+              typename = std::enable_if_t<std::is_arithmetic_v<T>>>
+    constexpr explicit Quantity(T v) : v_(static_cast<Rep>(v))
+    {
+    }
+
+    /** The raw representation; the only way back to bare arithmetic. */
+    constexpr Rep value() const { return v_; }
+
+    // Same-unit arithmetic.
+    constexpr Quantity operator+(Quantity o) const
+    {
+        return Quantity(v_ + o.v_);
+    }
+    constexpr Quantity operator-(Quantity o) const
+    {
+        return Quantity(v_ - o.v_);
+    }
+    constexpr Quantity operator-() const { return Quantity(-v_); }
+    constexpr Quantity &operator+=(Quantity o)
+    {
+        v_ += o.v_;
+        return *this;
+    }
+    constexpr Quantity &operator-=(Quantity o)
+    {
+        v_ -= o.v_;
+        return *this;
+    }
+
+    // Dimensionless scaling.
+    template <typename T,
+              typename = std::enable_if_t<std::is_arithmetic_v<T>>>
+    constexpr Quantity operator*(T s) const
+    {
+        return Quantity(v_ * static_cast<Rep>(s));
+    }
+    template <typename T,
+              typename = std::enable_if_t<std::is_arithmetic_v<T>>>
+    constexpr Quantity operator/(T s) const
+    {
+        return Quantity(v_ / static_cast<Rep>(s));
+    }
+    template <typename T,
+              typename = std::enable_if_t<std::is_arithmetic_v<T>>>
+    constexpr Quantity &operator*=(T s)
+    {
+        v_ *= static_cast<Rep>(s);
+        return *this;
+    }
+    template <typename T,
+              typename = std::enable_if_t<std::is_arithmetic_v<T>>>
+    constexpr Quantity &operator/=(T s)
+    {
+        v_ /= static_cast<Rep>(s);
+        return *this;
+    }
+
+    /** Ratio of two same-unit quantities is dimensionless. */
+    constexpr double ratio(Quantity o) const
+    {
+        return static_cast<double>(v_) / static_cast<double>(o.v_);
+    }
+
+    constexpr bool operator==(const Quantity &) const = default;
+    constexpr auto operator<=>(const Quantity &) const = default;
+
+  private:
+    Rep v_ = Rep{};
+};
+
+template <typename T, typename Tag, typename Rep,
+          typename = std::enable_if_t<std::is_arithmetic_v<T>>>
+constexpr Quantity<Tag, Rep>
+operator*(T s, Quantity<Tag, Rep> q)
+{
+    return Quantity<Tag, Rep>(static_cast<Rep>(s) * q.value());
+}
+
+// ------------------------------------------------------------ unit tags
+
+struct SecondTag;          ///< wall-clock time
+struct JouleTag;           ///< energy
+struct WattTag;            ///< power
+struct ByteTag;            ///< memory / payload size
+struct TokenTag;           ///< prompt or output tokens
+struct BlockTag;           ///< paged-allocator KV/state blocks
+struct CycleTag;           ///< DRAM-command-clock cycles
+struct TokensPerSecondTag; ///< generation throughput
+struct BytesPerSecondTag;  ///< bandwidth
+struct RequestsPerSecondTag; ///< completion / goodput rate
+
+using Seconds = Quantity<SecondTag>;
+using Joules = Quantity<JouleTag>;
+using Watts = Quantity<WattTag>;
+using Bytes = Quantity<ByteTag>;
+using Tokens = Quantity<TokenTag, uint64_t>;
+using Blocks = Quantity<BlockTag, uint64_t>;
+using Cycles = Quantity<CycleTag, uint64_t>;
+using TokensPerSecond = Quantity<TokensPerSecondTag>;
+using BytesPerSecond = Quantity<BytesPerSecondTag>;
+using RequestsPerSecond = Quantity<RequestsPerSecondTag>;
+
+// ------------------------------------------- cross-unit trait algebra
+
+/** Whitelisted quotients: Quantity<Num> / Quantity<Den> -> type. */
+template <typename Num, typename Den>
+struct UnitQuotient
+{
+};
+
+template <>
+struct UnitQuotient<JouleTag, SecondTag>
+{
+    using type = Watts;
+};
+template <>
+struct UnitQuotient<TokenTag, SecondTag>
+{
+    using type = TokensPerSecond;
+};
+template <>
+struct UnitQuotient<ByteTag, SecondTag>
+{
+    using type = BytesPerSecond;
+};
+template <>
+struct UnitQuotient<ByteTag, BytesPerSecondTag>
+{
+    using type = Seconds;
+};
+template <>
+struct UnitQuotient<JouleTag, WattTag>
+{
+    using type = Seconds;
+};
+
+/** Whitelisted products: Quantity<A> * Quantity<B> -> type. */
+template <typename A, typename B>
+struct UnitProduct
+{
+};
+
+template <>
+struct UnitProduct<WattTag, SecondTag>
+{
+    using type = Joules;
+};
+template <>
+struct UnitProduct<SecondTag, WattTag>
+{
+    using type = Joules;
+};
+template <>
+struct UnitProduct<BytesPerSecondTag, SecondTag>
+{
+    using type = Bytes;
+};
+template <>
+struct UnitProduct<SecondTag, BytesPerSecondTag>
+{
+    using type = Bytes;
+};
+
+/** Same-unit division is a dimensionless ratio. */
+template <typename Tag, typename RepA, typename RepB>
+constexpr double
+operator/(Quantity<Tag, RepA> a, Quantity<Tag, RepB> b)
+{
+    return static_cast<double>(a.value()) / static_cast<double>(b.value());
+}
+
+/** Cross-unit division, whitelisted through UnitQuotient. */
+template <typename TagN, typename RepN, typename TagD, typename RepD,
+          typename Out = typename UnitQuotient<TagN, TagD>::type>
+constexpr Out
+operator/(Quantity<TagN, RepN> n, Quantity<TagD, RepD> d)
+{
+    return Out(static_cast<double>(n.value()) /
+               static_cast<double>(d.value()));
+}
+
+/** Cross-unit multiplication, whitelisted through UnitProduct. */
+template <typename TagA, typename RepA, typename TagB, typename RepB,
+          typename Out = typename UnitProduct<TagA, TagB>::type>
+constexpr Out
+operator*(Quantity<TagA, RepA> a, Quantity<TagB, RepB> b)
+{
+    return Out(static_cast<double>(a.value()) *
+               static_cast<double>(b.value()));
+}
+
+// ----------------------------------------------------- scalar prefixes
 
 constexpr double kKilo = 1e3;
 constexpr double kMega = 1e6;
@@ -30,28 +263,53 @@ constexpr double kKiB = 1024.0;
 constexpr double kMiB = 1024.0 * 1024.0;
 constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
 
-/** Convert cycles at @p freq_hz to seconds. */
-constexpr double
+// ------------------------------------------------- domain conversions
+
+/** Convert cycles at @p freq_hz to wall-clock seconds. This and
+ *  secondsToCycles() are the only sanctioned crossings between the
+ *  cycle domain and the time domain. */
+constexpr Seconds
 cyclesToSeconds(Cycles cycles, double freq_hz)
 {
-    return static_cast<double>(cycles) / freq_hz;
+    return Seconds(static_cast<double>(cycles.value()) / freq_hz);
 }
 
-/** Convert seconds to whole cycles at @p freq_hz (rounded up). */
+/**
+ * Convert seconds to whole cycles at @p freq_hz, rounded up.
+ *
+ * Saturating at the domain edges rather than invoking UB:
+ *  - a negative duration (or negative/NaN product) clamps to 0 cycles —
+ *    float-to-unsigned conversion of a negative value is UB, and no
+ *    caller means "before the epoch";
+ *  - a product at or beyond 2^64 (including +inf) clamps to the maximum
+ *    representable cycle count — the old `whole + 1` round-up would
+ *    first hit UB in the conversion and could then wrap to 0.
+ */
 constexpr Cycles
-secondsToCycles(double seconds, double freq_hz)
+secondsToCycles(Seconds seconds, double freq_hz)
 {
-    double c = seconds * freq_hz;
-    auto whole = static_cast<Cycles>(c);
-    return (static_cast<double>(whole) < c) ? whole + 1 : whole;
+    constexpr double kMax =
+        static_cast<double>(std::numeric_limits<uint64_t>::max());
+    double c = seconds.value() * freq_hz;
+    if (!(c > 0.0)) // negative, zero, or NaN
+        return Cycles(0);
+    if (c >= kMax)
+        return Cycles(std::numeric_limits<uint64_t>::max());
+    auto whole = static_cast<uint64_t>(c);
+    return Cycles((static_cast<double>(whole) < c) ? whole + 1 : whole);
 }
 
-/** Integer ceiling division for positive integers. */
+/**
+ * Integer ceiling division for non-negative integers. Written as
+ * quotient-plus-remainder-test so a near-max numerator cannot overflow
+ * the way the textbook `(a + b - 1) / b` does.
+ */
 template <typename T>
 constexpr T
 ceilDiv(T a, T b)
 {
-    return (a + b - 1) / b;
+    static_assert(std::is_integral_v<T>, "ceilDiv is integer division");
+    return static_cast<T>(a / b + (a % b != 0 ? 1 : 0));
 }
 
 } // namespace pimba

@@ -9,7 +9,7 @@ namespace pimba {
 PimCommandScheduler::PimCommandScheduler(const HbmConfig &config,
                                          bool keep_trace)
     : cfg(config), keepTrace(keep_trace),
-      nextRefresh(static_cast<Cycles>(config.timing.tREFI))
+      nextRefresh(Cycles(config.timing.tREFI))
 {}
 
 void
@@ -25,13 +25,14 @@ PimCommandScheduler::issueAct4()
 {
     const auto &t = cfg.timing;
     Cycles at = std::max({cmdBusFree, bankReady,
-                          anyAct4 ? lastAct4 + t.tFAW : Cycles{0}});
+                          anyAct4 ? lastAct4 + Cycles(t.tFAW)
+                                  : Cycles(0)});
     lastAct4 = at;
     anyAct4 = true;
     maxActReady = std::max(maxActReady, at);
     rowsOpen = true;
-    cmdBusFree = at + 1;
-    frontier = std::max(frontier, at + t.tRCD);
+    cmdBusFree = at + Cycles(1);
+    frontier = std::max(frontier, at + Cycles(t.tRCD));
     ++stats.act4;
     record(DramCommand::ACT4, at);
     return at;
@@ -42,8 +43,8 @@ PimCommandScheduler::issueRegWrite()
 {
     const auto &t = cfg.timing;
     Cycles at = std::max(cmdBusFree, dataBusFree);
-    dataBusFree = at + t.burstCycles;
-    cmdBusFree = at + 1;
+    dataBusFree = at + Cycles(t.burstCycles);
+    cmdBusFree = at + Cycles(1);
     frontier = std::max(frontier, dataBusFree);
     ++stats.regWrite;
     record(DramCommand::REG_WRITE, at);
@@ -56,12 +57,13 @@ PimCommandScheduler::issueComp()
     const auto &t = cfg.timing;
     PIMBA_ASSERT(rowsOpen, "COMP issued with no activated rows");
     Cycles at = std::max({cmdBusFree,
-                          maxActReady + t.tRCD,
-                          anyComp ? lastComp + t.tCCD_L : Cycles{0}});
+                          maxActReady + Cycles(t.tRCD),
+                          anyComp ? lastComp + Cycles(t.tCCD_L)
+                                  : Cycles(0)});
     lastComp = at;
     anyComp = true;
-    cmdBusFree = at + 1;
-    frontier = std::max(frontier, at + t.tCCD_L);
+    cmdBusFree = at + Cycles(1);
+    frontier = std::max(frontier, at + Cycles(t.tCCD_L));
     ++stats.comp;
     record(DramCommand::COMP, at);
     return at;
@@ -74,11 +76,11 @@ PimCommandScheduler::issueResultRead()
     // COMP both reads and writes the row buffer, so the register drain
     // respects both tRTP and tWR relative to the last COMP (Section 5.5).
     Cycles after_comp = anyComp
-        ? lastComp + std::max(t.tRTP_L, t.tWR)
-        : Cycles{0};
+        ? lastComp + Cycles(std::max(t.tRTP_L, t.tWR))
+        : Cycles(0);
     Cycles at = std::max({cmdBusFree, dataBusFree, after_comp});
-    dataBusFree = at + t.burstCycles;
-    cmdBusFree = at + 1;
+    dataBusFree = at + Cycles(t.burstCycles);
+    cmdBusFree = at + Cycles(1);
     frontier = std::max(frontier, dataBusFree);
     ++stats.resultRead;
     record(DramCommand::RESULT_READ, at);
@@ -91,16 +93,16 @@ PimCommandScheduler::issuePrecharges()
     const auto &t = cfg.timing;
     PIMBA_ASSERT(rowsOpen, "PRECHARGES issued with no activated rows");
     Cycles after_comp = anyComp
-        ? lastComp + std::max(t.tWR, t.tRTP_L)
-        : Cycles{0};
+        ? lastComp + Cycles(std::max(t.tWR, t.tRTP_L))
+        : Cycles(0);
     Cycles at = std::max({cmdBusFree,
-                          maxActReady + t.tRAS,
+                          maxActReady + Cycles(t.tRAS),
                           after_comp});
-    bankReady = at + t.tRP;
+    bankReady = at + Cycles(t.tRP);
     rowsOpen = false;
     anyComp = false;
-    maxActReady = 0;
-    cmdBusFree = at + 1;
+    maxActReady = Cycles(0);
+    cmdBusFree = at + Cycles(1);
     frontier = std::max(frontier, bankReady);
     ++stats.precharges;
     record(DramCommand::PRECHARGES, at);
@@ -116,10 +118,10 @@ PimCommandScheduler::maybeRefresh()
     while (bankReady >= nextRefresh ||
            std::max(cmdBusFree, bankReady) >= nextRefresh) {
         Cycles at = std::max({cmdBusFree, bankReady, nextRefresh});
-        bankReady = at + t.tRFC;
-        cmdBusFree = at + 1;
+        bankReady = at + Cycles(t.tRFC);
+        cmdBusFree = at + Cycles(1);
         frontier = std::max(frontier, bankReady);
-        nextRefresh += t.tREFI;
+        nextRefresh += Cycles(t.tREFI);
         ++stats.refresh;
         record(DramCommand::REF, at);
         ++issued;
@@ -133,7 +135,7 @@ PimCommandScheduler::finishCycle() const
     return frontier;
 }
 
-double
+Seconds
 PimCommandScheduler::finishSeconds() const
 {
     return cyclesToSeconds(finishCycle(), cfg.busFreqHz);

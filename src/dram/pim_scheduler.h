@@ -81,8 +81,9 @@ class PimCommandScheduler
     const PimCommandCounts &counts() const { return stats; }
     const std::vector<CommandRecord> &trace() const { return records; }
 
-    /** Wall-clock seconds corresponding to finishCycle(). */
-    double finishSeconds() const;
+    /** Wall-clock time corresponding to finishCycle() — the cycle
+     *  domain's only crossing into the time domain. */
+    Seconds finishSeconds() const;
 
   private:
     void record(DramCommand cmd, Cycles cycle, int bank = -1);
@@ -91,19 +92,19 @@ class PimCommandScheduler
     const bool keepTrace;
 
     // Resource-availability frontiers (cycle numbers).
-    Cycles cmdBusFree = 0;    ///< command/address bus (1 cmd per cycle)
-    Cycles dataBusFree = 0;   ///< shared data bus (burstCycles per xfer)
-    Cycles lastAct4 = 0;      ///< for the tFAW window between ACT4s
+    Cycles cmdBusFree;   ///< command/address bus (1 cmd per cycle)
+    Cycles dataBusFree;  ///< shared data bus (burstCycles per xfer)
+    Cycles lastAct4;     ///< for the tFAW window between ACT4s
     bool anyAct4 = false;
-    Cycles maxActReady = 0;   ///< latest ACT4 issue in the open pass
+    Cycles maxActReady;  ///< latest ACT4 issue in the open pass
     bool rowsOpen = false;
-    Cycles lastComp = 0;
+    Cycles lastComp;
     bool anyComp = false;
-    Cycles bankReady = 0;     ///< banks usable (after tRP / tRFC)
+    Cycles bankReady;    ///< banks usable (after tRP / tRFC)
     Cycles nextRefresh;
 
-    Cycles lastIssue = 0;
-    Cycles frontier = 0;      ///< completion of all issued activity
+    Cycles lastIssue;
+    Cycles frontier;     ///< completion of all issued activity
 
     PimCommandCounts stats;
     std::vector<CommandRecord> records;

@@ -11,10 +11,10 @@ GpuKernelModel::kernel(double flops, double bytes) const
     double compute_time = flops / (gpu.peakFp16Flops *
                                    gpu.flopsEfficiency);
     double memory_time = bytes / (gpu.memBandwidth * gpu.bwEfficiency);
-    cost.seconds = std::max(compute_time, memory_time) +
-                   gpu.kernelLaunchOverhead;
-    cost.energyJ = flops * gpu.computeEnergyPerFlop +
-                   bytes * 8.0 * gpu.dramEnergyPerBit;
+    cost.seconds = Seconds(std::max(compute_time, memory_time) +
+                           gpu.kernelLaunchOverhead);
+    cost.energyJ = Joules(flops * gpu.computeEnergyPerFlop +
+                          bytes * 8.0 * gpu.dramEnergyPerBit);
     return cost;
 }
 
@@ -42,9 +42,9 @@ GpuKernelModel::allReduce(double bytes, int n_gpus) const
         return cost;
     double factor = 2.0 * (n_gpus - 1) / static_cast<double>(n_gpus);
     double moved = bytes * factor;
-    cost.seconds = moved / gpu.nvlinkBandwidth +
-                   gpu.kernelLaunchOverhead;
-    cost.energyJ = moved * 8.0 * gpu.nvlinkEnergyPerBit;
+    cost.seconds = Seconds(moved / gpu.nvlinkBandwidth +
+                           gpu.kernelLaunchOverhead);
+    cost.energyJ = Joules(moved * 8.0 * gpu.nvlinkEnergyPerBit);
     return cost;
 }
 

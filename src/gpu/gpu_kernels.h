@@ -7,6 +7,7 @@
 #ifndef PIMBA_GPU_GPU_KERNELS_H
 #define PIMBA_GPU_GPU_KERNELS_H
 
+#include "core/units.h"
 #include "gpu/gpu_config.h"
 
 namespace pimba {
@@ -14,8 +15,8 @@ namespace pimba {
 /** Latency and energy of one kernel invocation. */
 struct GpuKernelCost
 {
-    double seconds = 0.0;
-    double energyJ = 0.0;
+    Seconds seconds;
+    Joules energyJ;
 };
 
 /** Roofline kernel model for one GPU. */

@@ -9,9 +9,9 @@ nvlinkLink(const GpuConfig &gpu)
 {
     LinkConfig cfg;
     cfg.name = "NVLink (" + gpu.name + ")";
-    cfg.bandwidth = gpu.nvlinkBandwidth;
+    cfg.bandwidth = BytesPerSecond(gpu.nvlinkBandwidth);
     cfg.efficiency = 0.80;
-    cfg.setupLatency = 2e-6;
+    cfg.setupLatency = Seconds(2e-6);
     cfg.energyPerBit = gpu.nvlinkEnergyPerBit;
     return cfg;
 }
@@ -21,9 +21,9 @@ infinibandLink()
 {
     LinkConfig cfg;
     cfg.name = "InfiniBand NDR";
-    cfg.bandwidth = 50e9; // 400 Gb/s
+    cfg.bandwidth = BytesPerSecond(50e9); // 400 Gb/s
     cfg.efficiency = 0.90;
-    cfg.setupLatency = 5e-6;
+    cfg.setupLatency = Seconds(5e-6);
     // NIC + switch traversal costs more per bit than an on-package link.
     cfg.energyPerBit = 5.0e-12;
     return cfg;
@@ -31,24 +31,26 @@ infinibandLink()
 
 LinkModel::LinkModel(LinkConfig cfg) : link(std::move(cfg))
 {
-    PIMBA_ASSERT(link.bandwidth > 0.0, "link bandwidth must be positive");
+    PIMBA_ASSERT(link.bandwidth > BytesPerSecond(0.0),
+                 "link bandwidth must be positive");
     PIMBA_ASSERT(link.efficiency > 0.0 && link.efficiency <= 1.0,
                  "link efficiency must be in (0, 1]");
-    PIMBA_ASSERT(link.setupLatency >= 0.0, "negative link setup latency");
+    PIMBA_ASSERT(link.setupLatency >= Seconds(0.0),
+                 "negative link setup latency");
 }
 
 LinkCost
-LinkModel::transfer(double bytes) const
+LinkModel::transfer(Bytes bytes) const
 {
-    PIMBA_ASSERT(bytes >= 0.0, "negative transfer size");
+    PIMBA_ASSERT(bytes >= Bytes(0.0), "negative transfer size");
     LinkCost cost;
     // Nothing crosses the link for an empty payload, so no setup is
     // paid: a 0-byte ship costs exactly {0 s, 0 J}.
-    if (bytes == 0.0)
+    if (bytes == Bytes(0.0))
         return cost;
     cost.seconds = link.setupLatency +
                    bytes / (link.bandwidth * link.efficiency);
-    cost.energyJ = bytes * 8.0 * link.energyPerBit;
+    cost.energyJ = Joules(bytes.value() * 8.0 * link.energyPerBit);
     return cost;
 }
 

@@ -16,6 +16,7 @@
 
 #include <string>
 
+#include "core/units.h"
 #include "gpu/gpu_config.h"
 
 namespace pimba {
@@ -24,10 +25,10 @@ namespace pimba {
 struct LinkConfig
 {
     std::string name = "NVLink";
-    double bandwidth = 600e9;   ///< peak bytes/s per direction
-    double efficiency = 0.80;   ///< achievable fraction of peak
-    double setupLatency = 2e-6; ///< per-transfer fixed seconds
-    double energyPerBit = 1.3e-12; ///< joules per bit moved
+    BytesPerSecond bandwidth{600e9}; ///< peak per direction
+    double efficiency = 0.80;        ///< achievable fraction of peak
+    Seconds setupLatency{2e-6};      ///< per-transfer fixed cost
+    double energyPerBit = 1.3e-12;   ///< joules per bit moved
 };
 
 /** Intra-node link built from a GPU's NVLink parameters. */
@@ -39,8 +40,8 @@ LinkConfig infinibandLink();
 /** Latency and energy of one bulk transfer. */
 struct LinkCost
 {
-    double seconds = 0.0;
-    double energyJ = 0.0;
+    Seconds seconds;
+    Joules energyJ;
 };
 
 /** Cost model over one link configuration. */
@@ -52,7 +53,7 @@ class LinkModel
     /** One-way bulk copy of @p bytes over the link. A zero-byte
      *  transfer moves nothing and costs exactly {0 s, 0 J} — the setup
      *  latency is only paid when a payload actually crosses. */
-    LinkCost transfer(double bytes) const;
+    LinkCost transfer(Bytes bytes) const;
 
     const LinkConfig &config() const { return link; }
 

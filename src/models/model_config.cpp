@@ -296,7 +296,7 @@ addGemm(std::vector<OpSpec> &ops, double batch, double weights,
     OpSpec op;
     op.cls = OpClass::GEMM;
     op.flops = 2.0 * batch * weights;
-    op.memBytes = weights * 2.0 + batch * (in_dim + out_dim) * 2.0;
+    op.memBytes = Bytes(weights * 2.0 + batch * (in_dim + out_dim) * 2.0);
     ops.push_back(op);
 }
 
@@ -386,14 +386,14 @@ generationStepOpsInto(const ModelConfig &model, int batch,
                 OpSpec conv;
                 conv.cls = OpClass::CausalConv;
                 conv.flops = 2.0 * b * ch * model.convKernel;
-                conv.memBytes = b * ch * 2.0 * model.convKernel + b * ch * 4.0;
+                conv.memBytes = Bytes(b * ch * 2.0 * model.convKernel + b * ch * 4.0);
                 ops.push_back(conv);
 
                 // Discretization: dt softplus, a = exp(dt * A), dt * x.
                 OpSpec disc;
                 disc.cls = OpClass::Discretization;
                 disc.flops = 8.0 * b * d_inner;
-                disc.memBytes = 4.0 * b * d_inner * 2.0;
+                disc.memBytes = Bytes(4.0 * b * d_inner * 2.0);
                 ops.push_back(disc);
             }
 
@@ -406,10 +406,10 @@ generationStepOpsInto(const ModelConfig &model, int batch,
             double state_vals = static_cast<double>(inst) *
                                 model.dimHead * model.dimState;
             su.flops = 6.0 * state_vals;
-            su.memBytes = 2.0 * state_vals * 2.0 +
+            su.memBytes = Bytes(2.0 * state_vals * 2.0 +
                           static_cast<double>(inst) *
                               (3.0 * model.dimHead +
-                               2.0 * model.dimState) * 2.0;
+                               2.0 * model.dimState) * 2.0);
             ops.push_back(su);
 
             // Output projection + FFN.
@@ -423,14 +423,14 @@ generationStepOpsInto(const ModelConfig &model, int batch,
             OpSpec others;
             others.cls = OpClass::Others;
             others.flops = 10.0 * b * d;
-            others.memBytes = 6.0 * b * d * 2.0;
+            others.memBytes = Bytes(6.0 * b * d * 2.0);
             ops.push_back(others);
 
             if (tp > 1) {
                 OpSpec comm;
                 comm.cls = OpClass::Communication;
                 // All-reduce after the mixer and (if present) the FFN.
-                comm.memBytes = (model.ffnDim > 0 ? 2.0 : 1.0) * b * d * 2.0;
+                comm.memBytes = Bytes((model.ffnDim > 0 ? 2.0 : 1.0) * b * d * 2.0);
                 ops.push_back(comm);
             }
         }
@@ -454,15 +454,17 @@ generationStepOpsInto(const ModelConfig &model, int batch,
             at.attn.instances = inst;
             at.attn.dimHead = model.attnDimHead;
             at.attn.seqLen = seq_len;
-            double kv_vals = at.attn.instances *
+            double kv_vals = static_cast<double>(at.attn.instances) *
                              static_cast<double>(seq_len) *
                              model.attnDimHead;
             at.flops = 4.0 * kv_vals;          // score + attend MACs
-            at.memBytes = 2.0 * kv_vals * 2.0; // K and V reads (fp16)
-            at.hostFlops = 5.0 * at.attn.instances *
+            at.memBytes = Bytes(2.0 * kv_vals * 2.0); // K and V reads (fp16)
+            at.hostFlops = 5.0 *
+                           static_cast<double>(at.attn.instances) *
                            static_cast<double>(seq_len); // softmax
-            at.hostBytes = 4.0 * at.attn.instances *
-                           static_cast<double>(seq_len);
+            at.hostBytes =
+                Bytes(4.0 * static_cast<double>(at.attn.instances) *
+                      static_cast<double>(seq_len));
             ops.push_back(at);
 
             addGemm(ops, b, attn_dim * d, attn_dim, d);
@@ -476,13 +478,13 @@ generationStepOpsInto(const ModelConfig &model, int batch,
             OpSpec others;
             others.cls = OpClass::Others;
             others.flops = 10.0 * b * d;
-            others.memBytes = 6.0 * b * d * 2.0;
+            others.memBytes = Bytes(6.0 * b * d * 2.0);
             ops.push_back(others);
 
             if (tp > 1) {
                 OpSpec comm;
                 comm.cls = OpClass::Communication;
-                comm.memBytes = 2.0 * b * d * 2.0;
+                comm.memBytes = Bytes(2.0 * b * d * 2.0);
                 ops.push_back(comm);
             }
         }
@@ -495,7 +497,7 @@ generationStepOpsInto(const ModelConfig &model, int batch,
     OpSpec embed;
     embed.cls = OpClass::Others;
     embed.flops = b * d;
-    embed.memBytes = b * d * 4.0;
+    embed.memBytes = Bytes(b * d * 4.0);
     ops.push_back(embed);
 }
 

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "core/units.h"
 #include "pim/data_layout.h"
 
 namespace pimba {
@@ -59,14 +60,14 @@ struct OpSpec
 {
     OpClass cls;
     double flops = 0.0;    ///< floating point work
-    double memBytes = 0.0; ///< HBM traffic when executed on the GPU
+    Bytes memBytes{0.0}; ///< HBM traffic when executed on the GPU
     /** Valid when cls == StateUpdate. */
     StateUpdateShape su{};
     /** Valid when cls == Attention. */
     AttentionShape attn{};
     /** Softmax / accumulation GPU work between PIM attention phases. */
     double hostFlops = 0.0;
-    double hostBytes = 0.0;
+    Bytes hostBytes{0.0};
 };
 
 /** Full architectural description of one model. */

@@ -73,7 +73,7 @@ benchStepCost(const SelfBenchOptions &opts)
         for (const ModelConfig &m : models) {
             for (int batch : batches) {
                 StepResult step = sim.generationStep(m, batch, seq);
-                layer.simSeconds += step.seconds;
+                layer.simSeconds += step.seconds.value();
                 layer.simTokens += static_cast<uint64_t>(batch);
             }
         }
@@ -100,7 +100,7 @@ benchEngineRun(const SelfBenchOptions &opts)
         ServingReport r = engine.run(trace);
         layer.simRequests += r.metrics.requests;
         layer.simTokens += r.generatedTokens;
-        layer.simSeconds += r.makespan;
+        layer.simSeconds += r.makespan.value();
     }
     layer.wallSeconds = secondsSince(start);
     return layer;
@@ -135,7 +135,7 @@ benchServingStudy(const SelfBenchOptions &opts)
                         generateTrace(benchTrace(opts.smoke, rate)));
                     layer.simRequests += r.metrics.requests;
                     layer.simTokens += r.generatedTokens;
-                    layer.simSeconds += r.makespan;
+                    layer.simSeconds += r.makespan.value();
                 }
             }
         }
@@ -166,7 +166,7 @@ benchFleetRun(const SelfBenchOptions &opts)
         FleetReport r = fleet.run(trace);
         layer.simRequests += r.metrics.requests;
         layer.simTokens += r.metrics.generatedTokens;
-        layer.simSeconds += r.makespan;
+        layer.simSeconds += r.makespan.value();
     }
     layer.wallSeconds = secondsSince(start);
     return layer;

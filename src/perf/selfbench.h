@@ -52,7 +52,9 @@ struct BenchLayer
 {
     std::string name;   ///< layer id ("step_cost", "engine", ...)
     std::string detail; ///< human description of the pinned shapes
+    // pimba-lint: allow(bare-unit) measured wall clock, serialized raw to JSON
     double wallSeconds = 0.0; ///< total wall time across all reps
+    // pimba-lint: allow(bare-unit) JSON record field, schema pimba-selfbench-v1
     double simSeconds = 0.0;  ///< simulated time covered (0 when n/a)
     uint64_t simRequests = 0; ///< simulated requests completed (reps summed)
     uint64_t simTokens = 0;   ///< simulated tokens generated (reps summed)

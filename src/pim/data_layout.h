@@ -40,6 +40,7 @@ struct AttentionShape
 /** Derived placement counts for a state-update pass. */
 struct StateLayout
 {
+    // pimba-lint: allow(bare-unit) per-value width, a conversion factor
     double bytesPerValue;        ///< storage bytes of the state format
     uint64_t totalStateBytes;    ///< all instances
     uint64_t stateBytesPerPc;    ///< per pseudo-channel share
@@ -61,6 +62,7 @@ StateLayout computeStateLayout(const StateUpdateShape &shape,
 /** Derived placement counts for one attention phase (score or attend). */
 struct AttentionLayout
 {
+    // pimba-lint: allow(bare-unit) per-value width, a conversion factor
     double bytesPerValue;
     uint64_t cacheBytesTotal;  ///< K (score) or V (attend) bytes touched
     uint64_t cacheBytesPerPc;

@@ -141,21 +141,21 @@ PimComputeModel::runPasses(uint64_t passes, uint64_t total_comps,
     const double pcs = org.totalPseudoChannels();
     const auto &en = hbmCfg.energy;
     double rows_activated = static_cast<double>(res.counts.act4) * 4.0;
-    res.energy.activation = rows_activated * en.actEnergyPerRow_pJ *
-                            kPico * pcs;
+    res.energy.activation = Joules(rows_activated * en.actEnergyPerRow_pJ *
+                                   kPico * pcs);
     double bits_processed =
         static_cast<double>(processed_bytes_per_pc) * 8.0;
     double col_factor = writes_back ? 2.0 : 1.0; // read + write-back
-    res.energy.column = bits_processed * col_factor *
-                        en.colEnergyPerBit_pJ * kPico * pcs;
+    res.energy.column = Joules(bits_processed * col_factor *
+                               en.colEnergyPerBit_pJ * kPico * pcs);
     double io_bits = static_cast<double>(res.counts.regWrite +
                                          res.counts.resultRead) *
                      org.columnBytes * 8.0;
-    res.energy.io = io_bits * en.ioEnergyPerBit_pJ * kPico * pcs;
+    res.energy.io = Joules(io_bits * en.ioEnergyPerBit_pJ * kPico * pcs);
     double values = bits_processed /
                     (bitsPerValue(pimDesign.dataFormat));
-    res.energy.compute = values * computeEnergyPerValuePj(
-                             pimDesign.dataFormat) * kPico * pcs;
+    res.energy.compute = Joules(values * computeEnergyPerValuePj(
+                                    pimDesign.dataFormat) * kPico * pcs);
     return res;
 }
 

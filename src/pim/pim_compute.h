@@ -46,22 +46,22 @@ PimDesign perBankPipelinedDesign(NumberFormat fmt = NumberFormat::FP16);
 /** NeuPIMs-like baseline: per-bank fp16 GEMV PIM, attention only. */
 PimDesign neupimsDesign();
 
-/** Energy split of one kernel invocation (whole device, joules). */
+/** Energy split of one kernel invocation (whole device). */
 struct PimEnergy
 {
-    double activation = 0.0; ///< row activations
-    double column = 0.0;     ///< internal column accesses
-    double io = 0.0;         ///< operand / result transfers on the bus
-    double compute = 0.0;    ///< SPE arithmetic
+    Joules activation; ///< row activations
+    Joules column;     ///< internal column accesses
+    Joules io;         ///< operand / result transfers on the bus
+    Joules compute;    ///< SPE arithmetic
 
-    double total() const { return activation + column + io + compute; }
+    Joules total() const { return activation + column + io + compute; }
 };
 
 /** Result of one kernel invocation on the device. */
 struct PimKernelResult
 {
-    Cycles cycles = 0;      ///< per-pseudo-channel finish cycle
-    double seconds = 0.0;   ///< wall time of the kernel
+    Cycles cycles;          ///< per-pseudo-channel finish cycle
+    Seconds seconds;        ///< wall time of the kernel
     PimCommandCounts counts;///< commands issued per pseudo-channel
     PimEnergy energy;       ///< whole-device energy
 };

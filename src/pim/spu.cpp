@@ -56,7 +56,8 @@ simulateInterleaved(uint64_t num_items)
         ++j;
     }
     res.iterations = j;
-    res.unitUtilization = j ? static_cast<double>(reads) / j : 0.0;
+    res.unitUtilization =
+        j ? static_cast<double>(reads) / static_cast<double>(j) : 0.0;
     return res;
 }
 
@@ -82,7 +83,8 @@ simulatePerBank(uint64_t num_items)
         ++j;
     }
     res.iterations = j;
-    res.unitUtilization = j ? static_cast<double>(reads) / j : 0.0;
+    res.unitUtilization =
+        j ? static_cast<double>(reads) / static_cast<double>(j) : 0.0;
     return res;
 }
 

@@ -8,45 +8,48 @@
 namespace pimba {
 
 BlockMapper
-BlockMapper::make(double fixed_bytes, double bytes_per_token,
-                  uint64_t block_tokens)
+BlockMapper::make(Bytes fixed_bytes, Bytes bytes_per_token,
+                  Tokens block_tokens)
 {
-    PIMBA_ASSERT(fixed_bytes > 0.0 || bytes_per_token > 0.0,
+    PIMBA_ASSERT(fixed_bytes > Bytes(0.0) ||
+                     bytes_per_token > Bytes(0.0),
                  "request footprint is zero");
-    PIMBA_ASSERT(block_tokens >= 1, "block size must be positive");
+    PIMBA_ASSERT(block_tokens >= Tokens(1), "block size must be positive");
     BlockMapper m;
-    if (bytes_per_token > 0.0) {
+    if (bytes_per_token > Bytes(0.0)) {
         m.blockTokens = block_tokens;
-        m.blockBytes = bytes_per_token * static_cast<double>(block_tokens);
-        m.fixedBlocks = static_cast<uint64_t>(
-            std::ceil(fixed_bytes / m.blockBytes));
+        m.blockBytes =
+            bytes_per_token * static_cast<double>(block_tokens.value());
+        m.fixedBlocks = Blocks(static_cast<uint64_t>(
+            std::ceil(fixed_bytes.value() / m.blockBytes.value())));
     } else {
         // Pure SSM: the whole per-request footprint is length-independent
         // state, so one block holds exactly one request's state.
-        m.blockTokens = 0;
+        m.blockTokens = Tokens(0);
         m.blockBytes = fixed_bytes;
-        m.fixedBlocks = 1;
+        m.fixedBlocks = Blocks(1);
     }
     return m;
 }
 
-uint64_t
-BlockMapper::blocksFor(uint64_t cached_tokens) const
+Blocks
+BlockMapper::blocksFor(Tokens cached_tokens) const
 {
-    uint64_t kv = blockTokens > 0 ? ceilDiv(cached_tokens, blockTokens)
-                                  : 0;
+    Blocks kv{blockTokens > Tokens(0)
+                  ? ceilDiv(cached_tokens.value(), blockTokens.value())
+                  : 0};
     return fixedBlocks + kv;
 }
 
-BlockManager::BlockManager(uint64_t total_blocks) : total(total_blocks)
+BlockManager::BlockManager(Blocks total_blocks) : total(total_blocks)
 {
-    PIMBA_ASSERT(total >= 1, "empty block pool");
+    PIMBA_ASSERT(total >= Blocks(1), "empty block pool");
 }
 
 double
 BlockManager::utilization() const
 {
-    return static_cast<double>(used) / static_cast<double>(total);
+    return used / total;
 }
 
 bool
@@ -55,38 +58,38 @@ BlockManager::resident(uint64_t req_id) const
     return held.find(req_id) != held.end();
 }
 
-uint64_t
+Blocks
 BlockManager::holding(uint64_t req_id) const
 {
     auto it = held.find(req_id);
-    return it == held.end() ? 0 : it->second;
+    return Blocks(it == held.end() ? 0 : it->second);
 }
 
 bool
-BlockManager::allocate(uint64_t req_id, uint64_t blocks)
+BlockManager::allocate(uint64_t req_id, Blocks blocks)
 {
     PIMBA_ASSERT(!resident(req_id), "request ", req_id,
                  " allocated twice");
-    PIMBA_ASSERT(blocks >= 1, "zero-block allocation");
+    PIMBA_ASSERT(blocks >= Blocks(1), "zero-block allocation");
     if (blocks > freeBlocks())
         return false;
-    held.emplace(req_id, blocks);
+    held.emplace(req_id, blocks.value());
     used += blocks;
     return true;
 }
 
 bool
-BlockManager::growTo(uint64_t req_id, uint64_t target_blocks)
+BlockManager::growTo(uint64_t req_id, Blocks target_blocks)
 {
     auto it = held.find(req_id);
     PIMBA_ASSERT(it != held.end(), "growing non-resident request ",
                  req_id);
-    PIMBA_ASSERT(target_blocks >= it->second,
+    PIMBA_ASSERT(target_blocks >= Blocks(it->second),
                  "allocation shrink for request ", req_id);
-    uint64_t extra = target_blocks - it->second;
+    Blocks extra = target_blocks - Blocks(it->second);
     if (extra > freeBlocks())
         return false;
-    it->second = target_blocks;
+    it->second = target_blocks.value();
     used += extra;
     return true;
 }
@@ -96,7 +99,7 @@ BlockManager::release(uint64_t req_id)
 {
     auto it = held.find(req_id);
     PIMBA_ASSERT(it != held.end(), "double free of request ", req_id);
-    used -= it->second;
+    used -= Blocks(it->second);
     held.erase(it);
 }
 

@@ -19,16 +19,18 @@
 #define PIMBA_SERVING_BLOCK_MANAGER_H
 
 #include <cstdint>
-#include <unordered_map>
+#include <unordered_map> // pimba-lint: allow(node-container) cold bookkeeping path
+
+#include "core/units.h"
 
 namespace pimba {
 
 /** Token-count to block-demand mapping for one model + system. */
 struct BlockMapper
 {
-    double blockBytes = 0.0;  ///< bytes of pool one block represents
-    uint64_t blockTokens = 0; ///< KV tokens per block (0: no per-token cost)
-    uint64_t fixedBlocks = 0; ///< state + activation blocks per request
+    Bytes blockBytes;   ///< bytes of pool one block represents
+    Tokens blockTokens; ///< KV tokens per block (0: no per-token cost)
+    Blocks fixedBlocks; ///< state + activation blocks per request
 
     /**
      * Build a mapper from a request's fixed footprint (recurrent state +
@@ -36,11 +38,11 @@ struct BlockMapper
      * Pure-SSM models have @p bytes_per_token == 0; their requests cost a
      * constant @c fixedBlocks regardless of sequence length.
      */
-    static BlockMapper make(double fixed_bytes, double bytes_per_token,
-                            uint64_t block_tokens);
+    static BlockMapper make(Bytes fixed_bytes, Bytes bytes_per_token,
+                            Tokens block_tokens);
 
     /** Blocks a request needs with @p cached_tokens tokens resident. */
-    uint64_t blocksFor(uint64_t cached_tokens) const;
+    Blocks blocksFor(Tokens cached_tokens) const;
 };
 
 /**
@@ -53,37 +55,38 @@ struct BlockMapper
 class BlockManager
 {
   public:
-    explicit BlockManager(uint64_t total_blocks);
+    explicit BlockManager(Blocks total_blocks);
 
-    uint64_t totalBlocks() const { return total; }
-    uint64_t usedBlocks() const { return used; }
-    uint64_t freeBlocks() const { return total - used; }
+    Blocks totalBlocks() const { return total; }
+    Blocks usedBlocks() const { return used; }
+    Blocks freeBlocks() const { return total - used; }
     /** Fraction of the pool currently allocated, in [0, 1]. */
     double utilization() const;
 
     bool resident(uint64_t req_id) const;
     /** Blocks currently held by @p req_id (0 if not resident). */
-    uint64_t holding(uint64_t req_id) const;
+    Blocks holding(uint64_t req_id) const;
 
     /**
      * Admit @p req_id with @p blocks initial blocks. Returns false
      * (allocating nothing) when the pool cannot cover the demand.
      */
-    bool allocate(uint64_t req_id, uint64_t blocks);
+    bool allocate(uint64_t req_id, Blocks blocks);
 
     /**
      * Grow @p req_id's allocation to @p target_blocks (monotone; the
      * engine never shrinks a live request). Returns false, allocating
      * nothing, when the pool cannot cover the growth.
      */
-    bool growTo(uint64_t req_id, uint64_t target_blocks);
+    bool growTo(uint64_t req_id, Blocks target_blocks);
 
     /** Release every block @p req_id holds (completion or eviction). */
     void release(uint64_t req_id);
 
   private:
-    uint64_t total;
-    uint64_t used = 0;
+    Blocks total;
+    Blocks used{0};
+    // pimba-lint: allow(node-container) cold bookkeeping, not per-step hot path
     std::unordered_map<uint64_t, uint64_t> held;
 };
 

@@ -9,12 +9,13 @@
 
 namespace pimba {
 
-uint64_t
+Tokens
 resolvedIterTokenBudget(const EngineConfig &cfg)
 {
-    return cfg.iterTokenBudget != 0
+    return cfg.iterTokenBudget != Tokens(0)
                ? cfg.iterTokenBudget
-               : static_cast<uint64_t>(cfg.maxBatch) + cfg.prefillChunk;
+               : Tokens(static_cast<uint64_t>(cfg.maxBatch)) +
+                     cfg.prefillChunk;
 }
 
 std::string
@@ -23,32 +24,32 @@ validateEngineConfig(const EngineConfig &cfg)
     if (cfg.maxBatch < 1)
         return "engine: maxBatch must be >= 1, got " +
                std::to_string(cfg.maxBatch);
-    if (cfg.prefillChunk < 1)
+    if (cfg.prefillChunk < Tokens(1))
         return "engine: prefillChunk must be >= 1 (a chunk of zero "
                "prompt tokens never finishes a prefill)";
-    if (cfg.blockTokens < 1)
+    if (cfg.blockTokens < Tokens(1))
         return "engine: blockTokens must be >= 1 (the paged allocator "
                "cannot carve zero-token blocks)";
-    if (cfg.memoryBudget < 0.0)
+    if (cfg.memoryBudget < Bytes(0.0))
         return "engine: memoryBudget must be >= 0 bytes (0 selects the "
                "system's HBM capacity), got " +
-               std::to_string(cfg.memoryBudget);
-    if (!(cfg.slo.ttft > 0.0) || !(cfg.slo.tpot > 0.0))
+               std::to_string(cfg.memoryBudget.value());
+    if (!(cfg.slo.ttft > Seconds(0.0)) || !(cfg.slo.tpot > Seconds(0.0)))
         return "engine: SLO targets must be positive seconds (ttft " +
-               std::to_string(cfg.slo.ttft) + ", tpot " +
-               std::to_string(cfg.slo.tpot) + ")";
+               std::to_string(cfg.slo.ttft.value()) + ", tpot " +
+               std::to_string(cfg.slo.tpot.value()) + ")";
     if (cfg.policy == SchedulerPolicy::Sarathi) {
         // The fused-step memo packs (decode batch, prefill tokens) into
         // its key; reject configs that could overflow it mid-run.
-        uint64_t budget = resolvedIterTokenBudget(cfg);
+        Tokens budget = resolvedIterTokenBudget(cfg);
         if (cfg.maxBatch >= (1 << 12))
             return "engine: the Sarathi policy requires maxBatch < "
                    "4096, got " +
                    std::to_string(cfg.maxBatch);
-        if (budget >= (1ull << 16))
+        if (budget >= Tokens(1ull << 16))
             return "engine: the Sarathi policy requires an iteration "
                    "token budget < 65536, got " +
-                   std::to_string(budget);
+                   std::to_string(budget.value());
     }
     return "";
 }
@@ -72,8 +73,8 @@ ServingEngine::decodeSeconds(int batch, uint64_t mean_seq)
     uint64_t key = decodeMemoKey(batch, mean_seq);
     if (const double *hit = decodeCache.find(key))
         return *hit;
-    double secs =
-        sim.generationStep(model, batch, bucketCenter(mean_seq)).seconds;
+    double secs = sim.generationStep(model, batch, bucketCenter(mean_seq))
+                      .seconds.value();
     return decodeCache.insert(key, secs);
 }
 
@@ -88,8 +89,8 @@ ServingEngine::prefillSeconds(uint64_t chunk, uint64_t seq_pos)
     uint64_t key = prefillMemoKey(chunk, seq_pos);
     if (const double *hit = prefillCache.find(key))
         return *hit;
-    double secs =
-        sim.prefillStep(model, chunk, bucketCenter(seq_pos)).seconds;
+    double secs = sim.prefillStep(model, chunk, bucketCenter(seq_pos))
+                      .seconds.value();
     return prefillCache.insert(key, secs);
 }
 
@@ -109,7 +110,7 @@ ServingEngine::mixedSeconds(int decode_batch, uint64_t decode_seq,
     double secs = sim.mixedStep(model, decode_batch,
                                 bucketCenter(decode_seq), prefill_tokens,
                                 bucketCenter(prefill_pos))
-                      .seconds;
+                      .seconds.value();
     return mixedCache.insert(key, secs);
 }
 
@@ -120,30 +121,31 @@ ServingEngine::begin()
     report = ServingReport{};
     report.policy = cfg.policy;
     report.executionMode = sim.system().executionMode;
-    report.memoryBudget = cfg.memoryBudget > 0.0
+    report.memoryBudget = cfg.memoryBudget > Bytes(0.0)
                               ? cfg.memoryBudget
-                              : sim.system().gpu.memCapacity *
-                                    sim.system().nGpus;
+                              : Bytes(sim.system().gpu.memCapacity *
+                                      sim.system().nGpus);
     weightBytes = sim.weightFootprint(model);
     PIMBA_ASSERT(weightBytes < report.memoryBudget,
                  "model weights alone exceed the memory budget");
 
     // Carve the post-weights pool into blocks. The mapper quantizes a
     // request's fixed (state + activation) and per-token KV demand.
-    const double fixedBytes = sim.requestFootprint(model, 0);
-    const double perTokenBytes =
+    const Bytes fixedBytes = sim.requestFootprint(model, 0);
+    const Bytes perTokenBytes =
         sim.requestFootprint(model, 1) - fixedBytes;
     mapper = BlockMapper::make(fixedBytes, perTokenBytes, cfg.blockTokens);
     const uint64_t totalBlocks = static_cast<uint64_t>(
         (report.memoryBudget - weightBytes) / mapper.blockBytes);
     if (totalBlocks == 0)
-        PIMBA_FATAL("budget of ", report.memoryBudget,
+        PIMBA_FATAL("budget of ", report.memoryBudget.value(),
                     " bytes leaves no room for a single ",
-                    mapper.blockBytes, "-byte block past the weights");
-    blocks.emplace(totalBlocks);
-    report.totalBlocks = totalBlocks;
+                    mapper.blockBytes.value(),
+                    "-byte block past the weights");
+    blocks.emplace(Blocks(totalBlocks));
+    report.totalBlocks = Blocks(totalBlocks);
 
-    clock = 0.0;
+    clock = Seconds(0.0);
     utilSum = 0.0;
     submitted = 0;
     pendingArrivals.clear();
@@ -187,8 +189,8 @@ ServingEngine::revealArrivals()
     }
 }
 
-double
-ServingEngine::advanceTo(double t)
+Seconds
+ServingEngine::advanceTo(Seconds t)
 {
     PIMBA_ASSERT(active, "advanceTo() outside a session");
     while (true) {
@@ -212,7 +214,7 @@ ServingEngine::advanceTo(double t)
 void
 ServingEngine::drain()
 {
-    advanceTo(std::numeric_limits<double>::infinity());
+    advanceTo(Seconds(std::numeric_limits<double>::infinity()));
     PIMBA_ASSERT(report.completed.size() == submitted,
                  "drain left ", submitted - report.completed.size(),
                  " requests unserved");
@@ -226,8 +228,9 @@ ServingEngine::finish()
                  "finish() before drain: ",
                  submitted - report.completed.size(),
                  " requests in flight");
-    PIMBA_ASSERT(blocks->usedBlocks() == 0,
-                 "block pool leaked at drain: ", blocks->usedBlocks(),
+    PIMBA_ASSERT(blocks->usedBlocks() == Blocks(0),
+                 "block pool leaked at drain: ",
+                 blocks->usedBlocks().value(),
                  " blocks still allocated");
     report.makespan = clock;
     report.avgBlockUtil =
@@ -242,10 +245,9 @@ ServingEngine::finish()
     // counter is authoritative. Identical for ordinary runs.
     report.metrics.generatedTokens = report.generatedTokens;
     report.metrics.tokensPerSec =
-        report.makespan > 0.0
-            ? static_cast<double>(report.generatedTokens) /
-                  report.makespan
-            : 0.0;
+        report.makespan > Seconds(0.0)
+            ? Tokens(report.generatedTokens) / report.makespan
+            : TokensPerSecond(0.0);
     active = false;
     return std::move(report);
 }
@@ -256,14 +258,14 @@ ServingEngine::waitingCount() const
     return waiting.size() + pendingArrivals.size();
 }
 
-double
+Seconds
 ServingEngine::nextEventTime() const
 {
     if (!running.empty() || !waiting.empty())
         return clock; // resident or revealed work: actionable now
     if (!pendingArrivals.empty())
         return pendingArrivals.front().arrival;
-    return std::numeric_limits<double>::infinity();
+    return Seconds(std::numeric_limits<double>::infinity());
 }
 
 size_t
@@ -311,18 +313,18 @@ ServingEngine::iterate()
            running.size() < static_cast<size_t>(cfg.maxBatch)) {
         size_t pick = sched->pickAdmission(waiting);
         const Request &r = waiting[pick];
-        uint64_t outstanding = 0;
+        Blocks outstanding{0};
         for (const RequestState &rs : running) {
-            uint64_t held = blocks->holding(rs.req.id);
+            Blocks held = blocks->holding(rs.req.id);
             if (rs.pledgedBlocks > held)
                 outstanding += rs.pledgedBlocks - held;
         }
         const bool preloaded = preloadedIds.count(r.id) > 0;
-        uint64_t pledge = mapper.blocksFor(r.inputLen + 1);
+        Blocks pledge = mapper.blocksFor(Tokens(r.inputLen + 1));
         if (outstanding + pledge > blocks->freeBlocks())
             break;
         bool ok = blocks->allocate(
-            r.id, preloaded ? pledge : mapper.blocksFor(0));
+            r.id, preloaded ? pledge : mapper.blocksFor(Tokens(0)));
         PIMBA_ASSERT(ok, "admission allocation failed");
         RequestState rs;
         rs.req = r;
@@ -340,7 +342,7 @@ ServingEngine::iterate()
             rs.phase = RequestPhase::Prefill;
         }
         Lifecycle &lc = life[r.id];
-        if (lc.firstAdmitted < 0.0)
+        if (lc.firstAdmitted < Seconds(0.0))
             lc.firstAdmitted = clock;
         running.push_back(rs);
         waiting.erase(waiting.begin() +
@@ -349,10 +351,11 @@ ServingEngine::iterate()
     if (running.empty()) {
         const Request &r = waiting[sched->pickAdmission(waiting)];
         PIMBA_FATAL("request ", r.id, " needs ",
-                    mapper.blocksFor(r.inputLen + 1),
+                    mapper.blocksFor(Tokens(r.inputLen + 1)).value(),
                     " blocks and can never fit the pool of ",
-                    blocks->totalBlocks(), " blocks under the budget of ",
-                    report.memoryBudget, " bytes");
+                    blocks->totalBlocks().value(),
+                    " blocks under the budget of ",
+                    report.memoryBudget.value(), " bytes");
     }
     report.peakBatch = std::max(report.peakBatch,
                                 static_cast<int>(running.size()));
@@ -367,13 +370,13 @@ ServingEngine::iterate()
         sched->planInto(running, plan);
         PIMBA_ASSERT(!plan.empty(), "iteration made no progress");
 
-        uint64_t extra = 0;
+        Blocks extra{0};
         growScratch.clear();
         auto demand = [&](const RequestState &rs, uint64_t cached) {
-            uint64_t target = mapper.blocksFor(cached);
-            uint64_t cur = blocks->holding(rs.req.id);
+            Blocks target = mapper.blocksFor(Tokens(cached));
+            Blocks cur = blocks->holding(rs.req.id);
             if (target > cur) {
-                growScratch.emplace_back(rs.req.id, target);
+                growScratch.emplace_back(rs.req.id, target.value());
                 extra += target - cur;
             }
         };
@@ -381,14 +384,14 @@ ServingEngine::iterate()
             demand(running[i], running[i].cachedTokens() + 1);
         for (const PrefillSlice &s : plan.prefill) {
             const RequestState &rs = running[s.idx];
-            uint64_t cached = rs.prefilled + s.tokens;
+            uint64_t cached = rs.prefilled + s.tokens.value();
             if (cached >= rs.req.inputLen)
                 cached = rs.req.inputLen + 1; // first output token
             demand(rs, cached);
         }
         if (extra <= blocks->freeBlocks()) {
             for (const auto &[id, target] : growScratch) {
-                bool ok = blocks->growTo(id, target);
+                bool ok = blocks->growTo(id, Blocks(target));
                 PIMBA_ASSERT(ok, "planned growth failed");
             }
             break;
@@ -397,8 +400,9 @@ ServingEngine::iterate()
         if (running.size() == 1)
             PIMBA_FATAL("request ", running[0].req.id,
                         " can never fit: it alone outgrows the pool "
-                        "of ", blocks->totalBlocks(), " blocks under the "
-                        "budget of ", report.memoryBudget, " bytes");
+                        "of ", blocks->totalBlocks().value(),
+                        " blocks under the budget of ",
+                        report.memoryBudget.value(), " bytes");
         // running is kept in admission order, so the back is the most
         // recently admitted resident (lowest priority).
         RequestState victim = running.back();
@@ -445,12 +449,13 @@ ServingEngine::iterate()
     uint64_t prefillTokens = 0;
     uint64_t prefillPosWeighted = 0;
     for (const PrefillSlice &s : plan.prefill) {
-        prefillTokens += s.tokens;
+        uint64_t tokens = s.tokens.value();
+        prefillTokens += tokens;
         // Exact sum of the chunk's cache positions: token i of the
         // chunk sits at prefilled + i, so the chunk contributes
         // tokens * prefilled + tokens * (tokens - 1) / 2.
-        prefillPosWeighted += s.tokens * running[s.idx].prefilled +
-                              s.tokens * (s.tokens - 1) / 2;
+        prefillPosWeighted += tokens * running[s.idx].prefilled +
+                              tokens * (tokens - 1) / 2;
     }
 
     double iterSeconds = 0.0;
@@ -463,13 +468,13 @@ ServingEngine::iterate()
         if (decodeBatch > 0)
             iterSeconds += decodeSeconds(decodeBatch, decodeMean);
         for (const PrefillSlice &s : plan.prefill)
-            iterSeconds +=
-                prefillSeconds(s.tokens, running[s.idx].prefilled);
+            iterSeconds += prefillSeconds(s.tokens.value(),
+                                          running[s.idx].prefilled);
     }
     report.prefillChunks += plan.prefill.size();
 
     PIMBA_ASSERT(iterSeconds > 0.0, "iteration made no progress");
-    clock += iterSeconds;
+    clock += Seconds(iterSeconds);
     ++report.iterations;
 
     // Apply the iteration's token production.
@@ -479,7 +484,7 @@ ServingEngine::iterate()
     }
     for (const PrefillSlice &s : plan.prefill) {
         RequestState &rs = running[s.idx];
-        rs.prefilled += s.tokens;
+        rs.prefilled += s.tokens.value();
         if (rs.prefillDone()) {
             // The final prefill chunk emits the first output token.
             rs.generated = 1;
@@ -493,13 +498,13 @@ ServingEngine::iterate()
     double util = blocks->utilization();
     utilSum += util;
     report.peakBlockUtil = std::max(report.peakBlockUtil, util);
-    double usage = weightBytes +
-                   static_cast<double>(blocks->usedBlocks()) *
-                       mapper.blockBytes;
+    Bytes usage = weightBytes +
+                  static_cast<double>(blocks->usedBlocks().value()) *
+                      mapper.blockBytes;
     report.peakMemory = std::max(report.peakMemory, usage);
-    PIMBA_ASSERT(usage <= report.memoryBudget + 1.0,
-                 "memory budget exceeded: ", usage, " > ",
-                 report.memoryBudget);
+    PIMBA_ASSERT(usage <= report.memoryBudget + Bytes(1.0),
+                 "memory budget exceeded: ", usage.value(), " > ",
+                 report.memoryBudget.value());
 
     // Retire completed requests and free their blocks.
     for (size_t i = 0; i < running.size();) {
@@ -517,7 +522,7 @@ ServingEngine::iterate()
         done.tpot = rs.req.outputLen > 1
                         ? (rs.finished - rs.firstToken) /
                               static_cast<double>(rs.req.outputLen - 1)
-                        : 0.0;
+                        : Seconds(0.0);
         done.queueing = lc.firstAdmitted - rs.req.arrival;
         done.preemptions = lc.preemptions;
         report.completed.push_back(done);

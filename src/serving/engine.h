@@ -37,8 +37,8 @@
 #include <deque>
 #include <memory>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
+#include <unordered_map> // pimba-lint: allow(node-container) cold lifecycle map
+#include <unordered_set> // pimba-lint: allow(node-container) cold preload set
 #include <utility>
 #include <vector>
 
@@ -56,7 +56,7 @@ struct EngineConfig
 {
     int maxBatch = 128;          ///< concurrently admitted request cap
                                  ///  (prefill- and decode-phase combined)
-    uint64_t prefillChunk = 512; ///< prompt tokens per prefill chunk
+    Tokens prefillChunk{512};    ///< prompt tokens per prefill chunk
     /// HBM budget in bytes across the whole tensor-parallel group; 0
     /// selects memCapacity x nGpus of the system. The block pool is
     /// carved from the budget minus ServingSimulator::weightFootprint(),
@@ -64,16 +64,16 @@ struct EngineConfig
     /// table once per shard — subtracting the whole-model byte count
     /// instead would over-pledge the pool of an nGpus > 1 replica by
     /// nGpus - 1 embedding tables.
-    double memoryBudget = 0.0;
+    Bytes memoryBudget{0.0};
     /// Cached tokens per KV block of the paged allocator.
-    uint64_t blockTokens = 16;
+    Tokens blockTokens{16};
     /// Per-iteration new-token budget (decode + prefill) for the Sarathi
     /// policy; 0 resolves to maxBatch + prefillChunk so a full decode
     /// batch always leaves one chunk's worth of prefill budget. Decode
     /// is never throttled — see makeScheduler(). The Sarathi policy's
     /// fused-step memo requires maxBatch < 4096 and a resolved budget
     /// < 65536 (checked at engine construction).
-    uint64_t iterTokenBudget = 0;
+    Tokens iterTokenBudget{0};
     SchedulerPolicy policy = SchedulerPolicy::FCFS;
     /// GPU<->PIM execution mode override for this replica. nullopt
     /// inherits the mode of the SystemConfig the simulator was built
@@ -88,7 +88,7 @@ struct EngineConfig
 /// or maxBatch + prefillChunk when 0. Shared by validateEngineConfig
 /// and the engine constructor so the Sarathi memo bound is always
 /// checked against exactly the budget the engine will run with.
-uint64_t resolvedIterTokenBudget(const EngineConfig &cfg);
+Tokens resolvedIterTokenBudget(const EngineConfig &cfg);
 
 /// Validate @p cfg. Returns the empty string when the config is sane,
 /// else one actionable message naming the offending field and bound
@@ -104,17 +104,17 @@ struct ServingReport
 {
     std::vector<CompletedRequest> completed; ///< in completion order
     ServingMetrics metrics;
-    double makespan = 0.0;     ///< seconds, trace start to last token
+    Seconds makespan;          ///< trace start to last token
     uint64_t iterations = 0;   ///< scheduler iterations executed
     uint64_t generatedTokens = 0; ///< delivered tokens (evictions net out)
     uint64_t prefillChunks = 0;
     uint64_t preemptions = 0;  ///< evictions under memory pressure
     /// Prompt + output tokens discarded by evictions (recompute debt).
     uint64_t recomputedTokens = 0;
-    double peakMemory = 0.0;   ///< max bytes resident at any iteration
-    double memoryBudget = 0.0; ///< the budget the run enforced
+    Bytes peakMemory{0.0};     ///< max bytes resident at any iteration
+    Bytes memoryBudget{0.0};   ///< the budget the run enforced
     int peakBatch = 0;         ///< max concurrently admitted requests
-    uint64_t totalBlocks = 0;  ///< block-pool size the run was given
+    Blocks totalBlocks{0};     ///< block-pool size the run was given
     double peakBlockUtil = 0.0; ///< max fraction of the pool allocated
     double avgBlockUtil = 0.0;  ///< iteration-averaged pool allocation
     SchedulerPolicy policy = SchedulerPolicy::FCFS;
@@ -162,7 +162,7 @@ class ServingEngine
     /// with no submitted arrival due by @p t. An iteration in flight at
     /// @p t completes (and overshoots) — real schedulers do not preempt
     /// a launched step. Returns the clock after advancing.
-    double advanceTo(double t);
+    Seconds advanceTo(Seconds t);
 
     /// Serve every submitted request to completion.
     void drain();
@@ -171,15 +171,15 @@ class ServingEngine
     ServingReport finish();
 
     // --------------------------------------- router introspection
-    /// Simulated clock of the open session (seconds).
-    double now() const { return clock; }
+    /// Simulated clock of the open session.
+    Seconds now() const { return clock; }
     /// Earliest time this replica has anything to do: the clock when
     /// work is resident or revealed, the next pending arrival when
     /// idle, +inf when fully drained. The fleet skips advanceTo()
     /// broadcasts to replicas whose next event lies beyond the target
     /// time — a pure no-op there — turning the per-request
     /// O(replicas) advance into O(replicas with due work).
-    double nextEventTime() const;
+    Seconds nextEventTime() const;
     /// Submitted requests not yet admitted (queued work).
     size_t waitingCount() const;
     /// Requests currently resident in the batch.
@@ -233,19 +233,21 @@ class ServingEngine
     /// evictions (RequestState is discarded on preemption).
     struct Lifecycle
     {
-        double firstAdmitted = -1.0;
+        Seconds firstAdmitted{-1.0};
         uint64_t preemptions = 0;
     };
 
     bool active = false;
-    double clock = 0.0;
+    Seconds clock{0.0};
     double utilSum = 0.0;
-    double weightBytes = 0.0;
+    Bytes weightBytes{0.0};
     uint64_t submitted = 0;
     std::deque<Request> pendingArrivals; ///< submitted, arrival > clock
     std::deque<Request> waiting;         ///< revealed, not yet admitted
     std::vector<RequestState> running;   ///< kept in admission order
+    // pimba-lint: allow(node-container) touched on admission only
     std::unordered_set<uint64_t> preloadedIds;
+    // pimba-lint: allow(node-container) touched on admit/finish, not per step
     std::unordered_map<uint64_t, Lifecycle> life;
     std::optional<BlockManager> blocks;
     BlockMapper mapper;

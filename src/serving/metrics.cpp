@@ -31,7 +31,7 @@ summarizeLatency(const std::vector<double> &samples)
 }
 
 ServingMetrics
-computeMetrics(const std::vector<CompletedRequest> &done, double makespan,
+computeMetrics(const std::vector<CompletedRequest> &done, Seconds makespan,
                const SloConfig &slo)
 {
     ServingMetrics m;
@@ -47,14 +47,14 @@ computeMetrics(const std::vector<CompletedRequest> &done, double makespan,
     uint64_t good = 0;
     for (const auto &c : done) {
         m.generatedTokens += c.req.outputLen;
-        ttft.push_back(c.ttft);
+        ttft.push_back(c.ttft.value());
         // Single-token requests have no inter-token gap; their tpot of
         // 0.0 would drag the TPOT percentiles down, so they are
         // excluded from the summary sample.
         if (c.req.outputLen > 1)
-            tpot.push_back(c.tpot);
-        latency.push_back(c.latency);
-        queueing.push_back(c.queueing);
+            tpot.push_back(c.tpot.value());
+        latency.push_back(c.latency.value());
+        queueing.push_back(c.queueing.value());
         preemptions.push_back(static_cast<double>(c.preemptions));
         // The SLO's TPOT clause is vacuous for a single-token request —
         // with no decode steps there is no inter-token time to violate —
@@ -70,10 +70,12 @@ computeMetrics(const std::vector<CompletedRequest> &done, double makespan,
     m.latency = summarizeLatency(latency);
     m.queueing = summarizeLatency(queueing);
     m.preemptions = summarizeLatency(preemptions);
-    if (makespan > 0.0) {
-        m.tokensPerSec = static_cast<double>(m.generatedTokens) / makespan;
-        m.requestsPerSec = static_cast<double>(m.requests) / makespan;
-        m.goodput = static_cast<double>(good) / makespan;
+    if (makespan > Seconds(0.0)) {
+        m.tokensPerSec = Tokens(m.generatedTokens) / makespan;
+        m.requestsPerSec = RequestsPerSecond(
+            static_cast<double>(m.requests) / makespan.value());
+        m.goodput = RequestsPerSecond(static_cast<double>(good) /
+                                      makespan.value());
     }
     return m;
 }
@@ -89,9 +91,9 @@ std::vector<std::string>
 metricsRow(const std::string &label, const ServingMetrics &m)
 {
     return {label,
-            fmt(m.tokensPerSec, 1),
-            fmt(m.requestsPerSec, 2),
-            fmt(m.goodput, 2),
+            fmt(m.tokensPerSec.value(), 1),
+            fmt(m.requestsPerSec.value(), 2),
+            fmt(m.goodput.value(), 2),
             fmt(m.ttft.p50, 3),
             fmt(m.ttft.p95, 3),
             fmt(m.tpot.p95, 4),

@@ -21,8 +21,8 @@ namespace pimba {
 /** Per-request latency service-level objective. */
 struct SloConfig
 {
-    double ttft = 1.0;  ///< seconds to first token
-    double tpot = 0.02; ///< seconds per subsequent token
+    Seconds ttft{1.0};  ///< time to first token
+    Seconds tpot{0.02}; ///< time per subsequent token
 };
 
 /** Percentile summary of one latency population (seconds). */
@@ -45,10 +45,10 @@ struct ServingMetrics
 {
     uint64_t requests = 0;        ///< completed requests
     uint64_t generatedTokens = 0; ///< output tokens produced
-    double makespan = 0.0;        ///< first arrival to last completion
-    double tokensPerSec = 0.0;    ///< sustained generation throughput
-    double requestsPerSec = 0.0;  ///< completion rate
-    double goodput = 0.0;         ///< SLO-meeting completions per second
+    Seconds makespan;             ///< first arrival to last completion
+    TokensPerSecond tokensPerSec; ///< sustained generation throughput
+    RequestsPerSecond requestsPerSec; ///< completion rate
+    RequestsPerSecond goodput; ///< SLO-meeting completions per second
     uint64_t sloViolations = 0;   ///< completions missing the SLO
     LatencySummary ttft;
     /** TPOT over requests with >= 2 output tokens only: single-token
@@ -67,7 +67,7 @@ struct ServingMetrics
 
 /** Aggregate completed-request records into fleet metrics. */
 ServingMetrics computeMetrics(const std::vector<CompletedRequest> &done,
-                              double makespan, const SloConfig &slo);
+                              Seconds makespan, const SloConfig &slo);
 
 /** Header matching metricsRow() for rate/system sweep tables. */
 std::vector<std::string> metricsHeader();

@@ -13,13 +13,15 @@
 
 #include <cstdint>
 
+#include "core/units.h"
+
 namespace pimba {
 
 /** One inference request of a serving trace. */
 struct Request
 {
     uint64_t id = 0;
-    double arrival = 0.0;   ///< seconds since trace start
+    Seconds arrival;        ///< since trace start
     uint64_t inputLen = 0;  ///< prompt tokens (prefill)
     uint64_t outputLen = 1; ///< tokens to generate (>= 1)
 };
@@ -51,10 +53,10 @@ struct RequestState
     /** Blocks admission promised this request (prompt + first token);
      *  outstanding pledges gate further admissions so co-resident
      *  prompts can always be cached without evicting each other. */
-    uint64_t pledgedBlocks = 0;
-    double admitted = -1.0;  ///< absolute admission time (eviction order)
-    double firstToken = -1.0; ///< absolute time of the first output token
-    double finished = -1.0;
+    Blocks pledgedBlocks;
+    Seconds admitted{-1.0};  ///< absolute admission time (eviction order)
+    Seconds firstToken{-1.0}; ///< absolute time of the first output token
+    Seconds finished{-1.0};
 
     /** Tokens currently held in the cache (prompt + generated). */
     uint64_t cachedTokens() const { return prefilled + generated; }
@@ -66,13 +68,13 @@ struct RequestState
 struct CompletedRequest
 {
     Request req;
-    double ttft = 0.0;    ///< time to first token (includes queueing)
-    double tpot = 0.0;    ///< mean inter-token time after the first
-    double latency = 0.0; ///< arrival to last token
+    Seconds ttft;    ///< time to first token (includes queueing)
+    Seconds tpot;    ///< mean inter-token time after the first
+    Seconds latency; ///< arrival to last token
     /** Arrival to *first* admission. Re-admissions after an eviction do
      *  not reset it: the wait a preemption adds shows up in ttft (and
      *  in preemptions), not here. */
-    double queueing = 0.0;
+    Seconds queueing;
     uint64_t preemptions = 0; ///< evictions this request suffered
 };
 

@@ -22,15 +22,15 @@ decodeResidents(const std::vector<RequestState> &running,
 class SchedulerBase : public Scheduler
 {
   public:
-    SchedulerBase(uint64_t chunk, uint64_t budget)
+    SchedulerBase(Tokens chunk, Tokens budget)
         : chunk(chunk), budget(budget)
     {
-        PIMBA_ASSERT(chunk >= 1, "prefill chunk must be positive");
+        PIMBA_ASSERT(chunk >= Tokens(1), "prefill chunk must be positive");
     }
 
   protected:
-    uint64_t chunk;
-    uint64_t budget;
+    Tokens chunk;
+    Tokens budget;
 };
 
 /**
@@ -52,8 +52,8 @@ class OneChunkScheduler : public SchedulerBase
         decodeResidents(running, plan.decodeIdx);
         for (size_t i = 0; i < running.size(); ++i) {
             if (running[i].phase == RequestPhase::Prefill) {
-                uint64_t left =
-                    running[i].req.inputLen - running[i].prefilled;
+                Tokens left = Tokens(running[i].req.inputLen -
+                                     running[i].prefilled);
                 plan.prefill.push_back({i, std::min(chunk, left)});
                 break;
             }
@@ -132,12 +132,13 @@ class SarathiScheduler : public SchedulerBase
         // Decode tokens are never throttled (one per resident decode);
         // the leftover budget is packed with prefill chunks from as
         // many prompt-phase requests as fit, oldest admitted first.
-        uint64_t spent = plan.decodeIdx.size();
+        Tokens spent = Tokens(plan.decodeIdx.size());
         for (size_t i = 0; i < running.size() && spent < budget; ++i) {
             if (running[i].phase != RequestPhase::Prefill)
                 continue;
-            uint64_t left = running[i].req.inputLen - running[i].prefilled;
-            uint64_t grant = std::min({chunk, left, budget - spent});
+            Tokens left = Tokens(running[i].req.inputLen -
+                                 running[i].prefilled);
+            Tokens grant = std::min({chunk, left, budget - spent});
             plan.prefill.push_back({i, grant});
             spent += grant;
         }
@@ -170,8 +171,8 @@ allPolicies()
 }
 
 std::unique_ptr<Scheduler>
-makeScheduler(SchedulerPolicy policy, uint64_t prefill_chunk,
-              uint64_t token_budget)
+makeScheduler(SchedulerPolicy policy, Tokens prefill_chunk,
+              Tokens token_budget)
 {
     switch (policy) {
       case SchedulerPolicy::FCFS:

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "core/units.h"
 #include "serving/request.h"
 
 namespace pimba {
@@ -51,8 +52,8 @@ const std::vector<SchedulerPolicy> &allPolicies();
 /** One prefill chunk scheduled for the coming iteration. */
 struct PrefillSlice
 {
-    size_t idx = 0;      ///< index into the engine's running vector
-    uint64_t tokens = 0; ///< prompt tokens to process this iteration
+    size_t idx = 0; ///< index into the engine's running vector
+    Tokens tokens;  ///< prompt tokens to process this iteration
 };
 
 /** Composition of one engine iteration. */
@@ -120,8 +121,8 @@ class Scheduler
  * one-chunk policies ignore the budget.
  */
 std::unique_ptr<Scheduler> makeScheduler(SchedulerPolicy policy,
-                                         uint64_t prefill_chunk,
-                                         uint64_t token_budget);
+                                         Tokens prefill_chunk,
+                                         Tokens token_budget);
 
 } // namespace pimba
 

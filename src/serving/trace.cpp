@@ -84,7 +84,7 @@ generateTrace(const TraceConfig &cfg)
             }
             clock += gap;
         }
-        r.arrival = clock;
+        r.arrival = Seconds(clock);
         r.inputLen = sampleLength(cfg.lengths, cfg.inputLen,
                                   cfg.inputLenMax, lengthRng);
         r.outputLen = sampleLength(cfg.lengths, cfg.outputLen,

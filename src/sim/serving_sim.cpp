@@ -30,11 +30,11 @@ ServingSimulator::addGpuCost(OpClass cls, const GpuKernelCost &cost,
 {
     acc.seconds += cost.seconds;
     acc.gpuSeconds += cost.seconds;
-    acc.latency.add(opClassName(cls), cost.seconds);
+    acc.latency.add(opClassName(cls), cost.seconds.value());
     if (cls == OpClass::GEMM)
-        acc.energy.add(kEnergyGemm, cost.energyJ);
+        acc.energy.add(kEnergyGemm, cost.energyJ.value());
     else
-        acc.energy.add(kEnergyOthers, cost.energyJ);
+        acc.energy.add(kEnergyOthers, cost.energyJ.value());
 }
 
 void
@@ -46,31 +46,33 @@ ServingSimulator::runOp(const OpSpec &op, StepResult &acc) const
       case OpClass::CausalConv:
       case OpClass::Discretization:
       case OpClass::Others: {
-        addGpuCost(op.cls, gpuModel.kernel(op.flops, op.memBytes), acc);
+        addGpuCost(op.cls, gpuModel.kernel(op.flops, op.memBytes.value()), acc);
         return;
       }
       case OpClass::Communication: {
-        GpuKernelCost cost = gpuModel.allReduce(op.memBytes, sys.nGpus);
+        GpuKernelCost cost = gpuModel.allReduce(op.memBytes.value(), sys.nGpus);
         acc.seconds += cost.seconds;
         acc.gpuSeconds += cost.seconds;
-        acc.latency.add(opClassName(op.cls), cost.seconds);
-        acc.energy.add(kEnergyOthers, cost.energyJ);
+        acc.latency.add(opClassName(op.cls), cost.seconds.value());
+        acc.energy.add(kEnergyOthers, cost.energyJ.value());
         return;
       }
       case OpClass::StateUpdate: {
         if (sys.stateUpdateOnPim()) {
             PimKernelResult r = pimModel->stateUpdate(op.su);
-            double secs = r.seconds + gpu.kernelLaunchOverhead;
+            Seconds secs = r.seconds + Seconds(gpu.kernelLaunchOverhead);
             acc.seconds += secs;
             // The launch rides the GPU stream; the kernel itself can
             // overlap another sub-batch's GPU phase.
             acc.pimSeconds += r.seconds;
-            acc.gpuSeconds += gpu.kernelLaunchOverhead;
-            acc.latency.add(opClassName(op.cls), secs);
-            acc.energy.add(kEnergySuIo, (r.energy.activation +
-                                         r.energy.column + r.energy.io) *
-                                            sys.nGpus);
-            acc.energy.add(kEnergySuCompute, r.energy.compute * sys.nGpus);
+            acc.gpuSeconds += Seconds(gpu.kernelLaunchOverhead);
+            acc.latency.add(opClassName(op.cls), secs.value());
+            Joules io = (r.energy.activation + r.energy.column +
+                         r.energy.io) *
+                        sys.nGpus;
+            acc.energy.add(kEnergySuIo, io.value());
+            acc.energy.add(kEnergySuCompute,
+                           (r.energy.compute * sys.nGpus).value());
             return;
         }
         // GPU execution: the state is stored in this system's state
@@ -89,7 +91,7 @@ ServingSimulator::runOp(const OpSpec &op, StepResult &acc) const
         GpuKernelCost cost = gpuModel.kernel(op.flops, su_bytes);
         acc.seconds += cost.seconds;
         acc.gpuSeconds += cost.seconds;
-        acc.latency.add(opClassName(op.cls), cost.seconds);
+        acc.latency.add(opClassName(op.cls), cost.seconds.value());
         acc.energy.add(kEnergySuIo, su_bytes * 8.0 *
                                         gpu.dramEnergyPerBit * sys.nGpus);
         acc.energy.add(kEnergySuCompute,
@@ -100,29 +102,30 @@ ServingSimulator::runOp(const OpSpec &op, StepResult &acc) const
         // Softmax (and score normalization) always runs on the GPU,
         // blocking between the score and attend phases (Section 5.6).
         GpuKernelCost softmax = gpuModel.kernel(op.hostFlops,
-                                                op.hostBytes);
+                                                op.hostBytes.value());
         if (sys.attentionOnPim()) {
             PimKernelResult score = pimModel->attentionScore(op.attn);
             PimKernelResult attend = pimModel->attentionAttend(op.attn);
-            double secs = score.seconds + attend.seconds +
-                          softmax.seconds + gpu.kernelLaunchOverhead;
+            Seconds secs = score.seconds + attend.seconds +
+                           softmax.seconds +
+                           Seconds(gpu.kernelLaunchOverhead);
             acc.seconds += secs;
             acc.pimSeconds += score.seconds + attend.seconds;
             // The softmax sits between the two PIM phases of the *same*
             // sub-batch, so it cannot be hidden behind the other
             // sub-batch's work — it is the pipeline's sync bubble.
             acc.syncSeconds += softmax.seconds;
-            acc.gpuSeconds += gpu.kernelLaunchOverhead;
-            acc.latency.add(opClassName(op.cls), secs);
-            double io = (score.energy.activation + score.energy.column +
+            acc.gpuSeconds += Seconds(gpu.kernelLaunchOverhead);
+            acc.latency.add(opClassName(op.cls), secs.value());
+            Joules io = (score.energy.activation + score.energy.column +
                          score.energy.io + attend.energy.activation +
                          attend.energy.column + attend.energy.io) *
                         sys.nGpus;
-            double cmp = (score.energy.compute + attend.energy.compute) *
+            Joules cmp = (score.energy.compute + attend.energy.compute) *
                          sys.nGpus;
-            acc.energy.add(kEnergyAttnIo, io);
+            acc.energy.add(kEnergyAttnIo, io.value());
             acc.energy.add(kEnergyAttnCompute,
-                           cmp + softmax.energyJ * sys.nGpus);
+                           (cmp + softmax.energyJ * sys.nGpus).value());
             return;
         }
         double kv_vals = static_cast<double>(op.attn.instances) *
@@ -137,15 +140,15 @@ ServingSimulator::runOp(const OpSpec &op, StepResult &acc) const
                           bitsPerValue(sys.kvFormat()) / 8.0;
         double kv_bytes = kv_read + kv_write;
         GpuKernelCost cost = gpuModel.kernel(op.flops, kv_bytes);
-        double secs = cost.seconds + softmax.seconds;
+        Seconds secs = cost.seconds + softmax.seconds;
         acc.seconds += secs;
         acc.gpuSeconds += secs;
-        acc.latency.add(opClassName(op.cls), secs);
+        acc.latency.add(opClassName(op.cls), secs.value());
         acc.energy.add(kEnergyAttnIo,
                        kv_bytes * 8.0 * gpu.dramEnergyPerBit * sys.nGpus);
         acc.energy.add(kEnergyAttnCompute,
-                       (op.flops * gpu.computeEnergyPerFlop +
-                        softmax.energyJ) * sys.nGpus);
+                       ((Joules(op.flops * gpu.computeEnergyPerFlop) +
+                         softmax.energyJ) * sys.nGpus).value());
         return;
       }
     }
@@ -168,7 +171,7 @@ ServingSimulator::generationStep(const ModelConfig &model, int batch,
     // stages and a PIM to overlap against; otherwise the step degrades
     // to the blocked schedule. Energy is untouched either way.
     if (sys.executionMode == ExecutionMode::Overlapped && batch >= 2 &&
-        acc.pimSeconds > 0.0)
+        acc.pimSeconds > Seconds(0.0))
         acc.seconds = acc.overlappedSeconds();
     return acc;
 }
@@ -217,14 +220,14 @@ ServingSimulator::mixedStep(const ModelConfig &model, int decode_batch,
     return generationStep(model, static_cast<int>(total), mean);
 }
 
-double
+TokensPerSecond
 ServingSimulator::generationThroughput(const ModelConfig &model, int batch,
                                        uint64_t input_len,
                                        uint64_t output_len) const
 {
     StepResult step = averagedStep(model, batch, input_len, output_len);
-    PIMBA_ASSERT(step.seconds > 0, "zero step latency");
-    return static_cast<double>(batch) / step.seconds;
+    PIMBA_ASSERT(step.seconds > Seconds(0.0), "zero step latency");
+    return Tokens(batch) / step.seconds;
 }
 
 MemoryUsage
@@ -232,29 +235,30 @@ ServingSimulator::memoryUsage(const ModelConfig &model, int batch,
                               uint64_t seq_len) const
 {
     MemoryUsage mem;
-    mem.weights = model.paramCount() * 2.0;
-    mem.state = batch * model.stateBytes(
-        bitsPerValue(sys.stateFormat()) / 8.0);
-    mem.kvCache = batch * static_cast<double>(seq_len) *
-                  model.kvBytesPerToken(bitsPerValue(sys.kvFormat()) / 8.0);
+    mem.weights = Bytes(model.paramCount() * 2.0);
+    mem.state = Bytes(batch * model.stateBytes(
+        bitsPerValue(sys.stateFormat()) / 8.0));
+    mem.kvCache = Bytes(
+        batch * static_cast<double>(seq_len) *
+        model.kvBytesPerToken(bitsPerValue(sys.kvFormat()) / 8.0));
     // Transient activations: a few residual-width buffers per request.
-    mem.activations = static_cast<double>(batch) * model.dModel * 16.0 *
-                      2.0;
+    mem.activations = Bytes(static_cast<double>(batch) * model.dModel *
+                            16.0 * 2.0);
     return mem;
 }
 
-double
+Bytes
 ServingSimulator::weightFootprint(const ModelConfig &model) const
 {
     // paramCount() counts the embedding table once; each extra
     // tensor-parallel shard keeps its own replica of it.
     double embedBytes =
         static_cast<double>(model.vocab) * model.dModel * 2.0;
-    return model.paramCount() * 2.0 +
-           static_cast<double>(sys.nGpus - 1) * embedBytes;
+    return Bytes(model.paramCount() * 2.0 +
+                 static_cast<double>(sys.nGpus - 1) * embedBytes);
 }
 
-double
+Bytes
 ServingSimulator::requestFootprint(const ModelConfig &model,
                                    uint64_t seq_len) const
 {

@@ -33,7 +33,7 @@ namespace pimba {
 /** Latency/energy outcome of one generation step (one token x batch). */
 struct StepResult
 {
-    double seconds = 0.0;   ///< per-token step latency (mode-dependent)
+    Seconds seconds;        ///< per-token step latency (mode-dependent)
     Breakdown latency;      ///< seconds per OpClass, blocked phase times
     Breakdown energy;       ///< joules per Fig. 14 category
 
@@ -42,32 +42,32 @@ struct StepResult
     // `seconds` is max(gpuSeconds, pimSeconds) + syncSeconds instead
     // (and the per-OpClass latency breakdown keeps the blocked phase
     // times, so it sums to more than `seconds`).
-    double gpuSeconds = 0.0;  ///< GPU-stream work (overlappable)
-    double pimSeconds = 0.0;  ///< PIM kernel work (overlappable)
-    double syncSeconds = 0.0; ///< GPU<->PIM sync (softmax between the
-                              ///  PIM score and attend phases)
+    Seconds gpuSeconds;  ///< GPU-stream work (overlappable)
+    Seconds pimSeconds;  ///< PIM kernel work (overlappable)
+    Seconds syncSeconds; ///< GPU<->PIM sync (softmax between the
+                         ///  PIM score and attend phases)
 
     /** Step latency if GPU and PIM phases serialize (Section 5.6). */
-    double blockedSeconds() const
+    Seconds blockedSeconds() const
     {
         return gpuSeconds + pimSeconds + syncSeconds;
     }
     /** Step latency under the two-sub-batch GPU<->PIM pipeline. */
-    double overlappedSeconds() const
+    Seconds overlappedSeconds() const
     {
         return std::max(gpuSeconds, pimSeconds) + syncSeconds;
     }
 };
 
-/** Memory-footprint split of a serving configuration (bytes, total). */
+/** Memory-footprint split of a serving configuration. */
 struct MemoryUsage
 {
-    double weights = 0.0;
-    double state = 0.0;
-    double kvCache = 0.0;
-    double activations = 0.0;
+    Bytes weights;
+    Bytes state;
+    Bytes kvCache;
+    Bytes activations;
 
-    double total() const
+    Bytes total() const
     {
         return weights + state + kvCache + activations;
     }
@@ -128,9 +128,9 @@ class ServingSimulator
                          uint64_t prefill_pos) const;
 
     /** Generation throughput in tokens (words) per second. */
-    double generationThroughput(const ModelConfig &model, int batch,
-                                uint64_t input_len,
-                                uint64_t output_len) const;
+    TokensPerSecond generationThroughput(const ModelConfig &model,
+                                         int batch, uint64_t input_len,
+                                         uint64_t output_len) const;
 
     /** Whole-system memory footprint at @p seq_len cached tokens. */
     MemoryUsage memoryUsage(const ModelConfig &model, int batch,
@@ -146,7 +146,7 @@ class ServingSimulator
      * serving engine subtracts from the HBM budget before carving the
      * block pool, so nGpus > 1 replicas do not over-pledge.
      */
-    double weightFootprint(const ModelConfig &model) const;
+    Bytes weightFootprint(const ModelConfig &model) const;
 
     /**
      * Memory a single request pins at @p seq_len cached tokens:
@@ -154,8 +154,8 @@ class ServingSimulator
      * (request-independent) weights. This is the unit the serving
      * engine's admission control reserves against the HBM budget.
      */
-    double requestFootprint(const ModelConfig &model,
-                            uint64_t seq_len) const;
+    Bytes requestFootprint(const ModelConfig &model,
+                           uint64_t seq_len) const;
 
     const SystemConfig &system() const { return sys; }
 

@@ -81,14 +81,14 @@ TEST(ClusterDisagg, TransferBytesFollowFootprintMath)
 
     ServingSimulator sim(makeSystem(SystemKind::PIMBA));
     MemoryUsage mem = sim.memoryUsage(model, 1, 256 + 1);
-    double perTransfer = mem.state + mem.kvCache;
+    Bytes perTransfer = mem.state + mem.kvCache;
     ASSERT_EQ(rep.transfer.transfers, trace.size());
-    EXPECT_GT(perTransfer, 0.0);
-    EXPECT_NEAR(rep.transfer.totalBytes,
-                perTransfer * static_cast<double>(trace.size()),
-                1e-6 * rep.transfer.totalBytes);
-    EXPECT_GT(rep.transfer.totalSeconds, 0.0);
-    EXPECT_GT(rep.transfer.totalEnergyJ, 0.0);
+    EXPECT_GT(perTransfer, Bytes(0.0));
+    EXPECT_NEAR(rep.transfer.totalBytes.value(),
+                perTransfer.value() * static_cast<double>(trace.size()),
+                1e-6 * rep.transfer.totalBytes.value());
+    EXPECT_GT(rep.transfer.totalSeconds, Seconds(0.0));
+    EXPECT_GT(rep.transfer.totalEnergyJ, Joules(0.0));
     EXPECT_GT(rep.transfer.perTransfer.p50, 0.0);
 }
 
@@ -115,9 +115,9 @@ TEST(ClusterDisagg, TransferIsChargedIntoTtft)
     // TTFT always covers the wait for the blocks to land, and the
     // decode stage can only add time after it.
     for (const CompletedRequest &c : nvlink.completed) {
-        EXPECT_GT(c.ttft, 0.0);
-        EXPECT_GE(c.latency, c.ttft - 1e-12);
-        EXPECT_GE(c.tpot, 0.0);
+        EXPECT_GT(c.ttft, Seconds(0.0));
+        EXPECT_GE(c.latency, c.ttft - Seconds(1e-12));
+        EXPECT_GE(c.tpot, Seconds(0.0));
     }
 }
 
@@ -136,8 +136,8 @@ TEST(ClusterDisagg, DisaggregationCutsTailTpotAgainstColocated)
 
     EXPECT_LT(disRep.metrics.tpot.p95, coloRep.metrics.tpot.p95);
     // Both fleets must be healthy for the comparison to mean anything.
-    EXPECT_GT(coloRep.metrics.goodput, 0.0);
-    EXPECT_GT(disRep.metrics.goodput, 0.0);
+    EXPECT_GT(coloRep.metrics.goodput, RequestsPerSecond(0.0));
+    EXPECT_GT(disRep.metrics.goodput, RequestsPerSecond(0.0));
     EXPECT_EQ(disRep.completed.size(), coloRep.completed.size());
 }
 
@@ -155,7 +155,7 @@ TEST(ClusterDisagg, SingleTokenRequestsCompleteAtPrefillStage)
     FleetReport rep = fleet.run(trace);
     ASSERT_EQ(rep.completed.size(), trace.size());
     EXPECT_EQ(rep.transfer.transfers, 0u);
-    EXPECT_DOUBLE_EQ(rep.transfer.totalBytes, 0.0);
+    EXPECT_DOUBLE_EQ(rep.transfer.totalBytes.value(), 0.0);
     for (const Assignment &a : rep.assignments)
         EXPECT_EQ(a.decodeReplica, -1);
     // Decode replicas never saw a request.
@@ -172,7 +172,7 @@ TEST(ClusterDisagg, DecodeSidePreemptionConservesTokens)
     // — and the fleet totals must still conserve.
     ModelConfig model = opt2p7b(); // KV growth forces decode pressure
     ServingSimulator sim(makeSystem(SystemKind::PIMBA));
-    double weights = sim.weightFootprint(model);
+    Bytes weights = sim.weightFootprint(model);
 
     FleetConfig cfg = disaggregatedPimbaFleet();
     for (size_t i = cfg.prefillReplicas; i < cfg.replicas.size(); ++i)
@@ -220,11 +220,11 @@ TEST(ClusterDisagg, DeterministicReplayForEveryRouterPolicy)
         FleetReport a = Fleet(model, cfg).run(trace);
         FleetReport b = Fleet(model, cfg).run(trace);
         EXPECT_EQ(a.assignments, b.assignments) << routerName(policy);
-        EXPECT_DOUBLE_EQ(a.makespan, b.makespan) << routerName(policy);
+        EXPECT_DOUBLE_EQ(a.makespan.value(), b.makespan.value()) << routerName(policy);
         EXPECT_DOUBLE_EQ(a.metrics.ttft.p95, b.metrics.ttft.p95)
             << routerName(policy);
-        EXPECT_DOUBLE_EQ(a.transfer.totalSeconds,
-                         b.transfer.totalSeconds)
+        EXPECT_DOUBLE_EQ(a.transfer.totalSeconds.value(),
+                         b.transfer.totalSeconds.value())
             << routerName(policy);
     }
 }

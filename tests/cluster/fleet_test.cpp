@@ -41,17 +41,18 @@ TEST(ClusterFleet, DeterministicReplayForEveryRouterPolicy)
         for (const FleetReport *r : {&b, &c}) {
             EXPECT_EQ(a.assignments, r->assignments)
                 << routerName(policy);
-            EXPECT_DOUBLE_EQ(a.makespan, r->makespan)
+            EXPECT_DOUBLE_EQ(a.makespan.value(), r->makespan.value())
                 << routerName(policy);
             EXPECT_DOUBLE_EQ(a.metrics.ttft.p95, r->metrics.ttft.p95)
                 << routerName(policy);
-            EXPECT_DOUBLE_EQ(a.metrics.goodput, r->metrics.goodput)
+            EXPECT_DOUBLE_EQ(a.metrics.goodput.value(),
+                             r->metrics.goodput.value())
                 << routerName(policy);
             ASSERT_EQ(a.completed.size(), r->completed.size());
             for (size_t i = 0; i < a.completed.size(); ++i) {
                 EXPECT_EQ(a.completed[i].req.id, r->completed[i].req.id);
-                EXPECT_DOUBLE_EQ(a.completed[i].latency,
-                                 r->completed[i].latency);
+                EXPECT_DOUBLE_EQ(a.completed[i].latency.value(),
+                                 r->completed[i].latency.value());
             }
             for (size_t i = 0; i < a.replicas.size(); ++i)
                 EXPECT_EQ(a.replicas[i].iterations,
@@ -103,7 +104,7 @@ TEST(ClusterFleet, SingleReplicaFleetMatchesPlainEngine)
     ServingReport engine =
         ServingEngine(sim, model).run(trace);
 
-    EXPECT_DOUBLE_EQ(fleet.makespan, engine.makespan);
+    EXPECT_DOUBLE_EQ(fleet.makespan.value(), engine.makespan.value());
     EXPECT_DOUBLE_EQ(fleet.metrics.ttft.p95, engine.metrics.ttft.p95);
     EXPECT_DOUBLE_EQ(fleet.metrics.tpot.p95, engine.metrics.tpot.p95);
     EXPECT_EQ(fleet.metrics.generatedTokens,
@@ -161,13 +162,13 @@ TEST(ClusterFleet, AggregateMetricsMatchesFleetRecords)
         aggregateMetrics(rep.replicas, rep.makespan, fleet.config().slo);
     EXPECT_EQ(agg.requests, rep.metrics.requests);
     EXPECT_EQ(agg.generatedTokens, rep.metrics.generatedTokens);
-    EXPECT_DOUBLE_EQ(agg.goodput, rep.metrics.goodput);
+    EXPECT_DOUBLE_EQ(agg.goodput.value(), rep.metrics.goodput.value());
     EXPECT_DOUBLE_EQ(agg.ttft.p95, rep.metrics.ttft.p95);
     EXPECT_DOUBLE_EQ(agg.tpot.p95, rep.metrics.tpot.p95);
 
-    ServingMetrics empty = aggregateMetrics({}, 0.0, SloConfig{});
+    ServingMetrics empty = aggregateMetrics({}, Seconds(0.0), SloConfig{});
     EXPECT_EQ(empty.requests, 0u);
-    EXPECT_DOUBLE_EQ(empty.goodput, 0.0);
+    EXPECT_DOUBLE_EQ(empty.goodput.value(), 0.0);
 }
 
 TEST(ClusterFleet, EmptyTraceYieldsZeroedFleetMetrics)
@@ -179,9 +180,9 @@ TEST(ClusterFleet, EmptyTraceYieldsZeroedFleetMetrics)
                 homogeneousFleet(SystemKind::PIMBA, 2));
     FleetReport rep = fleet.run({});
     EXPECT_EQ(rep.metrics.requests, 0u);
-    EXPECT_DOUBLE_EQ(rep.metrics.goodput, 0.0);
+    EXPECT_DOUBLE_EQ(rep.metrics.goodput.value(), 0.0);
     EXPECT_DOUBLE_EQ(rep.metrics.ttft.p95, 0.0);
-    EXPECT_DOUBLE_EQ(rep.makespan, 0.0);
+    EXPECT_DOUBLE_EQ(rep.makespan.value(), 0.0);
     EXPECT_DOUBLE_EQ(rep.load.requestImbalance, 0.0);
     EXPECT_EQ(rep.transfer.transfers, 0u);
 }
@@ -193,9 +194,9 @@ TEST(ClusterFleet, QueueingDelayIsSurfacedPerRequest)
                 heterogeneousFleet(RouterPolicy::RoundRobin));
     FleetReport rep = fleet.run(trace);
     for (const CompletedRequest &c : rep.completed) {
-        EXPECT_GE(c.queueing, 0.0);
+        EXPECT_GE(c.queueing, Seconds(0.0));
         // Admission precedes the first token.
-        EXPECT_LE(c.queueing, c.ttft + 1e-12);
+        EXPECT_LE(c.queueing, c.ttft + Seconds(1e-12));
     }
     EXPECT_GE(rep.metrics.queueing.max, rep.metrics.queueing.p50);
 }

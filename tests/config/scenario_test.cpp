@@ -55,7 +55,7 @@ TEST(ScenarioRoundTrip, ServingMatchesHandConstructedRun)
     tc.seed = 12345;
     EngineConfig ec;
     ec.maxBatch = 32;
-    ec.prefillChunk = 256;
+    ec.prefillChunk = Tokens(256);
     ec.policy = SchedulerPolicy::Sarathi;
     ec.executionMode = ExecutionMode::Blocked;
     ServingEngine engine(ServingSimulator(makeSystem(SystemKind::PIMBA)),

@@ -19,7 +19,7 @@ TEST(ValidateEngine, DefaultsAndCanonicalConfigsPass)
     EXPECT_EQ(validateEngineConfig(EngineConfig{}), "");
     EngineConfig sarathi;
     sarathi.policy = SchedulerPolicy::Sarathi;
-    sarathi.iterTokenBudget = 768;
+    sarathi.iterTokenBudget = Tokens(768);
     EXPECT_EQ(validateEngineConfig(sarathi), "");
 }
 
@@ -31,22 +31,22 @@ TEST(ValidateEngine, RejectsNonsenseWithActionableMessages)
               std::string::npos);
 
     ec = EngineConfig{};
-    ec.memoryBudget = -5e9;
+    ec.memoryBudget = Bytes(-5e9);
     EXPECT_NE(validateEngineConfig(ec).find("memoryBudget"),
               std::string::npos);
 
     ec = EngineConfig{};
-    ec.blockTokens = 0;
+    ec.blockTokens = Tokens(0);
     EXPECT_NE(validateEngineConfig(ec).find("blockTokens"),
               std::string::npos);
 
     ec = EngineConfig{};
-    ec.prefillChunk = 0;
+    ec.prefillChunk = Tokens(0);
     EXPECT_NE(validateEngineConfig(ec).find("prefillChunk"),
               std::string::npos);
 
     ec = EngineConfig{};
-    ec.slo.ttft = 0.0;
+    ec.slo.ttft = Seconds(0.0);
     EXPECT_NE(validateEngineConfig(ec).find("SLO"), std::string::npos);
 }
 
@@ -59,7 +59,7 @@ TEST(ValidateEngine, SarathiMemoBoundsEnforced)
 
     ec = EngineConfig{};
     ec.policy = SchedulerPolicy::Sarathi;
-    ec.iterTokenBudget = 1ull << 16;
+    ec.iterTokenBudget = Tokens(1ull << 16);
     EXPECT_NE(validateEngineConfig(ec).find("65536"),
               std::string::npos);
 
@@ -91,7 +91,7 @@ TEST(ValidateFleet, RejectsNonsense)
 
     // A bad per-replica engine config surfaces with its index.
     FleetConfig bad_engine = homogeneousFleet(SystemKind::PIMBA, 2);
-    bad_engine.replicas[0].engine.blockTokens = 0;
+    bad_engine.replicas[0].engine.blockTokens = Tokens(0);
     EXPECT_NE(validateFleetConfig(bad_engine).find("replica 0"),
               std::string::npos);
 
@@ -106,7 +106,7 @@ TEST(ValidateFleet, RejectsNonsense)
               std::string::npos);
 
     FleetConfig dead_link = disaggregatedPimbaFleet();
-    dead_link.link.bandwidth = 0.0;
+    dead_link.link.bandwidth = BytesPerSecond(0.0);
     EXPECT_NE(validateFleetConfig(dead_link).find("bandwidth"),
               std::string::npos);
 }

@@ -143,20 +143,5 @@ TEST(Percentile, TailOrderingHolds)
     EXPECT_NEAR(p99, 990.0, 1.0);
 }
 
-TEST(Units, CycleConversions)
-{
-    EXPECT_DOUBLE_EQ(cyclesToSeconds(1512, 1.512e9), 1e-6);
-    EXPECT_EQ(secondsToCycles(1e-6, 1.512e9), 1512u);
-    // Rounds up.
-    EXPECT_EQ(secondsToCycles(1.0001e-9, 1e9), 2u);
-}
-
-TEST(Units, CeilDiv)
-{
-    EXPECT_EQ(ceilDiv(10, 3), 4);
-    EXPECT_EQ(ceilDiv(9, 3), 3);
-    EXPECT_EQ(ceilDiv<uint64_t>(1, 100), 1u);
-}
-
 } // namespace
 } // namespace pimba

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Strong-quantity layer tests: arithmetic laws over the tagged
+ * wrappers, the whitelisted cross-unit algebra, the domain-crossing
+ * helpers at their edge cases — and, most importantly, the *negative*
+ * space: expressions like `Seconds + Joules` must not compile, which
+ * is pinned here with detection-idiom static_asserts instead of a
+ * comment promising someone once checked.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <type_traits>
+#include <utility>
+
+#include "core/units.h"
+
+namespace pimba {
+namespace {
+
+// ------------------------------------------------ detection idiom
+
+template <typename A, typename B, typename = void>
+struct CanAdd : std::false_type
+{
+};
+template <typename A, typename B>
+struct CanAdd<A, B,
+              std::void_t<decltype(std::declval<A>() +
+                                   std::declval<B>())>> : std::true_type
+{
+};
+
+template <typename A, typename B, typename = void>
+struct CanSubtract : std::false_type
+{
+};
+template <typename A, typename B>
+struct CanSubtract<A, B,
+                   std::void_t<decltype(std::declval<A>() -
+                                        std::declval<B>())>>
+    : std::true_type
+{
+};
+
+template <typename A, typename B, typename = void>
+struct CanDivide : std::false_type
+{
+};
+template <typename A, typename B>
+struct CanDivide<A, B,
+                 std::void_t<decltype(std::declval<A>() /
+                                      std::declval<B>())>>
+    : std::true_type
+{
+};
+
+template <typename A, typename B, typename = void>
+struct CanMultiply : std::false_type
+{
+};
+template <typename A, typename B>
+struct CanMultiply<A, B,
+                   std::void_t<decltype(std::declval<A>() *
+                                        std::declval<B>())>>
+    : std::true_type
+{
+};
+
+template <typename To, typename From>
+constexpr bool kConvertible = std::is_convertible_v<From, To>;
+
+// ------------------------------- the planted cross-unit rejections
+//
+// The ISSUE's acceptance criterion: `Seconds + Joules` fails to
+// compile. These asserts are the compile-time test suite — if someone
+// relaxes the wrapper (an implicit constructor, a stray conversion
+// operator, a catch-all operator overload), this file stops building.
+
+static_assert(!CanAdd<Seconds, Joules>::value,
+              "Seconds + Joules must not compile");
+static_assert(!CanAdd<Joules, Seconds>::value);
+static_assert(!CanSubtract<Seconds, Bytes>::value);
+static_assert(!CanAdd<Tokens, Blocks>::value,
+              "counter units must not cross-add either");
+static_assert(!CanAdd<Cycles, Seconds>::value,
+              "cycle<->time crossings go through cyclesToSeconds only");
+static_assert(!CanAdd<Seconds, double>::value &&
+                  !CanAdd<double, Seconds>::value,
+              "raw numbers must be wrapped before unit arithmetic");
+static_assert(!CanSubtract<Tokens, uint64_t>::value);
+
+// Unwhitelisted quotients/products stay errors.
+static_assert(!CanDivide<Seconds, Joules>::value,
+              "Seconds / Joules has no whitelisted unit");
+static_assert(!CanDivide<Watts, Bytes>::value);
+static_assert(!CanMultiply<Joules, Joules>::value,
+              "squared energy has no unit here");
+static_assert(!CanMultiply<Bytes, Bytes>::value);
+
+// No implicit construction from raw arithmetic types, and no implicit
+// decay back: both directions require spelling the unit.
+static_assert(!kConvertible<Seconds, double>,
+              "raw double -> Seconds must be explicit");
+static_assert(!kConvertible<double, Seconds>,
+              "Seconds -> raw double must go through .value()");
+static_assert(!kConvertible<Tokens, int>);
+static_assert(!kConvertible<Seconds, Joules>,
+              "no unit-to-unit conversion, explicit or not");
+
+// The positive space of the algebra, checked at compile time too.
+static_assert(std::is_same_v<decltype(Joules(1.0) / Seconds(1.0)),
+                             Watts>);
+static_assert(std::is_same_v<decltype(Tokens(1) / Seconds(1.0)),
+                             TokensPerSecond>);
+static_assert(std::is_same_v<decltype(Bytes(1.0) / Seconds(1.0)),
+                             BytesPerSecond>);
+static_assert(std::is_same_v<decltype(Bytes(1.0) /
+                                      BytesPerSecond(1.0)),
+                             Seconds>);
+static_assert(std::is_same_v<decltype(Joules(1.0) / Watts(1.0)),
+                             Seconds>);
+static_assert(std::is_same_v<decltype(Watts(1.0) * Seconds(1.0)),
+                             Joules>);
+static_assert(std::is_same_v<decltype(Seconds(1.0) * Watts(1.0)),
+                             Joules>);
+static_assert(std::is_same_v<decltype(BytesPerSecond(1.0) *
+                                      Seconds(1.0)),
+                             Bytes>);
+static_assert(std::is_same_v<decltype(Seconds(1.0) / Seconds(1.0)),
+                             double>,
+              "same-unit ratio is dimensionless");
+static_assert(std::is_same_v<decltype(Tokens(1) / Tokens(1)), double>);
+
+// Zero-overhead claim: the wrapper is exactly its representation.
+static_assert(sizeof(Seconds) == sizeof(double));
+static_assert(sizeof(Tokens) == sizeof(uint64_t));
+static_assert(std::is_trivially_copyable_v<Seconds>);
+static_assert(std::is_trivially_copyable_v<Blocks>);
+
+// ------------------------------------------------------ runtime laws
+
+TEST(Units, SameUnitArithmeticMatchesRawArithmetic)
+{
+    Seconds a(1.5), b(0.25);
+    EXPECT_DOUBLE_EQ((a + b).value(), 1.75);
+    EXPECT_DOUBLE_EQ((a - b).value(), 1.25);
+    EXPECT_DOUBLE_EQ((-a).value(), -1.5);
+    a += b;
+    EXPECT_DOUBLE_EQ(a.value(), 1.75);
+    a -= b;
+    EXPECT_DOUBLE_EQ(a.value(), 1.5);
+
+    Tokens t(7);
+    t += Tokens(3);
+    EXPECT_EQ(t, Tokens(10));
+    EXPECT_EQ(Tokens(10) - Tokens(4), Tokens(6));
+}
+
+TEST(Units, ScalarScalingPreservesOperationOrder)
+{
+    // Scaling must produce the same bits as the bare expression —
+    // the golden-output suites depend on this identity.
+    Bytes b(3.14159e9);
+    EXPECT_DOUBLE_EQ((b * 2.5).value(), 3.14159e9 * 2.5);
+    EXPECT_DOUBLE_EQ((2.5 * b).value(), 2.5 * 3.14159e9);
+    EXPECT_DOUBLE_EQ((b / 7.0).value(), 3.14159e9 / 7.0);
+    b *= 3.0;
+    EXPECT_DOUBLE_EQ(b.value(), 3.14159e9 * 3.0);
+    b /= 3.0;
+    EXPECT_DOUBLE_EQ(b.value(), 3.14159e9 * 3.0 / 3.0);
+}
+
+TEST(Units, ComparisonsAndDefaultZero)
+{
+    EXPECT_EQ(Seconds(), Seconds(0.0));
+    EXPECT_EQ(Blocks(), Blocks(0));
+    EXPECT_LT(Seconds(1.0), Seconds(2.0));
+    EXPECT_GE(Joules(2.0), Joules(2.0));
+    EXPECT_NE(Tokens(1), Tokens(2));
+}
+
+TEST(Units, SameUnitRatioIsDimensionless)
+{
+    EXPECT_DOUBLE_EQ(Seconds(3.0) / Seconds(2.0), 1.5);
+    EXPECT_DOUBLE_EQ(Bytes(1e9) / Bytes(2e9), 0.5);
+    // Integer-rep ratios divide as doubles, not as truncating ints.
+    EXPECT_DOUBLE_EQ(Tokens(3) / Tokens(2), 1.5);
+    EXPECT_DOUBLE_EQ(Blocks(3) / Blocks(10), 0.3);
+    EXPECT_DOUBLE_EQ(Seconds(3.0).ratio(Seconds(2.0)), 1.5);
+}
+
+TEST(Units, WhitelistedAlgebraComputesTheRightNumbers)
+{
+    EXPECT_DOUBLE_EQ((Joules(10.0) / Seconds(2.0)).value(), 5.0);
+    EXPECT_DOUBLE_EQ((Tokens(3000) / Seconds(2.0)).value(), 1500.0);
+    EXPECT_DOUBLE_EQ((Bytes(1e9) / BytesPerSecond(2e9)).value(), 0.5);
+    EXPECT_DOUBLE_EQ((Joules(6.0) / Watts(3.0)).value(), 2.0);
+    EXPECT_DOUBLE_EQ((Watts(3.0) * Seconds(2.0)).value(), 6.0);
+    EXPECT_DOUBLE_EQ((BytesPerSecond(2e9) * Seconds(0.5)).value(), 1e9);
+}
+
+// ----------------------------------------------- domain conversions
+
+TEST(Units, CyclesToSecondsRoundTrip)
+{
+    EXPECT_DOUBLE_EQ(cyclesToSeconds(Cycles(1512), 1.512e9).value(),
+                     1e-6);
+    EXPECT_EQ(secondsToCycles(Seconds(1e-6), 1.512e9), Cycles(1512));
+}
+
+TEST(Units, SecondsToCyclesRoundsUp)
+{
+    EXPECT_EQ(secondsToCycles(Seconds(1.0001e-9), 1e9), Cycles(2));
+    EXPECT_EQ(secondsToCycles(Seconds(1e-9), 1e9), Cycles(1));
+}
+
+TEST(Units, SecondsToCyclesClampsNegativeToZero)
+{
+    // float-to-unsigned of a negative value is UB; the helper clamps.
+    EXPECT_EQ(secondsToCycles(Seconds(-1.0), 1e9), Cycles(0));
+    EXPECT_EQ(secondsToCycles(Seconds(0.0), 1e9), Cycles(0));
+    EXPECT_EQ(secondsToCycles(Seconds(1.0), -1e9), Cycles(0));
+    double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_EQ(secondsToCycles(Seconds(nan), 1e9), Cycles(0));
+}
+
+TEST(Units, SecondsToCyclesSaturatesAtUint64Max)
+{
+    constexpr uint64_t kMax = std::numeric_limits<uint64_t>::max();
+    EXPECT_EQ(secondsToCycles(Seconds(1e30), 1e9), Cycles(kMax));
+    double inf = std::numeric_limits<double>::infinity();
+    EXPECT_EQ(secondsToCycles(Seconds(inf), 1e9), Cycles(kMax));
+    // Exactly 2^64 is not representable as uint64_t: still saturates.
+    EXPECT_EQ(secondsToCycles(Seconds(18446744073709551616.0), 1.0),
+              Cycles(kMax));
+}
+
+TEST(Units, CeilDivBasics)
+{
+    EXPECT_EQ(ceilDiv(10, 3), 4);
+    EXPECT_EQ(ceilDiv(9, 3), 3);
+    EXPECT_EQ(ceilDiv(0, 3), 0);
+    EXPECT_EQ(ceilDiv<uint64_t>(1, 100), 1u);
+}
+
+TEST(Units, CeilDivDoesNotOverflowNearMax)
+{
+    // The textbook (a + b - 1) / b wraps here; the quotient-plus-
+    // remainder form must not.
+    constexpr uint64_t kMax = std::numeric_limits<uint64_t>::max();
+    EXPECT_EQ(ceilDiv<uint64_t>(kMax, 1), kMax);
+    EXPECT_EQ(ceilDiv<uint64_t>(kMax, 2), (kMax / 2) + 1);
+    EXPECT_EQ(ceilDiv<uint64_t>(kMax - 1, kMax), 1u);
+    EXPECT_EQ(ceilDiv<uint64_t>(kMax, kMax), 1u);
+    static_assert(ceilDiv<uint64_t>(
+                      std::numeric_limits<uint64_t>::max(), 2) ==
+                  std::numeric_limits<uint64_t>::max() / 2 + 1);
+}
+
+} // namespace
+} // namespace pimba

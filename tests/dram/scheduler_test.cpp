@@ -213,8 +213,8 @@ TEST(PimScheduler, FinishSecondsUsesBusClock)
     auto c = cfg();
     PimCommandScheduler s(c);
     s.issueAct4();
-    EXPECT_NEAR(s.finishSeconds(),
-                static_cast<double>(s.finishCycle()) / c.busFreqHz,
+    EXPECT_NEAR(s.finishSeconds().value(),
+                static_cast<double>(s.finishCycle().value()) / c.busFreqHz,
                 1e-15);
 }
 

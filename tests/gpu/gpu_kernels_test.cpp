@@ -16,7 +16,7 @@ TEST(GpuKernels, MemoryBoundKernel)
     double bytes = 1e9;
     auto cost = gpu.memBound(bytes);
     double expect = bytes / (2.039e12 * 0.8) + 5e-6;
-    EXPECT_NEAR(cost.seconds, expect, 1e-9);
+    EXPECT_NEAR(cost.seconds.value(), expect, 1e-9);
 }
 
 TEST(GpuKernels, ComputeBoundKernel)
@@ -25,7 +25,7 @@ TEST(GpuKernels, ComputeBoundKernel)
     // Huge flops, negligible bytes.
     auto cost = gpu.kernel(1e15, 1.0);
     double expect = 1e15 / (312e12 * 0.75) + 5e-6;
-    EXPECT_NEAR(cost.seconds, expect, 1e-6);
+    EXPECT_NEAR(cost.seconds.value(), expect, 1e-6);
 }
 
 TEST(GpuKernels, RooflineTakesMax)
@@ -35,7 +35,7 @@ TEST(GpuKernels, RooflineTakesMax)
     auto cost = gpu.kernel(flops, bytes);
     double ct = flops / (312e12 * 0.75);
     double mt = bytes / (2.039e12 * 0.8);
-    EXPECT_NEAR(cost.seconds, std::max(ct, mt) + 5e-6, 1e-9);
+    EXPECT_NEAR(cost.seconds.value(), std::max(ct, mt) + 5e-6, 1e-9);
 }
 
 TEST(GpuKernels, GemmSmallBatchIsMemoryBound)
@@ -46,7 +46,8 @@ TEST(GpuKernels, GemmSmallBatchIsMemoryBound)
     double m = 32, n = 2560, k = 2560;
     auto cost = gpu.gemm(m, n, k);
     double weight_time = n * k * 2.0 / (2.039e12 * 0.8);
-    EXPECT_NEAR(cost.seconds, weight_time + 5e-6, weight_time * 0.1);
+    EXPECT_NEAR(cost.seconds.value(), weight_time + 5e-6,
+                weight_time * 0.1);
 }
 
 TEST(GpuKernels, GemmLargeBatchIsComputeBound)
@@ -55,15 +56,16 @@ TEST(GpuKernels, GemmLargeBatchIsComputeBound)
     double m = 8192, n = 8192, k = 8192;
     auto cost = gpu.gemm(m, n, k);
     double flops_time = 2.0 * m * n * k / (312e12 * 0.75);
-    EXPECT_NEAR(cost.seconds, flops_time + 5e-6, flops_time * 0.2);
+    EXPECT_NEAR(cost.seconds.value(), flops_time + 5e-6,
+                flops_time * 0.2);
 }
 
 TEST(GpuKernels, AllReduceSingleGpuIsFree)
 {
     GpuKernelModel gpu(a100Config());
     auto cost = gpu.allReduce(1e9, 1);
-    EXPECT_EQ(cost.seconds, 0.0);
-    EXPECT_EQ(cost.energyJ, 0.0);
+    EXPECT_EQ(cost.seconds, Seconds(0.0));
+    EXPECT_EQ(cost.energyJ, Joules(0.0));
 }
 
 TEST(GpuKernels, AllReduceRingFactor)
@@ -72,7 +74,7 @@ TEST(GpuKernels, AllReduceRingFactor)
     double bytes = 1e9;
     auto cost8 = gpu.allReduce(bytes, 8);
     double expect = bytes * 2.0 * 7.0 / 8.0 / 600e9 + 5e-6;
-    EXPECT_NEAR(cost8.seconds, expect, 1e-9);
+    EXPECT_NEAR(cost8.seconds.value(), expect, 1e-9);
     // More GPUs -> more data moved per GPU.
     auto cost2 = gpu.allReduce(bytes, 2);
     EXPECT_LT(cost2.seconds, cost8.seconds);

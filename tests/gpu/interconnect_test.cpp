@@ -16,9 +16,9 @@ TEST(Interconnect, ZeroByteTransferIsFree)
 {
     for (const LinkConfig &cfg : {nvlinkLink(), infinibandLink()}) {
         LinkModel link(cfg);
-        LinkCost cost = link.transfer(0.0);
-        EXPECT_EQ(cost.seconds, 0.0) << cfg.name;
-        EXPECT_EQ(cost.energyJ, 0.0) << cfg.name;
+        LinkCost cost = link.transfer(Bytes(0.0));
+        EXPECT_EQ(cost.seconds, Seconds(0.0)) << cfg.name;
+        EXPECT_EQ(cost.energyJ, Joules(0.0)) << cfg.name;
     }
 }
 
@@ -26,15 +26,17 @@ TEST(Interconnect, PositiveTransferPaysSetupPlusBandwidth)
 {
     LinkConfig cfg = infinibandLink();
     LinkModel link(cfg);
-    const double bytes = 1e6;
+    const Bytes bytes(1e6);
     LinkCost cost = link.transfer(bytes);
-    EXPECT_DOUBLE_EQ(cost.seconds,
-                     cfg.setupLatency +
-                         bytes / (cfg.bandwidth * cfg.efficiency));
-    EXPECT_DOUBLE_EQ(cost.energyJ, bytes * 8.0 * cfg.energyPerBit);
+    EXPECT_DOUBLE_EQ(cost.seconds.value(),
+                     cfg.setupLatency.value() +
+                         bytes.value() /
+                             (cfg.bandwidth.value() * cfg.efficiency));
+    EXPECT_DOUBLE_EQ(cost.energyJ.value(),
+                     bytes.value() * 8.0 * cfg.energyPerBit);
     // Even a single byte pays the setup: the discontinuity sits at
     // exactly zero, not at "small".
-    EXPECT_GT(link.transfer(1.0).seconds, cfg.setupLatency);
+    EXPECT_GT(link.transfer(Bytes(1.0)).seconds, cfg.setupLatency);
 }
 
 TEST(Interconnect, CostIsMonotoneInBytes)
@@ -42,11 +44,11 @@ TEST(Interconnect, CostIsMonotoneInBytes)
     LinkModel link{nvlinkLink()};
     double prev_s = -1.0, prev_j = -1.0;
     for (double bytes : {0.0, 1.0, 1e3, 1e6, 1e9}) {
-        LinkCost c = link.transfer(bytes);
-        EXPECT_GT(c.seconds, prev_s);
-        EXPECT_GE(c.energyJ, prev_j);
-        prev_s = c.seconds;
-        prev_j = c.energyJ;
+        LinkCost c = link.transfer(Bytes(bytes));
+        EXPECT_GT(c.seconds.value(), prev_s);
+        EXPECT_GE(c.energyJ.value(), prev_j);
+        prev_s = c.seconds.value();
+        prev_j = c.energyJ.value();
     }
 }
 

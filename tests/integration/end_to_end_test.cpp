@@ -22,7 +22,7 @@ TEST(EndToEnd, Figure12CellReproduces)
     std::map<SystemKind, double> thr;
     for (SystemKind k : mainSystems()) {
         ServingSimulator sim(makeSystem(k));
-        thr[k] = sim.generationThroughput(m, 64, 2048, 2048);
+        thr[k] = sim.generationThroughput(m, 64, 2048, 2048).value();
         EXPECT_GT(thr[k], 0.0);
     }
     EXPECT_GT(thr[SystemKind::PIMBA], thr[SystemKind::GPU]);
@@ -44,7 +44,7 @@ TEST(EndToEnd, PimKernelTimeConsistentWithScheduler)
     PimComputeModel pim(cfg.hbm, pimbaDesign());
     StateUpdateShape shape{static_cast<uint64_t>(32) * m.suHeads,
                            m.dimHead, m.dimState};
-    double per_layer = pim.stateUpdate(shape).seconds +
+    double per_layer = pim.stateUpdate(shape).seconds.value() +
                        cfg.gpu.kernelLaunchOverhead;
     EXPECT_NEAR(step.latency.get("StateUpdate"),
                 per_layer * m.stateUpdateLayers(), 1e-9);
@@ -116,9 +116,9 @@ TEST(EndToEnd, ThroughputBatchScaling)
     for (SystemKind k : mainSystems()) {
         ServingSimulator sim(makeSystem(k));
         double t32 = sim.generationThroughput(mamba2_2p7b(), 32, 2048,
-                                              2048);
+                                              2048).value();
         double t128 = sim.generationThroughput(mamba2_2p7b(), 128, 2048,
-                                               2048);
+                                               2048).value();
         EXPECT_GT(t128, t32) << systemName(k);
         EXPECT_LT(t128, 4.0 * t32) << systemName(k);
     }
@@ -130,8 +130,8 @@ TEST(EndToEnd, LargeScaleUsesAllDevices)
     ModelConfig m = scaleModel(mamba2_2p7b(), 70e9);
     ServingSimulator one(makeSystem(SystemKind::PIMBA, 1));
     ServingSimulator eight(makeSystem(SystemKind::PIMBA, 8));
-    double t1 = one.generationThroughput(m, 64, 1024, 1024);
-    double t8 = eight.generationThroughput(m, 64, 1024, 1024);
+    double t1 = one.generationThroughput(m, 64, 1024, 1024).value();
+    double t8 = eight.generationThroughput(m, 64, 1024, 1024).value();
     EXPECT_GT(t8, 2.0 * t1);
 }
 

@@ -176,7 +176,7 @@ TEST(OpGraph, BatchScalesStateUpdateLinearly)
 {
     auto a = generationStepOps(mamba2_2p7b(), 32, 2048);
     auto b = generationStepOps(mamba2_2p7b(), 128, 2048);
-    double su_a = 0.0, su_b = 0.0;
+    Bytes su_a{0.0}, su_b{0.0};
     for (const auto &op : a)
         if (op.cls == OpClass::StateUpdate)
             su_a += op.memBytes;

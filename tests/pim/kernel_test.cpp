@@ -69,7 +69,7 @@ TEST(PimKernels, AttentionPhasesTouchCache)
     AttentionShape shape{128 * 32, 128, 2048};
     auto score = pimba.attentionScore(shape);
     auto attend = pimba.attentionAttend(shape);
-    EXPECT_GT(score.seconds, 0.0);
+    EXPECT_GT(score.seconds, Seconds(0.0));
     // Same cache volume, same column rate: phases take similar time.
     EXPECT_NEAR(attend.seconds / score.seconds, 1.0, 0.2);
 }
@@ -80,10 +80,10 @@ TEST(PimKernels, AttentionMx8HalvesTimeVsFp16)
     PimComputeModel pimba(hbm2eConfig(), pimbaDesign());
     PimComputeModel hbmpim(hbm2eConfig(), hbmPimDesign());
     AttentionShape shape{128 * 32, 128, 2048};
-    double a = pimba.attentionScore(shape).seconds +
-               pimba.attentionAttend(shape).seconds;
-    double b = hbmpim.attentionScore(shape).seconds +
-               hbmpim.attentionAttend(shape).seconds;
+    double a = pimba.attentionScore(shape).seconds.value() +
+               pimba.attentionAttend(shape).seconds.value();
+    double b = hbmpim.attentionScore(shape).seconds.value() +
+               hbmpim.attentionAttend(shape).seconds.value();
     EXPECT_NEAR(b / a, 2.0, 0.35);
 }
 
@@ -104,13 +104,14 @@ TEST(PimKernels, EnergyComponentsPositive)
 {
     PimComputeModel pimba(hbm2eConfig(), pimbaDesign());
     auto res = pimba.stateUpdate(suShape());
-    EXPECT_GT(res.energy.activation, 0.0);
-    EXPECT_GT(res.energy.column, 0.0);
-    EXPECT_GT(res.energy.io, 0.0);
-    EXPECT_GT(res.energy.compute, 0.0);
-    EXPECT_DOUBLE_EQ(res.energy.total(),
-                     res.energy.activation + res.energy.column +
-                         res.energy.io + res.energy.compute);
+    EXPECT_GT(res.energy.activation, Joules(0.0));
+    EXPECT_GT(res.energy.column, Joules(0.0));
+    EXPECT_GT(res.energy.io, Joules(0.0));
+    EXPECT_GT(res.energy.compute, Joules(0.0));
+    EXPECT_DOUBLE_EQ(res.energy.total().value(),
+                     (res.energy.activation + res.energy.column +
+                      res.energy.io + res.energy.compute)
+                         .value());
 }
 
 TEST(PimKernels, StateUpdateEnergyBelowGpuTraffic)
@@ -124,7 +125,7 @@ TEST(PimKernels, StateUpdateEnergyBelowGpuTraffic)
                                          hbm);
     double gpu_energy = 2.0 * 2.0 * static_cast<double>(
         lay.totalStateBytes) * 8.0 * 3.9e-12; // fp16 R+W at 3.9 pJ/bit
-    EXPECT_LT(res.energy.total(), gpu_energy);
+    EXPECT_LT(res.energy.total(), Joules(gpu_energy));
 }
 
 TEST(PimKernels, Hbm3RunsFaster)
@@ -146,7 +147,7 @@ TEST(PimKernels, InternalBandwidthRealized)
     auto res = pimba.stateUpdate(shape);
     StateLayout lay = computeStateLayout(shape, NumberFormat::MX8, hbm);
     double achieved = static_cast<double>(lay.totalStateBytes) /
-                      res.seconds;
+                      res.seconds.value();
     double bound = hbm.internalBandwidth() / 2.0;
     EXPECT_LT(achieved, bound);
     // Per-pass ACT4/REG_WRITE/PRECHARGES overheads and refresh cost

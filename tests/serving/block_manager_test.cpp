@@ -15,101 +15,103 @@ namespace {
 TEST(BlockMapper, QuantizesFixedAndPerTokenDemand)
 {
     // 1 MiB of fixed state, 64 KiB per token, 16-token blocks.
-    BlockMapper m = BlockMapper::make(1 << 20, 1 << 16, 16);
-    EXPECT_EQ(m.blockTokens, 16u);
-    EXPECT_DOUBLE_EQ(m.blockBytes, 16.0 * (1 << 16));
-    EXPECT_EQ(m.fixedBlocks, 1u); // ceil(1MiB / 1MiB)
-    EXPECT_EQ(m.blocksFor(0), 1u);
-    EXPECT_EQ(m.blocksFor(1), 2u);
-    EXPECT_EQ(m.blocksFor(16), 2u);
-    EXPECT_EQ(m.blocksFor(17), 3u);
-    EXPECT_EQ(m.blocksFor(160), 11u);
+    BlockMapper m = BlockMapper::make(Bytes(1 << 20), Bytes(1 << 16),
+                                      Tokens(16));
+    EXPECT_EQ(m.blockTokens, Tokens(16));
+    EXPECT_DOUBLE_EQ(m.blockBytes.value(), 16.0 * (1 << 16));
+    EXPECT_EQ(m.fixedBlocks, Blocks(1)); // ceil(1MiB / 1MiB)
+    EXPECT_EQ(m.blocksFor(Tokens(0)), Blocks(1));
+    EXPECT_EQ(m.blocksFor(Tokens(1)), Blocks(2));
+    EXPECT_EQ(m.blocksFor(Tokens(16)), Blocks(2));
+    EXPECT_EQ(m.blocksFor(Tokens(17)), Blocks(3));
+    EXPECT_EQ(m.blocksFor(Tokens(160)), Blocks(11));
 }
 
 TEST(BlockMapper, PureSsmCostsOneStateBlockRegardlessOfLength)
 {
-    BlockMapper m = BlockMapper::make(1 << 20, 0.0, 16);
-    EXPECT_EQ(m.blockTokens, 0u);
-    EXPECT_DOUBLE_EQ(m.blockBytes, static_cast<double>(1 << 20));
-    EXPECT_EQ(m.blocksFor(0), 1u);
-    EXPECT_EQ(m.blocksFor(100000), 1u);
+    BlockMapper m = BlockMapper::make(Bytes(1 << 20), Bytes(0.0),
+                                      Tokens(16));
+    EXPECT_EQ(m.blockTokens, Tokens(0));
+    EXPECT_DOUBLE_EQ(m.blockBytes.value(), static_cast<double>(1 << 20));
+    EXPECT_EQ(m.blocksFor(Tokens(0)), Blocks(1));
+    EXPECT_EQ(m.blocksFor(Tokens(100000)), Blocks(1));
 }
 
 TEST(BlockManager, AllocateGrowReleaseAccounting)
 {
-    BlockManager bm(10);
-    EXPECT_EQ(bm.totalBlocks(), 10u);
-    EXPECT_EQ(bm.freeBlocks(), 10u);
+    BlockManager bm(Blocks(10));
+    EXPECT_EQ(bm.totalBlocks(), Blocks(10));
+    EXPECT_EQ(bm.freeBlocks(), Blocks(10));
     EXPECT_FALSE(bm.resident(7));
 
-    ASSERT_TRUE(bm.allocate(7, 3));
+    ASSERT_TRUE(bm.allocate(7, Blocks(3)));
     EXPECT_TRUE(bm.resident(7));
-    EXPECT_EQ(bm.holding(7), 3u);
-    EXPECT_EQ(bm.usedBlocks(), 3u);
+    EXPECT_EQ(bm.holding(7), Blocks(3));
+    EXPECT_EQ(bm.usedBlocks(), Blocks(3));
     EXPECT_DOUBLE_EQ(bm.utilization(), 0.3);
 
-    ASSERT_TRUE(bm.growTo(7, 5));
-    EXPECT_EQ(bm.holding(7), 5u);
-    EXPECT_EQ(bm.freeBlocks(), 5u);
+    ASSERT_TRUE(bm.growTo(7, Blocks(5)));
+    EXPECT_EQ(bm.holding(7), Blocks(5));
+    EXPECT_EQ(bm.freeBlocks(), Blocks(5));
 
     // Growing to the current size is a no-op, not an error.
-    ASSERT_TRUE(bm.growTo(7, 5));
-    EXPECT_EQ(bm.usedBlocks(), 5u);
+    ASSERT_TRUE(bm.growTo(7, Blocks(5)));
+    EXPECT_EQ(bm.usedBlocks(), Blocks(5));
 
     bm.release(7);
     EXPECT_FALSE(bm.resident(7));
-    EXPECT_EQ(bm.holding(7), 0u);
-    EXPECT_EQ(bm.usedBlocks(), 0u);
+    EXPECT_EQ(bm.holding(7), Blocks(0));
+    EXPECT_EQ(bm.usedBlocks(), Blocks(0));
 }
 
 TEST(BlockManager, RefusesOverCommitWithoutSideEffects)
 {
-    BlockManager bm(8);
-    ASSERT_TRUE(bm.allocate(1, 6));
-    EXPECT_FALSE(bm.allocate(2, 3)); // only 2 free
+    BlockManager bm(Blocks(8));
+    ASSERT_TRUE(bm.allocate(1, Blocks(6)));
+    EXPECT_FALSE(bm.allocate(2, Blocks(3))); // only 2 free
     EXPECT_FALSE(bm.resident(2));
-    EXPECT_FALSE(bm.growTo(1, 9)); // would exceed the pool
-    EXPECT_EQ(bm.holding(1), 6u);
-    EXPECT_EQ(bm.usedBlocks(), 6u);
-    ASSERT_TRUE(bm.allocate(2, 2));
-    EXPECT_EQ(bm.freeBlocks(), 0u);
+    EXPECT_FALSE(bm.growTo(1, Blocks(9))); // would exceed the pool
+    EXPECT_EQ(bm.holding(1), Blocks(6));
+    EXPECT_EQ(bm.usedBlocks(), Blocks(6));
+    ASSERT_TRUE(bm.allocate(2, Blocks(2)));
+    EXPECT_EQ(bm.freeBlocks(), Blocks(0));
 }
 
 TEST(BlockManager, FreedEqualsAllocatedAtDrain)
 {
-    BlockManager bm(64);
+    BlockManager bm(Blocks(64));
     uint64_t allocated = 0;
     for (uint64_t id = 0; id < 8; ++id) {
-        ASSERT_TRUE(bm.allocate(id, id + 1));
+        ASSERT_TRUE(bm.allocate(id, Blocks(id + 1)));
         allocated += id + 1;
     }
-    EXPECT_EQ(bm.usedBlocks(), allocated);
+    EXPECT_EQ(bm.usedBlocks(), Blocks(allocated));
     for (uint64_t id = 0; id < 8; ++id)
         bm.release(id);
-    EXPECT_EQ(bm.usedBlocks(), 0u);
+    EXPECT_EQ(bm.usedBlocks(), Blocks(0));
     EXPECT_EQ(bm.freeBlocks(), bm.totalBlocks());
 }
 
 TEST(BlockManagerDeathTest, DoubleFreePanics)
 {
-    BlockManager bm(4);
-    ASSERT_TRUE(bm.allocate(1, 2));
+    BlockManager bm(Blocks(4));
+    ASSERT_TRUE(bm.allocate(1, Blocks(2)));
     bm.release(1);
     EXPECT_DEATH(bm.release(1), "double free");
 }
 
 TEST(BlockManagerDeathTest, DoubleAllocatePanics)
 {
-    BlockManager bm(4);
-    ASSERT_TRUE(bm.allocate(1, 1));
-    EXPECT_DEATH(bm.allocate(1, 1), "allocated twice");
+    BlockManager bm(Blocks(4));
+    ASSERT_TRUE(bm.allocate(1, Blocks(1)));
+    EXPECT_DEATH(bm.allocate(1, Blocks(1)), "allocated twice");
 }
 
 TEST(BlockManagerDeathTest, ShrinkPanics)
 {
-    BlockManager bm(4);
-    ASSERT_TRUE(bm.allocate(1, 3));
-    EXPECT_DEATH(bm.growTo(1, 2), "shrink");
+    BlockManager bm(Blocks(4));
+    ASSERT_TRUE(bm.allocate(1, Blocks(3)));
+    EXPECT_DEATH(bm.growTo(1, Blocks(2)), "shrink");
 }
 
 } // namespace

@@ -65,14 +65,15 @@ TEST(ServingEngine, DeterministicReplay)
     auto a = makeEngine(SystemKind::GPU, mamba2_2p7b()).run(trace);
     auto b = makeEngine(SystemKind::GPU, mamba2_2p7b()).run(trace);
 
-    EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+    EXPECT_DOUBLE_EQ(a.makespan.value(), b.makespan.value());
     EXPECT_EQ(a.iterations, b.iterations);
     ASSERT_EQ(a.completed.size(), b.completed.size());
     for (size_t i = 0; i < a.completed.size(); ++i) {
         EXPECT_EQ(a.completed[i].req.id, b.completed[i].req.id);
-        EXPECT_DOUBLE_EQ(a.completed[i].ttft, b.completed[i].ttft);
-        EXPECT_DOUBLE_EQ(a.completed[i].latency,
-                         b.completed[i].latency);
+        EXPECT_DOUBLE_EQ(a.completed[i].ttft.value(),
+                         b.completed[i].ttft.value());
+        EXPECT_DOUBLE_EQ(a.completed[i].latency.value(),
+                         b.completed[i].latency.value());
     }
 }
 
@@ -81,12 +82,13 @@ TEST(ServingEngine, LatencyAccountingInvariants)
     auto trace = generateTrace(smallTrace());
     auto rep = makeEngine(SystemKind::GPU_PIM, mamba2_2p7b()).run(trace);
     for (const auto &c : rep.completed) {
-        EXPECT_GT(c.ttft, 0.0);
+        EXPECT_GT(c.ttft, Seconds(0.0));
         EXPECT_GE(c.latency, c.ttft);
-        EXPECT_GE(c.tpot, 0.0);
-        EXPECT_LE(c.req.arrival + c.latency, rep.makespan + 1e-9);
+        EXPECT_GE(c.tpot, Seconds(0.0));
+        EXPECT_LE(c.req.arrival + c.latency,
+                  rep.makespan + Seconds(1e-9));
     }
-    EXPECT_GT(rep.metrics.tokensPerSec, 0.0);
+    EXPECT_GT(rep.metrics.tokensPerSec, TokensPerSecond(0.0));
     EXPECT_GE(rep.metrics.ttft.p99, rep.metrics.ttft.p50);
     EXPECT_GE(rep.metrics.latency.max, rep.metrics.latency.p99);
 }
@@ -103,8 +105,8 @@ TEST(ServingEngine, SingleTokenOutputsHaveZeroTpot)
                    .run(generateTrace(tc));
     ASSERT_EQ(rep.completed.size(), 5u);
     for (const auto &c : rep.completed) {
-        EXPECT_DOUBLE_EQ(c.tpot, 0.0);
-        EXPECT_DOUBLE_EQ(c.latency, c.ttft);
+        EXPECT_DOUBLE_EQ(c.tpot.value(), 0.0);
+        EXPECT_DOUBLE_EQ(c.latency.value(), c.ttft.value());
     }
 }
 
@@ -113,13 +115,13 @@ TEST(ServingEngine, IdleGapsAdvanceTheClock)
     // Two requests a minute apart: the engine must jump the idle gap,
     // not spin, and the second request's TTFT must not include it.
     std::vector<Request> trace(2);
-    trace[0] = Request{0, 0.0, 128, 4};
-    trace[1] = Request{1, 60.0, 128, 4};
+    trace[0] = Request{0, Seconds(0.0), 128, 4};
+    trace[1] = Request{1, Seconds(60.0), 128, 4};
     auto rep = makeEngine(SystemKind::GPU, mamba2_2p7b()).run(trace);
     ASSERT_EQ(rep.completed.size(), 2u);
-    EXPECT_GT(rep.makespan, 60.0);
+    EXPECT_GT(rep.makespan, Seconds(60.0));
     for (const auto &c : rep.completed)
-        EXPECT_LT(c.ttft, 1.0);
+        EXPECT_LT(c.ttft, Seconds(1.0));
 }
 
 TEST(ServingEngine, ChunkedPrefillRunsExpectedChunks)
@@ -131,11 +133,11 @@ TEST(ServingEngine, ChunkedPrefillRunsExpectedChunks)
     tc.inputLen = 1000; // 2 chunks of 512
     tc.outputLen = 2;
     EngineConfig ec;
-    ec.prefillChunk = 512;
+    ec.prefillChunk = Tokens(512);
     auto rep = makeEngine(SystemKind::PIMBA, mamba2_2p7b(), ec)
                    .run(generateTrace(tc));
     uint64_t expected =
-        6 * ceilDiv<uint64_t>(1000, ec.prefillChunk);
+        6 * ceilDiv<uint64_t>(1000, ec.prefillChunk.value());
     EXPECT_EQ(rep.prefillChunks, expected);
 }
 
@@ -174,9 +176,10 @@ TEST(ServingEngine, QueueingDelayRecordedPerRequest)
     ASSERT_EQ(rep.completed.size(), 16u);
     bool waited = false;
     for (const auto &c : rep.completed) {
-        EXPECT_GE(c.queueing, 0.0);
-        EXPECT_LE(c.queueing, c.ttft + 1e-12); // admission precedes token
-        waited |= c.queueing > 0.0;
+        EXPECT_GE(c.queueing, Seconds(0.0));
+        // admission precedes token
+        EXPECT_LE(c.queueing, c.ttft + Seconds(1e-12));
+        waited |= c.queueing > Seconds(0.0);
     }
     EXPECT_TRUE(waited); // the burst cannot all admit at time zero
     EXPECT_GT(rep.metrics.queueing.max, 0.0);
@@ -190,7 +193,7 @@ TEST(ServingEngine, PreemptionCountsSurfacePerRequest)
     // counter, so the per-request counts sum to the report total.
     ModelConfig model = opt2p7b();
     ServingSimulator sim(makeSystem(SystemKind::GPU));
-    double weights = sim.memoryUsage(model, 1, 0).weights;
+    Bytes weights = sim.memoryUsage(model, 1, 0).weights;
     EngineConfig ec;
     ec.memoryBudget = weights + 3.0 * sim.requestFootprint(model, 320);
 
@@ -227,8 +230,8 @@ TEST(ServingEngine, PreloadedVictimBeforeFirstLocalDecodeKeepsCounts)
     // prefill then demands its full pledge while B's first decode
     // demands one block past its pledge -> B (most recently admitted)
     // is evicted in the very iteration it was admitted.
-    const double fixed = sim.requestFootprint(model, 0);
-    const double perToken = sim.requestFootprint(model, 1) - fixed;
+    const Bytes fixed = sim.requestFootprint(model, 0);
+    const Bytes perToken = sim.requestFootprint(model, 1) - fixed;
     EngineConfig ec; // blockTokens 16, prefillChunk 512, FCFS
     BlockMapper mapper = BlockMapper::make(fixed, perToken, ec.blockTokens);
 
@@ -240,13 +243,14 @@ TEST(ServingEngine, PreloadedVictimBeforeFirstLocalDecodeKeepsCounts)
     b.id = 2;
     b.inputLen = 63; // pledge blocksFor(64); first decode wants a
     b.outputLen = 8; // 65th cached token = one block past the pledge
-    ASSERT_EQ(mapper.blocksFor(b.inputLen + 2),
-              mapper.blocksFor(b.inputLen + 1) + 1);
+    ASSERT_EQ(mapper.blocksFor(Tokens(b.inputLen + 2)),
+              mapper.blocksFor(Tokens(b.inputLen + 1)) + Blocks(1));
 
-    uint64_t pool = mapper.blocksFor(a.inputLen + 1) +
-                    mapper.blocksFor(b.inputLen + 1);
-    ec.memoryBudget = sim.weightFootprint(model) +
-                      (static_cast<double>(pool) + 0.5) * mapper.blockBytes;
+    Blocks pool = mapper.blocksFor(Tokens(a.inputLen + 1)) +
+                  mapper.blocksFor(Tokens(b.inputLen + 1));
+    ec.memoryBudget =
+        sim.weightFootprint(model) +
+        (static_cast<double>(pool.value()) + 0.5) * mapper.blockBytes;
 
     ServingEngine engine(sim, model, ec);
     engine.begin();
@@ -268,7 +272,7 @@ TEST(ServingEngine, PreloadedVictimBeforeFirstLocalDecodeKeepsCounts)
     // The pressured run delivers exactly what a pressure-free run of
     // the same workload delivers (a wrap would corrupt the totals).
     EngineConfig roomy = ec;
-    roomy.memoryBudget = 0.0; // default: the system's full HBM capacity
+    roomy.memoryBudget = Bytes(0.0); // default: the full HBM capacity
     ServingEngine reference(sim, model, roomy);
     reference.begin();
     reference.submit(a);
@@ -294,7 +298,8 @@ TEST(ServingEngine, WorksForAllFiveSystems)
           SystemKind::PIMBA, SystemKind::NEUPIMS}) {
         auto rep = makeEngine(kind, zamba2_7b()).run(generateTrace(tc));
         EXPECT_EQ(rep.completed.size(), 8u) << systemName(kind);
-        EXPECT_GT(rep.metrics.tokensPerSec, 0.0) << systemName(kind);
+        EXPECT_GT(rep.metrics.tokensPerSec, TokensPerSecond(0.0))
+            << systemName(kind);
     }
 }
 

@@ -112,7 +112,7 @@ TEST(FleetExecutionMode, MixedModeFleetReplaysDeterministically)
     FleetReport a = fleet.run(trace);
     FleetReport b = fleet.run(trace);
     EXPECT_EQ(a.assignments, b.assignments);
-    EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+    EXPECT_DOUBLE_EQ(a.makespan.value(), b.makespan.value());
     EXPECT_DOUBLE_EQ(a.metrics.ttft.p95, b.metrics.ttft.p95);
 }
 

@@ -32,8 +32,8 @@ TEST(ServingMemory, BudgetNeverExceededUnderTightBudget)
     ModelConfig model = opt2p7b(); // KV cache grows per token
     ServingSimulator sim(makeSystem(SystemKind::GPU));
 
-    double weights = sim.memoryUsage(model, 1, 0).weights;
-    double per_req = sim.requestFootprint(model, 256 + 64);
+    Bytes weights = sim.memoryUsage(model, 1, 0).weights;
+    Bytes per_req = sim.requestFootprint(model, 256 + 64);
     EngineConfig ec;
     ec.memoryBudget = weights + 3.5 * per_req; // 3.5 peak footprints
 
@@ -56,7 +56,7 @@ TEST(ServingMemory, OnDemandAdmissionBeatsPeakReservation)
     // decode phases overlap far more than 2 requests deep.
     ModelConfig model = opt2p7b();
     ServingSimulator sim(makeSystem(SystemKind::GPU));
-    double weights = sim.memoryUsage(model, 1, 0).weights;
+    Bytes weights = sim.memoryUsage(model, 1, 0).weights;
     EngineConfig ec;
     ec.memoryBudget =
         weights + 2.5 * sim.requestFootprint(model, 64 + 960);
@@ -71,7 +71,7 @@ TEST(ServingMemory, BudgetForOneRequestSerializes)
 {
     ModelConfig model = opt2p7b();
     ServingSimulator sim(makeSystem(SystemKind::GPU));
-    double weights = sim.memoryUsage(model, 1, 0).weights;
+    Bytes weights = sim.memoryUsage(model, 1, 0).weights;
     EngineConfig ec;
     ec.memoryBudget = weights + 1.5 * sim.requestFootprint(model,
                                                            128 + 16);
@@ -87,9 +87,9 @@ TEST(ServingMemory, DefaultBudgetIsDeviceCapacity)
     ServingSimulator sim(sys);
     ServingEngine engine(sim, mamba2_2p7b());
     auto rep = engine.run(generateTrace(burstTrace(4, 64, 4)));
-    EXPECT_DOUBLE_EQ(rep.memoryBudget,
+    EXPECT_DOUBLE_EQ(rep.memoryBudget.value(),
                      sys.gpu.memCapacity * sys.nGpus);
-    EXPECT_GT(rep.totalBlocks, 0u);
+    EXPECT_GT(rep.totalBlocks, Blocks(0));
 }
 
 TEST(ServingMemory, FootprintGrowsWithKvForAttentionOnly)
@@ -100,8 +100,8 @@ TEST(ServingMemory, FootprintGrowsWithKvForAttentionOnly)
     EXPECT_GT(sim.requestFootprint(attn, 4096),
               sim.requestFootprint(attn, 512));
     // Pure SSMs hold constant per-request state, independent of length.
-    EXPECT_DOUBLE_EQ(sim.requestFootprint(ssm, 4096),
-                     sim.requestFootprint(ssm, 512));
+    EXPECT_DOUBLE_EQ(sim.requestFootprint(ssm, 4096).value(),
+                     sim.requestFootprint(ssm, 512).value());
 }
 
 TEST(ServingMemory, QuantizedStateAdmitsLargerBatches)
@@ -112,8 +112,9 @@ TEST(ServingMemory, QuantizedStateAdmitsLargerBatches)
     ModelConfig model = opt2p7b();
     ServingSimulator gpu(makeSystem(SystemKind::GPU));
     ServingSimulator pimba(makeSystem(SystemKind::PIMBA));
-    double weights = gpu.memoryUsage(model, 1, 0).weights;
-    double budget = weights + 4.0 * gpu.requestFootprint(model, 2048 + 256);
+    Bytes weights = gpu.memoryUsage(model, 1, 0).weights;
+    Bytes budget =
+        weights + 4.0 * gpu.requestFootprint(model, 2048 + 256);
 
     EngineConfig ec;
     ec.memoryBudget = budget;

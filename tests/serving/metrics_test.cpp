@@ -18,9 +18,9 @@ completed(uint64_t output_len, double ttft, double tpot, double latency)
 {
     CompletedRequest c;
     c.req.outputLen = output_len;
-    c.ttft = ttft;
-    c.tpot = tpot;
-    c.latency = latency;
+    c.ttft = Seconds(ttft);
+    c.tpot = Seconds(tpot);
+    c.latency = Seconds(latency);
     return c;
 }
 
@@ -35,7 +35,7 @@ TEST(ServingMetricsAgg, SingleTokenRequestsExcludedFromTpotSummary)
         done.push_back(completed(1, 0.2, 0.0, 0.2));
 
     SloConfig slo; // ttft 1.0 s, tpot 20 ms
-    ServingMetrics m = computeMetrics(done, 10.0, slo);
+    ServingMetrics m = computeMetrics(done, Seconds(10.0), slo);
 
     // The summary reflects only the requests that actually decoded:
     // with zero-tpot singletons included, the p50 would be 0.0.
@@ -53,7 +53,7 @@ TEST(ServingMetricsAgg, AllSingleTokenRequestsYieldEmptyTpotSummary)
 {
     std::vector<CompletedRequest> done = {completed(1, 0.1, 0.0, 0.1),
                                           completed(1, 0.3, 0.0, 0.3)};
-    ServingMetrics m = computeMetrics(done, 1.0, SloConfig{});
+    ServingMetrics m = computeMetrics(done, Seconds(1.0), SloConfig{});
     EXPECT_DOUBLE_EQ(m.tpot.p50, 0.0);
     EXPECT_DOUBLE_EQ(m.tpot.p95, 0.0);
     EXPECT_DOUBLE_EQ(m.tpot.max, 0.0);
@@ -71,11 +71,11 @@ TEST(ServingMetricsAgg, EmptySamplesSummarizeToZeros)
     EXPECT_DOUBLE_EQ(s.p99, 0.0);
     EXPECT_DOUBLE_EQ(s.max, 0.0);
 
-    ServingMetrics m = computeMetrics({}, 5.0, SloConfig{});
+    ServingMetrics m = computeMetrics({}, Seconds(5.0), SloConfig{});
     EXPECT_EQ(m.requests, 0u);
     EXPECT_EQ(m.generatedTokens, 0u);
-    EXPECT_DOUBLE_EQ(m.tokensPerSec, 0.0);
-    EXPECT_DOUBLE_EQ(m.goodput, 0.0);
+    EXPECT_DOUBLE_EQ(m.tokensPerSec.value(), 0.0);
+    EXPECT_DOUBLE_EQ(m.goodput.value(), 0.0);
     EXPECT_DOUBLE_EQ(m.ttft.p99, 0.0);
     EXPECT_DOUBLE_EQ(m.queueing.p95, 0.0);
     EXPECT_DOUBLE_EQ(m.preemptions.max, 0.0);
@@ -86,11 +86,11 @@ TEST(ServingMetricsAgg, QueueingAndPreemptionPercentilesSurfaced)
     std::vector<CompletedRequest> done;
     for (int i = 0; i < 4; ++i) {
         CompletedRequest c = completed(8, 0.2, 0.01, 0.5);
-        c.queueing = 0.1 * (i + 1); // 0.1 .. 0.4
+        c.queueing = Seconds(0.1 * (i + 1)); // 0.1 .. 0.4
         c.preemptions = static_cast<uint64_t>(i); // 0 .. 3
         done.push_back(c);
     }
-    ServingMetrics m = computeMetrics(done, 2.0, SloConfig{});
+    ServingMetrics m = computeMetrics(done, Seconds(2.0), SloConfig{});
     EXPECT_DOUBLE_EQ(m.queueing.mean, 0.25);
     EXPECT_DOUBLE_EQ(m.queueing.max, 0.4);
     EXPECT_DOUBLE_EQ(m.queueing.p50, 0.25);
@@ -101,17 +101,17 @@ TEST(ServingMetricsAgg, QueueingAndPreemptionPercentilesSurfaced)
 TEST(ServingMetricsAgg, SloViolationsCountTtftAndTpotMisses)
 {
     SloConfig slo;
-    slo.ttft = 0.5;
-    slo.tpot = 0.02;
+    slo.ttft = Seconds(0.5);
+    slo.tpot = Seconds(0.02);
     std::vector<CompletedRequest> done = {
         completed(8, 0.1, 0.010, 0.2), // compliant
         completed(8, 0.9, 0.010, 1.0), // TTFT miss
         completed(8, 0.1, 0.050, 0.6), // TPOT miss
         completed(1, 0.1, 0.0, 0.1),   // single token, compliant
     };
-    ServingMetrics m = computeMetrics(done, 2.0, slo);
+    ServingMetrics m = computeMetrics(done, Seconds(2.0), slo);
     EXPECT_EQ(m.sloViolations, 2u);
-    EXPECT_DOUBLE_EQ(m.goodput, 1.0); // 2 good / 2 s makespan
+    EXPECT_DOUBLE_EQ(m.goodput.value(), 1.0); // 2 good / 2 s makespan
 }
 
 TEST(ServingMetricsAgg, SingleTokenTpotIsVacuousRegardlessOfStoredValue)
@@ -121,8 +121,8 @@ TEST(ServingMetricsAgg, SingleTokenTpotIsVacuousRegardlessOfStoredValue)
     // sentinel (or garbage) tpot on a single-token record must not
     // flip its SLO verdict in either direction.
     SloConfig slo;
-    slo.ttft = 0.5;
-    slo.tpot = 0.02;
+    slo.ttft = Seconds(0.5);
+    slo.tpot = Seconds(0.02);
     std::vector<CompletedRequest> done = {
         // Single token, TTFT good, absurd tpot value: still good.
         completed(1, 0.1, 99.0, 0.1),
@@ -131,9 +131,10 @@ TEST(ServingMetricsAgg, SingleTokenTpotIsVacuousRegardlessOfStoredValue)
         // Two tokens: the TPOT clause is live again.
         completed(2, 0.1, 0.050, 0.2),
     };
-    ServingMetrics m = computeMetrics(done, 2.0, slo);
+    ServingMetrics m = computeMetrics(done, Seconds(2.0), slo);
     EXPECT_EQ(m.sloViolations, 2u);
-    EXPECT_DOUBLE_EQ(m.goodput, 0.5); // only the first request is good
+    // only the first request is good
+    EXPECT_DOUBLE_EQ(m.goodput.value(), 0.5);
 }
 
 } // namespace

@@ -50,8 +50,10 @@ TEST(SchedulerPolicy, FcfsAdmitsHeadSjfAdmitsShortest)
 {
     std::deque<Request> waiting = {req(0, 500, 100), req(1, 50, 10),
                                    req(2, 200, 20)};
-    auto fcfs = makeScheduler(SchedulerPolicy::FCFS, 512, 1024);
-    auto sjf = makeScheduler(SchedulerPolicy::SJF, 512, 1024);
+    auto fcfs = makeScheduler(SchedulerPolicy::FCFS, Tokens(512),
+                              Tokens(1024));
+    auto sjf = makeScheduler(SchedulerPolicy::SJF, Tokens(512),
+                             Tokens(1024));
     EXPECT_EQ(fcfs->pickAdmission(waiting), 0u);
     EXPECT_EQ(sjf->pickAdmission(waiting), 1u);
     // Ties fall to the earlier (front-most) request.
@@ -67,14 +69,14 @@ TEST(SchedulerPolicy, OneChunkPoliciesRunOnePrefillUnfused)
         resident(2, 1000, 0, 0),   // prefill
     };
     for (auto policy : {SchedulerPolicy::FCFS, SchedulerPolicy::SJF}) {
-        auto s = makeScheduler(policy, 512, 1024);
+        auto s = makeScheduler(policy, Tokens(512), Tokens(1024));
         IterationPlan plan = s->planIteration(running);
         EXPECT_FALSE(plan.fused);
         ASSERT_EQ(plan.decodeIdx.size(), 1u);
         EXPECT_EQ(plan.decodeIdx[0], 0u);
         ASSERT_EQ(plan.prefill.size(), 1u);
         EXPECT_EQ(plan.prefill[0].idx, 1u);
-        EXPECT_EQ(plan.prefill[0].tokens, 512u);
+        EXPECT_EQ(plan.prefill[0].tokens, Tokens(512));
     }
 }
 
@@ -87,7 +89,8 @@ TEST(SchedulerPolicy, SarathiPacksChunksUnderTokenBudget)
         resident(3, 400, 0, 0),    // prefill, 400 left
         resident(4, 400, 0, 0),    // prefill, 400 left
     };
-    auto s = makeScheduler(SchedulerPolicy::Sarathi, 512, 1000);
+    auto s = makeScheduler(SchedulerPolicy::Sarathi, Tokens(512),
+                           Tokens(1000));
     IterationPlan plan = s->planIteration(running);
     EXPECT_TRUE(plan.fused);
     EXPECT_EQ(plan.decodeIdx.size(), 2u);
@@ -95,15 +98,15 @@ TEST(SchedulerPolicy, SarathiPacksChunksUnderTokenBudget)
     // request 2, 400 to request 3, the remaining 86 to request 4.
     ASSERT_EQ(plan.prefill.size(), 3u);
     EXPECT_EQ(plan.prefill[0].idx, 2u);
-    EXPECT_EQ(plan.prefill[0].tokens, 512u);
+    EXPECT_EQ(plan.prefill[0].tokens, Tokens(512));
     EXPECT_EQ(plan.prefill[1].idx, 3u);
-    EXPECT_EQ(plan.prefill[1].tokens, 400u);
+    EXPECT_EQ(plan.prefill[1].tokens, Tokens(400));
     EXPECT_EQ(plan.prefill[2].idx, 4u);
-    EXPECT_EQ(plan.prefill[2].tokens, 86u);
+    EXPECT_EQ(plan.prefill[2].tokens, Tokens(86));
 
     uint64_t spent = plan.decodeIdx.size();
     for (const auto &slice : plan.prefill)
-        spent += slice.tokens;
+        spent += slice.tokens.value();
     EXPECT_EQ(spent, 1000u);
 }
 
@@ -112,7 +115,8 @@ TEST(SchedulerPolicy, SarathiNeverThrottlesDecodes)
     std::vector<RequestState> running = {
         resident(0, 64, 64, 1), resident(1, 64, 64, 1),
         resident(2, 64, 64, 1), resident(3, 512, 0, 0)};
-    auto s = makeScheduler(SchedulerPolicy::Sarathi, 512, 2);
+    auto s = makeScheduler(SchedulerPolicy::Sarathi, Tokens(512),
+                           Tokens(2));
     IterationPlan plan = s->planIteration(running);
     // Budget 2 is already exceeded by the 3 decodes; they all still
     // run, and no prefill is granted this iteration.
@@ -175,15 +179,16 @@ TEST(SchedulerPolicy, EveryPolicyReplaysDeterministically)
     for (SchedulerPolicy policy : allPolicies()) {
         ServingReport a = runUnderPressure(policy);
         ServingReport b = runUnderPressure(policy);
-        EXPECT_DOUBLE_EQ(a.makespan, b.makespan) << policyName(policy);
+        EXPECT_DOUBLE_EQ(a.makespan.value(), b.makespan.value()) << policyName(policy);
         EXPECT_EQ(a.iterations, b.iterations) << policyName(policy);
         EXPECT_EQ(a.preemptions, b.preemptions) << policyName(policy);
         ASSERT_EQ(a.completed.size(), b.completed.size());
         for (size_t i = 0; i < a.completed.size(); ++i) {
             EXPECT_EQ(a.completed[i].req.id, b.completed[i].req.id);
-            EXPECT_DOUBLE_EQ(a.completed[i].ttft, b.completed[i].ttft);
-            EXPECT_DOUBLE_EQ(a.completed[i].latency,
-                             b.completed[i].latency);
+            EXPECT_DOUBLE_EQ(a.completed[i].ttft.value(),
+                             b.completed[i].ttft.value());
+            EXPECT_DOUBLE_EQ(a.completed[i].latency.value(),
+                             b.completed[i].latency.value());
         }
     }
 }

@@ -30,7 +30,7 @@ TEST(Trace, SameSeedReproducesIdenticalTrace)
     ASSERT_EQ(a.size(), b.size());
     for (size_t i = 0; i < a.size(); ++i) {
         EXPECT_EQ(a[i].id, b[i].id);
-        EXPECT_DOUBLE_EQ(a[i].arrival, b[i].arrival);
+        EXPECT_DOUBLE_EQ(a[i].arrival.value(), b[i].arrival.value());
         EXPECT_EQ(a[i].inputLen, b[i].inputLen);
         EXPECT_EQ(a[i].outputLen, b[i].outputLen);
     }
@@ -58,7 +58,8 @@ TEST(Trace, FixedRateSpacingIsExact)
     cfg.numRequests = 10;
     auto trace = generateTrace(cfg);
     for (size_t i = 0; i < trace.size(); ++i)
-        EXPECT_NEAR(trace[i].arrival, static_cast<double>(i) * 0.25,
+        EXPECT_NEAR(trace[i].arrival.value(),
+                    static_cast<double>(i) * 0.25,
                     1e-12);
 }
 
@@ -69,7 +70,7 @@ TEST(Trace, PoissonMeanInterarrivalMatchesRate)
     cfg.ratePerSec = 8.0;
     cfg.numRequests = 4000;
     auto trace = generateTrace(cfg);
-    double span = trace.back().arrival - trace.front().arrival;
+    double span = (trace.back().arrival - trace.front().arrival).value();
     double mean_gap = span / static_cast<double>(trace.size() - 1);
     EXPECT_NEAR(mean_gap, 1.0 / cfg.ratePerSec,
                 0.1 / cfg.ratePerSec); // within 10% at n = 4000
@@ -80,7 +81,7 @@ TEST(Trace, ArrivalsSortedAndIdsSequential)
     TraceConfig cfg;
     cfg.numRequests = 100;
     auto trace = generateTrace(cfg);
-    EXPECT_DOUBLE_EQ(trace.front().arrival, 0.0);
+    EXPECT_DOUBLE_EQ(trace.front().arrival.value(), 0.0);
     for (size_t i = 0; i < trace.size(); ++i) {
         EXPECT_EQ(trace[i].id, i);
         if (i > 0) {

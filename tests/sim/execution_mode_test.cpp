@@ -121,7 +121,7 @@ TEST(ExecutionMode, GpuOnlySystemsUnaffected)
                            .generationStep(m, 32, 2048);
             auto ovl = modeSim(kind, ExecutionMode::Overlapped)
                            .generationStep(m, 32, 2048);
-            EXPECT_DOUBLE_EQ(ovl.seconds, blk.seconds)
+            EXPECT_DOUBLE_EQ(ovl.seconds.value(), blk.seconds.value())
                 << systemName(kind) << " " << m.name;
         }
     }
@@ -134,7 +134,7 @@ TEST(ExecutionMode, SingleTokenBatchFallsBackToBlocked)
                    .generationStep(zamba2_7b(), 1, 2048);
     auto ovl = modeSim(SystemKind::PIMBA, ExecutionMode::Overlapped)
                    .generationStep(zamba2_7b(), 1, 2048);
-    EXPECT_DOUBLE_EQ(ovl.seconds, blk.seconds);
+    EXPECT_DOUBLE_EQ(ovl.seconds.value(), blk.seconds.value());
 }
 
 TEST(ExecutionMode, PhaseDecompositionSumsToBlocked)
@@ -145,15 +145,16 @@ TEST(ExecutionMode, PhaseDecompositionSumsToBlocked)
                                        ExecutionMode::Overlapped}) {
                 auto step = modeSim(kind, mode).generationStep(m, 32,
                                                                2048);
-                EXPECT_NEAR(step.blockedSeconds(),
-                            step.gpuSeconds + step.pimSeconds +
-                                step.syncSeconds,
-                            step.blockedSeconds() * 1e-12);
+                EXPECT_NEAR(step.blockedSeconds().value(),
+                            (step.gpuSeconds + step.pimSeconds +
+                             step.syncSeconds)
+                                .value(),
+                            step.blockedSeconds().value() * 1e-12);
                 double want = mode == ExecutionMode::Overlapped &&
-                                      step.pimSeconds > 0.0
-                                  ? step.overlappedSeconds()
-                                  : step.blockedSeconds();
-                EXPECT_NEAR(step.seconds, want, want * 1e-9)
+                                      step.pimSeconds > Seconds(0.0)
+                                  ? step.overlappedSeconds().value()
+                                  : step.blockedSeconds().value();
+                EXPECT_NEAR(step.seconds.value(), want, want * 1e-9)
                     << systemName(kind) << " " << m.name << " "
                     << executionModeName(mode);
             }
@@ -181,14 +182,14 @@ TEST(ExecutionMode, Fig15OverlappedBeatsBlockedAtEqualEnergy)
 TEST(ExecutionMode, SetExecutionModeSwitchesCosting)
 {
     ServingSimulator s(makeSystem(SystemKind::PIMBA));
-    double blocked = s.generationStep(zamba2_7b(), 32, 2048).seconds;
+    Seconds blocked = s.generationStep(zamba2_7b(), 32, 2048).seconds;
     s.setExecutionMode(ExecutionMode::Overlapped);
     EXPECT_EQ(s.system().executionMode, ExecutionMode::Overlapped);
-    double overlapped = s.generationStep(zamba2_7b(), 32, 2048).seconds;
+    Seconds overlapped = s.generationStep(zamba2_7b(), 32, 2048).seconds;
     EXPECT_LT(overlapped, blocked);
     s.setExecutionMode(ExecutionMode::Blocked);
-    EXPECT_DOUBLE_EQ(s.generationStep(zamba2_7b(), 32, 2048).seconds,
-                     blocked);
+    EXPECT_DOUBLE_EQ(s.generationStep(zamba2_7b(), 32, 2048).seconds.value(),
+                     blocked.value());
 }
 
 } // namespace

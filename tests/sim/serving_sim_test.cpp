@@ -40,13 +40,13 @@ TEST(ServingSim, PimbaOutperformsAllBaselines)
     for (const auto &model :
          {retnet2p7b(), mamba2_2p7b(), zamba2_7b()}) {
         double gpu = sim(SystemKind::GPU)
-                         .generationThroughput(model, 128, 2048, 2048);
+                         .generationThroughput(model, 128, 2048, 2048).value();
         double gpuq = sim(SystemKind::GPU_Q)
-                          .generationThroughput(model, 128, 2048, 2048);
+                          .generationThroughput(model, 128, 2048, 2048).value();
         double gpupim = sim(SystemKind::GPU_PIM)
-                            .generationThroughput(model, 128, 2048, 2048);
+                            .generationThroughput(model, 128, 2048, 2048).value();
         double pimba = sim(SystemKind::PIMBA)
-                           .generationThroughput(model, 128, 2048, 2048);
+                           .generationThroughput(model, 128, 2048, 2048).value();
         EXPECT_GT(pimba, gpupim) << model.name;
         EXPECT_GT(pimba, gpuq) << model.name;
         EXPECT_GT(gpupim, gpu) << model.name;
@@ -59,10 +59,10 @@ TEST(ServingSim, PimbaSpeedupInPaperRange)
     // Average gains: ~1.9x over GPU, ~1.4x over GPU+PIM (Section 6.2);
     // individual cells range up to 4.1x.
     double gpu = sim(SystemKind::GPU)
-                     .generationThroughput(retnet2p7b(), 128, 2048, 2048);
+                     .generationThroughput(retnet2p7b(), 128, 2048, 2048).value();
     double pimba = sim(SystemKind::PIMBA)
                        .generationThroughput(retnet2p7b(), 128, 2048,
-                                             2048);
+                                             2048).value();
     EXPECT_GT(pimba / gpu, 1.5);
     EXPECT_LT(pimba / gpu, 4.5);
 }
@@ -131,7 +131,8 @@ TEST(ServingSim, SuLlmThroughputIndependentOfSeqLen)
     auto a = sim(SystemKind::GPU).generationStep(mamba2_2p7b(), 64, 128);
     auto b = sim(SystemKind::GPU).generationStep(mamba2_2p7b(), 64,
                                                  8192);
-    EXPECT_NEAR(a.seconds, b.seconds, a.seconds * 1e-9);
+    EXPECT_NEAR(a.seconds.value(), b.seconds.value(),
+                a.seconds.value() * 1e-9);
 }
 
 TEST(ServingSim, TransformerLatencyGrowsWithSeqLen)
@@ -148,8 +149,9 @@ TEST(ServingSim, MemoryUsagePimbaBelowNeupims)
     auto pimba = sim(SystemKind::PIMBA, 8).memoryUsage(m, 128, 2048);
     auto neupims = sim(SystemKind::NEUPIMS, 8).memoryUsage(m, 128, 2048);
     EXPECT_LT(pimba.total(), neupims.total());
-    EXPECT_NEAR(pimba.state * 2.0, neupims.state, neupims.state * 0.1);
-    EXPECT_DOUBLE_EQ(pimba.weights, neupims.weights);
+    EXPECT_NEAR(pimba.state.value() * 2.0, neupims.state.value(),
+                neupims.state.value() * 0.1);
+    EXPECT_DOUBLE_EQ(pimba.weights.value(), neupims.weights.value());
 }
 
 TEST(ServingSim, NeupimsRunsStateUpdateOnGpu)
@@ -172,9 +174,9 @@ TEST(ServingSim, H100TrendsMatchA100)
     SystemConfig gpu =
         makeSystem(SystemKind::GPU, 1, h100Config(), hbm3Config());
     double tp = ServingSimulator(pimba).generationThroughput(
-        mamba2_2p7b(), 128, 2048, 2048);
+        mamba2_2p7b(), 128, 2048, 2048).value();
     double tg = ServingSimulator(gpu).generationThroughput(
-        mamba2_2p7b(), 128, 2048, 2048);
+        mamba2_2p7b(), 128, 2048, 2048).value();
     EXPECT_GT(tp / tg, 1.2);
 }
 
@@ -188,11 +190,11 @@ TEST(ServingSim, AveragedStepIsMidpoint)
     ServingSimulator s = sim(SystemKind::GPU);
     auto avg = s.averagedStep(opt7b(), 32, 2048, 2048);
     auto mid = s.generationStep(opt7b(), 32, 3071);
-    EXPECT_DOUBLE_EQ(avg.seconds, mid.seconds);
+    EXPECT_DOUBLE_EQ(avg.seconds.value(), mid.seconds.value());
     // A one-token window is exactly the step at the input position.
     auto one = s.averagedStep(opt7b(), 32, 2048, 1);
     auto at = s.generationStep(opt7b(), 32, 2048);
-    EXPECT_DOUBLE_EQ(one.seconds, at.seconds);
+    EXPECT_DOUBLE_EQ(one.seconds.value(), at.seconds.value());
 }
 
 TEST(ServingSim, PrefillStepUsesChunkMeanPosition)
@@ -203,12 +205,12 @@ TEST(ServingSim, PrefillStepUsesChunkMeanPosition)
     ServingSimulator s = sim(SystemKind::GPU);
     auto chunk = s.prefillStep(opt7b(), 512, 1024);
     auto mid = s.generationStep(opt7b(), 512, 1024 + (512 - 1) / 2);
-    EXPECT_DOUBLE_EQ(chunk.seconds, mid.seconds);
+    EXPECT_DOUBLE_EQ(chunk.seconds.value(), mid.seconds.value());
     // A 2-token chunk at position p averages p and p + 1 — it must not
     // round up to p + 1 (the seed behavior).
     auto two = s.prefillStep(opt7b(), 2, 1000);
     auto at = s.generationStep(opt7b(), 2, 1000);
-    EXPECT_DOUBLE_EQ(two.seconds, at.seconds);
+    EXPECT_DOUBLE_EQ(two.seconds.value(), at.seconds.value());
 }
 
 TEST(ServingSim, GpuAttentionChargesKvAppendWrite)
