@@ -187,6 +187,50 @@ Fleet::Fleet(const ModelConfig &model_, FleetConfig cfg_)
     }
 }
 
+std::string
+Fleet::replicaLabel(size_t i) const
+{
+    const ReplicaConfig &rc = cfg.replicas[i];
+    std::string label = "replica " + std::to_string(i) + " (" +
+                        systemName(rc.kind) + " x" +
+                        std::to_string(rc.nGpus);
+    if (cfg.mode == FleetMode::Disaggregated)
+        label += i < cfg.prefillReplicas ? ", prefill" : ", decode";
+    label += ")";
+    return label;
+}
+
+void
+Fleet::attachObservers(const FleetObservers &o)
+{
+    obs = o;
+    for (size_t i = 0; i < engines.size(); ++i) {
+        EngineObservers eo;
+        eo.tracer = obs.tracer;
+        eo.pid = obs.pidBase + static_cast<int>(i);
+        eo.timeline = obs.timeline;
+        if (obs.timeline)
+            eo.timelineTrack = obs.timeline->registerTrack(
+                obs.labelPrefix + replicaLabel(i));
+        if (obs.tracer)
+            obs.tracer->processName(eo.pid,
+                                    obs.labelPrefix + replicaLabel(i));
+        engines[i].attachObservers(eo);
+    }
+    if (obs.tracer && cfg.mode == FleetMode::Disaggregated) {
+        obs.tracer->processName(obs.interconnectPid,
+                                obs.labelPrefix + "interconnect (" +
+                                    cfg.link.name + ")");
+        // One link lane per prefill replica: concurrent ships from
+        // different sources render side by side.
+        for (size_t i = 0; i < cfg.prefillReplicas; ++i)
+            obs.tracer->threadName(obs.interconnectPid,
+                                   static_cast<int>(i) + 1,
+                                   "ships from replica " +
+                                       std::to_string(i));
+    }
+}
+
 std::vector<size_t>
 Fleet::prefillPool() const
 {
@@ -305,6 +349,17 @@ Fleet::run(const std::vector<Request> &trace)
                 h.prefillQueueing = c.queueing;
                 h.prefillPreemptions = c.preemptions;
                 due.push(h);
+                if (obs.tracer)
+                    // Slice on the interconnect process, one lane per
+                    // source replica: blocks leave when the prefill
+                    // finishes and land cost.seconds later.
+                    obs.tracer->complete(
+                        obs.interconnectPid, static_cast<int>(i) + 1,
+                        h.prefillFinish, cost.seconds,
+                        "ship req " + std::to_string(orig.id),
+                        "interconnect",
+                        {{"bytes", bytes.value()},
+                         {"seconds", cost.seconds.value()}});
                 // A request with no cached state or KV bytes (possible
                 // only for degenerate models) ships nothing: it is a
                 // hand-off, not a transfer, and must not count into the

@@ -76,6 +76,22 @@ struct FleetConfig
 FleetConfig homogeneousFleet(SystemKind kind, size_t n,
                              EngineConfig engine = {});
 
+/// Observability sinks for a fleet run (all null = disabled, zero
+/// overhead). Replica k traces as pid @c pidBase + k with a
+/// process_name naming its system and pool; @c interconnectPid
+/// carries the disaggregation link's ship events (one tid per prefill
+/// replica).
+struct FleetObservers
+{
+    Tracer *tracer = nullptr;
+    int pidBase = 1;
+    int interconnectPid = 0;
+    TimelineSampler *timeline = nullptr; ///< one track per replica
+    /// Prepended to every replica label — distinguishes the cases of a
+    /// multi-case fleet study sharing one tracer/sampler.
+    std::string labelPrefix;
+};
+
 /// Validate @p cfg. Returns the empty string when the fleet is runnable,
 /// else one actionable message (empty fleet, non-positive per-replica
 /// tensor-parallel degree, a bad per-replica EngineConfig, an impossible
@@ -123,6 +139,15 @@ class Fleet
     const FleetConfig &config() const { return cfg; }
     size_t replicaCount() const { return engines.size(); }
 
+    /// Attach (or with a default-constructed argument, detach) the
+    /// observability sinks: wires every replica engine's observers,
+    /// names the trace processes, and registers one timeline track per
+    /// replica. Call before run(); persists across runs.
+    void attachObservers(const FleetObservers &o);
+    /// "replica k (<system> xN[, prefill|decode])" — the trace
+    /// process / timeline track label of replica @p i.
+    std::string replicaLabel(size_t i) const;
+
   private:
     std::vector<size_t> prefillPool() const;
     std::vector<size_t> decodePool() const;
@@ -130,6 +155,7 @@ class Fleet
     ModelConfig model;
     FleetConfig cfg;
     std::vector<ServingEngine> engines;
+    FleetObservers obs;
 };
 
 } // namespace pimba

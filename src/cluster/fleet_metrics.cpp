@@ -21,6 +21,21 @@ aggregateMetrics(const std::vector<ServingReport> &replicas,
     return computeMetrics(merged, makespan, slo);
 }
 
+ServingMetrics
+aggregateMetricsStreaming(const std::vector<ServingReport> &replicas,
+                          Seconds makespan, const SloConfig &slo,
+                          double accuracy)
+{
+    StreamingMetrics fleet(slo, accuracy);
+    for (const ServingReport &r : replicas) {
+        StreamingMetrics local(slo, accuracy);
+        for (const CompletedRequest &c : r.completed)
+            local.observe(c);
+        fleet.merge(local);
+    }
+    return fleet.finalize(makespan);
+}
+
 LoadStats
 computeLoadStats(const std::vector<ServingReport> &replicas)
 {

@@ -27,6 +27,19 @@ namespace pimba {
 ServingMetrics aggregateMetrics(const std::vector<ServingReport> &replicas,
                                 Seconds makespan, const SloConfig &slo);
 
+/**
+ * aggregateMetrics without materializing the merged sample vector:
+ * each replica's records stream through a local quantile-sketch
+ * collector and the collectors merge (the mergeability that lets a
+ * distributed deployment aggregate without shipping samples).
+ * Count/mean/min/max/rates are exact; percentiles carry the sketch's
+ * relative-error bound @p accuracy.
+ */
+ServingMetrics
+aggregateMetricsStreaming(const std::vector<ServingReport> &replicas,
+                          Seconds makespan, const SloConfig &slo,
+                          double accuracy = QuantileSketch::kDefaultAccuracy);
+
 /** How evenly the router spread requests/tokens over the replicas. */
 struct LoadStats
 {

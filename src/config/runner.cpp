@@ -41,6 +41,15 @@ ServingReport
 runServingPoint(const ServingScenario &sc, SystemKind kind,
                 SchedulerPolicy policy, ExecutionMode mode, double rate)
 {
+    return runServingPoint(sc, kind, policy, mode, rate,
+                           EngineObservers{});
+}
+
+ServingReport
+runServingPoint(const ServingScenario &sc, SystemKind kind,
+                SchedulerPolicy policy, ExecutionMode mode, double rate,
+                const EngineObservers &eo)
+{
     TraceConfig tc = sc.trace;
     tc.ratePerSec = rate;
     ServingSimulator sim(makeSystem(kind, sc.nGpus));
@@ -48,6 +57,7 @@ runServingPoint(const ServingScenario &sc, SystemKind kind,
     ec.policy = policy;
     ec.executionMode = mode;
     ServingEngine engine(sim, sc.model, ec);
+    engine.attachObservers(eo);
     return engine.run(generateTrace(tc));
 }
 
@@ -55,14 +65,75 @@ FleetReport
 runFleetCase(const FleetScenario &sc, const FleetCase &c,
              std::optional<RouterPolicy> router)
 {
+    return runFleetCase(sc, c, router, FleetObservers{});
+}
+
+FleetReport
+runFleetCase(const FleetScenario &sc, const FleetCase &c,
+             std::optional<RouterPolicy> router, const FleetObservers &fo)
+{
     FleetConfig cfg = c.fleet;
     if (router)
         cfg.router = *router;
     Fleet fleet(sc.model, cfg);
+    fleet.attachObservers(fo);
     return fleet.run(generateTrace(sc.trace));
 }
 
 namespace {
+
+/// Write @p body to @p path, throwing a located-enough ConfigError on
+/// failure (observability outputs are explicit user requests — a
+/// silently dropped file would look like a successful run).
+void
+writeTextFile(const std::string &path, const std::string &body)
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        throw ConfigError("cannot open \"" + path + "\" for writing");
+    size_t written = std::fwrite(body.data(), 1, body.size(), f);
+    int rc = std::fclose(f);
+    if (written != body.size() || rc != 0)
+        throw ConfigError("short write to \"" + path + "\"");
+}
+
+/// Flush the run's trace/timeline files and append an "observability"
+/// section describing what was emitted. No-op (and no section) when
+/// every surface is off — reports of undisturbed runs stay
+/// byte-identical to a build without the subsystem.
+void
+emitObsOutputs(const ObservabilityConfig &oc, const Tracer *tracer,
+               const TimelineSampler *timeline, ScenarioReport &rep)
+{
+    if (!tracer && !timeline && !oc.streamMetrics)
+        return;
+    ReportSection sec;
+    sec.heading = "observability";
+    if (oc.streamMetrics)
+        sec.lines.push_back(
+            "metrics: streaming quantile sketches (relative accuracy " +
+            fmt(QuantileSketch::kDefaultAccuracy * 100.0, 1) + "%)");
+    if (tracer) {
+        if (!tracer->writeFile(oc.tracePath))
+            throw ConfigError("cannot write trace file \"" +
+                              oc.tracePath + "\"");
+        sec.lines.push_back("trace: " + oc.tracePath + " (" +
+                            std::to_string(tracer->eventCount()) +
+                            " events)");
+    }
+    if (timeline) {
+        writeTextFile(oc.timelinePath,
+                      oc.timelineFormat == TimelineFormat::Json
+                          ? timeline->renderJson()
+                          : timeline->renderCsv());
+        sec.lines.push_back("timeline: " + oc.timelinePath + " (" +
+                            std::to_string(timeline->rows().size()) +
+                            " samples over " +
+                            std::to_string(timeline->trackCount()) +
+                            " tracks)");
+    }
+    rep.sections.push_back(std::move(sec));
+}
 
 /// Execution modes one (system, scenario) row set actually sweeps:
 /// autoModes expands to blocked plus overlapped where a PIM exists.
@@ -152,6 +223,7 @@ ScenarioReport
 runServing(const Scenario &scenario, bool quiet)
 {
     const auto &sc = std::get<ServingScenario>(scenario.spec);
+    const ObservabilityConfig &oc = scenario.obs;
     ScenarioReport rep;
     Table t({"system", "policy", "mode", "rate", "tok/s", "goodput",
              "TTFT p50", "TTFT p95", "TPOT p95", "preempt",
@@ -160,14 +232,50 @@ runServing(const Scenario &scenario, bool quiet)
     // almost entirely within the SLO (only meaningful for rate sweeps).
     Table knees({"system", "policy", "mode", "saturation req/s",
                  "peak tok/s"});
+    // One trace "process" / timeline track per (system, policy, mode,
+    // rate) run, all sharing this study's sinks.
+    std::optional<Tracer> tracer;
+    std::optional<TimelineSampler> timeline;
+    if (oc.tracing())
+        tracer.emplace();
+    if (oc.timelining())
+        timeline.emplace(oc.timelineInterval);
+    int nextPid = 1;
     for (SystemKind kind : sc.systems) {
         for (SchedulerPolicy policy : sc.policies) {
             for (ExecutionMode mode : modesFor(sc, kind)) {
                 double knee_rate = 0.0, peak_tok = 0.0;
                 for (double rate : sc.rates) {
-                    ServingReport r =
-                        runServingPoint(sc, kind, policy, mode, rate);
-                    const ServingMetrics &m = r.metrics;
+                    ServingReport r;
+                    ServingMetrics m;
+                    if (oc.enabled()) {
+                        std::string label =
+                            systemName(kind) + " " + policyName(policy) +
+                            " " + executionModeName(mode) +
+                            " rate=" + fmt(rate, 0);
+                        EngineObservers eo;
+                        StreamingMetrics stream(sc.engine.slo);
+                        if (tracer) {
+                            eo.tracer = &*tracer;
+                            eo.pid = nextPid++;
+                            tracer->processName(eo.pid, label);
+                        }
+                        if (timeline) {
+                            eo.timeline = &*timeline;
+                            eo.timelineTrack =
+                                timeline->registerTrack(label);
+                        }
+                        if (oc.streamMetrics)
+                            eo.stream = &stream;
+                        r = runServingPoint(sc, kind, policy, mode,
+                                            rate, eo);
+                        m = oc.streamMetrics ? stream.finalize(r.makespan)
+                                             : r.metrics;
+                    } else {
+                        r = runServingPoint(sc, kind, policy, mode,
+                                            rate);
+                        m = r.metrics;
+                    }
                     t.addRow({systemName(kind), policyName(policy),
                               executionModeName(mode), fmt(rate, 0),
                               fmt(m.tokensPerSec.value(), 1),
@@ -194,6 +302,8 @@ runServing(const Scenario &scenario, bool quiet)
     if (sc.rates.size() > 1)
         rep.sections.push_back(
             ReportSection{"saturation knees", std::move(knees), {}});
+    emitObsOutputs(oc, tracer ? &*tracer : nullptr,
+                   timeline ? &*timeline : nullptr, rep);
     return rep;
 }
 
@@ -201,13 +311,51 @@ ScenarioReport
 runFleet(const Scenario &scenario, bool quiet)
 {
     const auto &sc = std::get<FleetScenario>(scenario.spec);
+    const ObservabilityConfig &oc = scenario.obs;
     ScenarioReport rep;
     Table t({"fleet", "router", "goodput", "TTFT p50", "TTFT p95",
              "TPOT p50", "TPOT p95", "queue p95", "req imbal",
              "tok imbal", "xfer MB/req", "xfer p95 ms", "TTFT share"});
+    std::optional<Tracer> tracer;
+    std::optional<TimelineSampler> timeline;
+    if (oc.tracing())
+        tracer.emplace();
+    if (oc.timelining())
+        timeline.emplace(oc.timelineInterval);
+    // Each case claims a contiguous pid block: one pid per replica
+    // plus one for its interconnect.
+    int nextPid = 1;
     auto addRow = [&](const FleetCase &c,
                       std::optional<RouterPolicy> router) {
-        FleetReport r = runFleetCase(sc, c, router);
+        FleetReport r;
+        ServingMetrics m;
+        if (oc.enabled()) {
+            FleetObservers fo;
+            fo.labelPrefix =
+                c.label + " [" +
+                routerName(router ? *router : c.fleet.router) + "] ";
+            fo.tracer = tracer ? &*tracer : nullptr;
+            fo.timeline = timeline ? &*timeline : nullptr;
+            fo.pidBase = nextPid;
+            fo.interconnectPid =
+                nextPid + static_cast<int>(c.fleet.replicas.size());
+            nextPid += static_cast<int>(c.fleet.replicas.size()) + 1;
+            r = runFleetCase(sc, c, router, fo);
+            if (oc.streamMetrics) {
+                // Stream the fleet-level records (transfer-adjusted
+                // TTFTs) through sketch collectors instead of the
+                // exact percentile pass.
+                StreamingMetrics stream(c.fleet.slo);
+                for (const CompletedRequest &cr : r.completed)
+                    stream.observe(cr);
+                m = stream.finalize(r.makespan);
+            } else {
+                m = r.metrics;
+            }
+        } else {
+            r = runFleetCase(sc, c, router);
+            m = r.metrics;
+        }
         std::string mb_per_req = "-", xfer_p95 = "-", ttft_share = "-";
         if (r.transfer.transfers > 0) {
             mb_per_req =
@@ -219,11 +367,11 @@ runFleet(const Scenario &scenario, bool quiet)
         }
         t.addRow({c.label, routerName(router ? *router
                                              : c.fleet.router),
-                  fmt(r.metrics.goodput.value(), 2),
-                  fmt(r.metrics.ttft.p50, 3),
-                  fmt(r.metrics.ttft.p95, 3), fmt(r.metrics.tpot.p50, 4),
-                  fmt(r.metrics.tpot.p95, 4),
-                  fmt(r.metrics.queueing.p95, 3),
+                  fmt(m.goodput.value(), 2),
+                  fmt(m.ttft.p50, 3),
+                  fmt(m.ttft.p95, 3), fmt(m.tpot.p50, 4),
+                  fmt(m.tpot.p95, 4),
+                  fmt(m.queueing.p95, 3),
                   fmt(r.load.requestImbalance, 3),
                   fmt(r.load.tokenImbalance, 3), mb_per_req, xfer_p95,
                   ttft_share});
@@ -239,6 +387,8 @@ runFleet(const Scenario &scenario, bool quiet)
             fprintf(stderr, "  %s done\n", c.label.c_str());
     }
     rep.sections.push_back(ReportSection{"", std::move(t), {}});
+    emitObsOutputs(oc, tracer ? &*tracer : nullptr,
+                   timeline ? &*timeline : nullptr, rep);
     return rep;
 }
 

@@ -63,12 +63,25 @@ ServingReport runServingPoint(const ServingScenario &sc,
                               SystemKind kind, SchedulerPolicy policy,
                               ExecutionMode mode, double rate);
 
+/// runServingPoint with observability sinks attached to the engine
+/// before the run (the scenario runner's tracing/streaming path).
+ServingReport runServingPoint(const ServingScenario &sc,
+                              SystemKind kind, SchedulerPolicy policy,
+                              ExecutionMode mode, double rate,
+                              const EngineObservers &eo);
+
 /**
  * One fleet run of a fleet scenario. @p router overrides the case's
  * configured router when set (router-shootout expansion).
  */
 FleetReport runFleetCase(const FleetScenario &sc, const FleetCase &c,
                          std::optional<RouterPolicy> router = {});
+
+/// runFleetCase with observability sinks attached to the fleet before
+/// the run.
+FleetReport runFleetCase(const FleetScenario &sc, const FleetCase &c,
+                         std::optional<RouterPolicy> router,
+                         const FleetObservers &fo);
 
 } // namespace pimba
 

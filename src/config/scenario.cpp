@@ -128,6 +128,49 @@ getInt32(const JsonValue &obj, const char *key, int fallback)
     return static_cast<int>(n);
 }
 
+bool
+getBool(const JsonValue &obj, const char *key, bool fallback)
+{
+    const JsonValue *v = obj.find(key);
+    return v ? v->asBool() : fallback;
+}
+
+/// The optional "observability" block of serving and fleet scenarios
+/// (docs/scenarios.md): telemetry switches, all off when absent.
+ObservabilityConfig
+parseObservability(const JsonValue &doc)
+{
+    ObservabilityConfig obs;
+    const JsonValue *v = doc.find("observability");
+    if (!v)
+        return obs;
+    if (!v->isObject())
+        failAt(*v, "\"observability\" must be an object");
+    checkKeys(*v, {"streamMetrics", "trace", "timeline",
+                   "timelineFormat", "timelineInterval"});
+    obs.streamMetrics = getBool(*v, "streamMetrics", false);
+    obs.tracePath = getString(*v, "trace", "");
+    obs.timelinePath = getString(*v, "timeline", "");
+    if (const JsonValue *fmt = v->find("timelineFormat")) {
+        std::string name = lowered(fmt->asString());
+        if (name == "csv")
+            obs.timelineFormat = TimelineFormat::Csv;
+        else if (name == "json")
+            obs.timelineFormat = TimelineFormat::Json;
+        else
+            failAt(*fmt, "unknown timeline format \"" + fmt->asString() +
+                             "\" (expected csv, json)");
+    }
+    obs.timelineInterval =
+        Seconds(getNumber(*v, "timelineInterval",
+                          obs.timelineInterval.value()));
+    if (obs.timelineInterval < Seconds(0.0))
+        failAt(*v->find("timelineInterval"),
+               "\"timelineInterval\" must be >= 0 seconds (0 samples "
+               "every iteration)");
+    return obs;
+}
+
 SystemKind
 parseSystemKind(const JsonValue &v)
 {
@@ -713,10 +756,10 @@ parseScenario(const JsonValue &root, bool smoke)
         /* serving */
         {"name", "description", "kind", "smoke", "systems", "nGpus",
          "policies", "modes", "rates", "rate", "model", "engine",
-         "trace"},
+         "trace", "observability"},
         /* fleet */
         {"name", "description", "kind", "smoke", "model", "trace",
-         "routers", "fleet", "fleets"},
+         "routers", "fleet", "fleets", "observability"},
         /* saturation */
         {"name", "description", "kind", "smoke", "systems", "policies",
          "model", "engine", "trace", "startRate", "maxRate",
@@ -755,9 +798,11 @@ parseScenario(const JsonValue &root, bool smoke)
         break;
       case ScenarioKind::Serving:
         sc.spec = parseServing(doc);
+        sc.obs = parseObservability(doc);
         break;
       case ScenarioKind::Fleet:
         sc.spec = parseFleet(doc);
+        sc.obs = parseObservability(doc);
         break;
       case ScenarioKind::Saturation:
         sc.spec = parseSaturation(doc);

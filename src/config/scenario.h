@@ -40,6 +40,7 @@
 
 #include "cluster/fleet.h"
 #include "config/json.h"
+#include "obs/observability.h"
 #include "serving/trace.h"
 #include "serving/workload.h"
 
@@ -161,6 +162,10 @@ struct Scenario
     std::variant<ThroughputScenario, ServingScenario, FleetScenario,
                  SaturationScenario, PlannerScenario>
         spec;
+    /// Telemetry switches (serving and fleet kinds; all off by
+    /// default). Parsed from the `"observability"` block, overridable
+    /// by the pimba CLI's --trace/--timeline/--stream-metrics flags.
+    ObservabilityConfig obs;
 };
 
 /**

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "core/logging.h"
+
 namespace pimba {
 
 namespace {
@@ -240,11 +242,25 @@ runSweep(const Scenario &sc, const GridAxis &axis, int threads)
 {
     std::vector<Scenario> points;
     points.reserve(axis.values.size());
+    bool stripped_files = false;
     for (double v : axis.values) {
         Scenario point = sc;
         applyGridParam(point, axis.param, v);
+        // Every point would write the same trace/timeline path from
+        // its own worker thread — drop the file surfaces rather than
+        // let the points race on (and overwrite) one file. Streaming
+        // metrics are per-point and deterministic, so they stay.
+        if (point.obs.tracing() || point.obs.timelining()) {
+            stripped_files = true;
+            point.obs.tracePath.clear();
+            point.obs.timelinePath.clear();
+        }
         points.push_back(std::move(point));
     }
+    if (stripped_files)
+        PIMBA_WARN("sweep: trace/timeline files are disabled for swept "
+                   "points (all points would write the same path); run "
+                   "a single point with --trace/--timeline instead");
 
     size_t workers = threads >= 1
                          ? static_cast<size_t>(threads)

@@ -95,6 +95,79 @@ percentileSorted(const std::vector<double> &sorted, double q)
     return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
 }
 
+MetricRegistry::Entry &
+MetricRegistry::entry(const std::string &name, bool gauge)
+{
+    auto it = index.find(name);
+    if (it == index.end()) {
+        index.emplace(name, entries.size());
+        order.push_back(name);
+        entries.push_back(Entry{0.0, gauge});
+        return entries.back();
+    }
+    return entries[it->second];
+}
+
+void
+MetricRegistry::count(const std::string &name, double delta)
+{
+    entry(name, /*gauge=*/false).value += delta;
+}
+
+void
+MetricRegistry::gauge(const std::string &name, double value)
+{
+    entry(name, /*gauge=*/true).value = value;
+}
+
+double
+MetricRegistry::value(const std::string &name) const
+{
+    auto it = index.find(name);
+    return it == index.end() ? 0.0 : entries[it->second].value;
+}
+
+bool
+MetricRegistry::isGauge(const std::string &name) const
+{
+    auto it = index.find(name);
+    return it != index.end() && entries[it->second].gauge;
+}
+
+void
+MetricRegistry::merge(const MetricRegistry &other)
+{
+    for (size_t i = 0; i < other.order.size(); ++i) {
+        const std::string &name = other.order[i];
+        const Entry &theirs = other.entries[i];
+        Entry &ours = entry(name, theirs.gauge);
+        if (ours.gauge != theirs.gauge) {
+            // Kind conflict: the incoming registry's kind wins
+            // wholesale rather than mixing sum and max semantics.
+            ours.gauge = theirs.gauge;
+            ours.value = theirs.value;
+            continue;
+        }
+        if (theirs.gauge)
+            ours.value = std::max(ours.value, theirs.value);
+        else
+            ours.value += theirs.value;
+    }
+}
+
+std::string
+MetricRegistry::render() const
+{
+    std::ostringstream oss;
+    for (size_t i = 0; i < order.size(); ++i) {
+        oss << order[i] << " = " << entries[i].value;
+        if (entries[i].gauge)
+            oss << " (gauge)";
+        oss << "\n";
+    }
+    return oss.str();
+}
+
 void
 StatSet::inc(const std::string &name, double v)
 {

@@ -1,0 +1,125 @@
+#include "obs/timeline.h"
+
+#include <cstdio>
+
+#include "core/logging.h"
+
+namespace pimba {
+
+namespace {
+
+std::string
+num(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    return buf;
+}
+
+std::string
+csvEscape(const std::string &s)
+{
+    // Track labels are simple run descriptions; commas are the only
+    // character that could break the column structure.
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s)
+        out.push_back(c == ',' ? ';' : c);
+    return out;
+}
+
+} // namespace
+
+int
+TimelineSampler::registerTrack(const std::string &label)
+{
+    labels.push_back(label);
+    nextDue.push_back(Seconds(0.0));
+    return static_cast<int>(labels.size()) - 1;
+}
+
+void
+TimelineSampler::sample(int track, Seconds now, uint64_t queueDepth,
+                        uint64_t outstandingTokens, uint64_t running,
+                        double blockUtil)
+{
+    PIMBA_ASSERT(track >= 0 &&
+                     static_cast<size_t>(track) < labels.size(),
+                 "timeline sample on unregistered track ", track);
+    if (now < nextDue[static_cast<size_t>(track)])
+        return;
+    record(track, now, queueDepth, outstandingTokens, running,
+           blockUtil);
+    nextDue[static_cast<size_t>(track)] =
+        interval > Seconds(0.0) ? now + interval : now;
+}
+
+void
+TimelineSampler::record(int track, Seconds now, uint64_t queueDepth,
+                        uint64_t outstandingTokens, uint64_t running,
+                        double blockUtil)
+{
+    PIMBA_ASSERT(track >= 0 &&
+                     static_cast<size_t>(track) < labels.size(),
+                 "timeline record on unregistered track ", track);
+    TimelineRow row;
+    row.track = track;
+    row.time = now;
+    row.queueDepth = queueDepth;
+    row.outstandingTokens = outstandingTokens;
+    row.running = running;
+    row.blockUtil = blockUtil;
+    samples.push_back(row);
+}
+
+std::string
+TimelineSampler::renderCsv() const
+{
+    std::string out = "time_s,track,label,queue_depth,"
+                      "outstanding_tokens,running,block_util\n";
+    for (const TimelineRow &r : samples) {
+        out += num(r.time.value());
+        out += ",";
+        out += std::to_string(r.track);
+        out += ",";
+        out += csvEscape(labels[static_cast<size_t>(r.track)]);
+        out += ",";
+        out += std::to_string(r.queueDepth);
+        out += ",";
+        out += std::to_string(r.outstandingTokens);
+        out += ",";
+        out += std::to_string(r.running);
+        out += ",";
+        out += num(r.blockUtil);
+        out += "\n";
+    }
+    return out;
+}
+
+std::string
+TimelineSampler::renderJson() const
+{
+    std::string out = "[\n";
+    for (size_t i = 0; i < samples.size(); ++i) {
+        const TimelineRow &r = samples[i];
+        std::string label = labels[static_cast<size_t>(r.track)];
+        std::string escaped;
+        for (char c : label) {
+            if (c == '"' || c == '\\')
+                escaped.push_back('\\');
+            escaped.push_back(c);
+        }
+        out += "{\"time_s\":" + num(r.time.value()) +
+               ",\"track\":" + std::to_string(r.track) + ",\"label\":\"" +
+               escaped + "\",\"queue_depth\":" +
+               std::to_string(r.queueDepth) + ",\"outstanding_tokens\":" +
+               std::to_string(r.outstandingTokens) + ",\"running\":" +
+               std::to_string(r.running) + ",\"block_util\":" +
+               num(r.blockUtil) + "}";
+        out += i + 1 < samples.size() ? ",\n" : "\n";
+    }
+    out += "]\n";
+    return out;
+}
+
+} // namespace pimba

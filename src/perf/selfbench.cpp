@@ -106,7 +106,41 @@ benchEngineRun(const SelfBenchOptions &opts)
     return layer;
 }
 
-/** Layer 3: a serving study (systems x policies x rates). */
+/** Layer 3: the same engine run with the full event tracer attached —
+ *  the observed cost of tracing, read against the "engine" layer. */
+BenchLayer
+benchEngineTraced(const SelfBenchOptions &opts)
+{
+    BenchLayer layer;
+    layer.name = "engine_traced";
+    TraceConfig tc = benchTrace(opts.smoke, 16.0);
+    layer.detail = "engine layer plus lifecycle/phase tracer and "
+                   "timeline sampler";
+
+    std::vector<Request> trace = generateTrace(tc);
+    Clock::time_point start = Clock::now();
+    for (int rep = 0; rep < opts.reps; ++rep) {
+        ServingSimulator sim(makeSystem(SystemKind::PIMBA));
+        ServingEngine engine(sim, mamba2_2p7b(), benchEngine());
+        // Fresh sinks per rep (a real run writes one trace per run);
+        // the recorded events are discarded, the recording is timed.
+        Tracer tracer;
+        TimelineSampler timeline(Seconds(0.05));
+        EngineObservers eo;
+        eo.tracer = &tracer;
+        eo.timeline = &timeline;
+        eo.timelineTrack = timeline.registerTrack("engine_traced");
+        engine.attachObservers(eo);
+        ServingReport r = engine.run(trace);
+        layer.simRequests += r.metrics.requests;
+        layer.simTokens += r.generatedTokens;
+        layer.simSeconds += r.makespan.value();
+    }
+    layer.wallSeconds = secondsSince(start);
+    return layer;
+}
+
+/** Layer 4: a serving study (systems x policies x rates). */
 BenchLayer
 benchServingStudy(const SelfBenchOptions &opts)
 {
@@ -144,7 +178,7 @@ benchServingStudy(const SelfBenchOptions &opts)
     return layer;
 }
 
-/** Layer 4: a multi-replica fleet run behind a router. */
+/** Layer 5: a multi-replica fleet run behind a router. */
 BenchLayer
 benchFleetRun(const SelfBenchOptions &opts)
 {
@@ -172,7 +206,7 @@ benchFleetRun(const SelfBenchOptions &opts)
     return layer;
 }
 
-/** Layer 5: the full fig12-scale throughput sweep. */
+/** Layer 6: the full fig12-scale throughput sweep. */
 BenchLayer
 benchFig12Sweep(const SelfBenchOptions &opts)
 {
@@ -313,6 +347,7 @@ runSelfBench(const SelfBenchOptions &opts)
     report.reps = opts.reps;
     report.layers.push_back(benchStepCost(opts));
     report.layers.push_back(benchEngineRun(opts));
+    report.layers.push_back(benchEngineTraced(opts));
     report.layers.push_back(benchServingStudy(opts));
     report.layers.push_back(benchFleetRun(opts));
     report.layers.push_back(benchFig12Sweep(opts));

@@ -5,13 +5,16 @@
  * measurable performance trajectory (the `BENCH_*.json` history the
  * roadmap calls for).
  *
- * Five layers, from micro to macro:
+ * Six layers, from micro to macro:
  *
  *  - `step_cost`: raw generation-step evaluation on a cold simulator
  *    (the PIM command-level kernel model plus the GPU roofline, no
  *    memo hits) across pinned model/batch shapes.
  *  - `engine`: one memoized ServingEngine run over a seeded trace —
  *    the continuous-batching inner loop with warm step memos.
+ *  - `engine_traced`: the same run with the event tracer and timeline
+ *    sampler attached — the cost of observability, read against
+ *    `engine` (the untraced layer is the one comparable across PRs).
  *  - `serving`: a serving-trace study (systems x policies x rates),
  *    the shape of one serving-scenario table.
  *  - `fleet`: a multi-replica fleet run behind a router.

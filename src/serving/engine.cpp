@@ -9,6 +9,20 @@
 
 namespace pimba {
 
+namespace {
+
+StepPhases
+phasesOf(const StepResult &r)
+{
+    StepPhases p;
+    p.gpu = r.gpuSeconds.value();
+    p.pim = r.pimSeconds.value();
+    p.sync = r.syncSeconds.value();
+    return p;
+}
+
+} // namespace
+
 Tokens
 resolvedIterTokenBudget(const EngineConfig &cfg)
 {
@@ -114,6 +128,120 @@ ServingEngine::mixedSeconds(int decode_batch, uint64_t decode_seq,
     return mixedCache.insert(key, secs);
 }
 
+StepPhases
+ServingEngine::decodePhases(int batch, uint64_t mean_seq)
+{
+    uint64_t key = decodeMemoKey(batch, mean_seq);
+    if (const StepPhases *hit = decodePhaseCache.find(key))
+        return *hit;
+    return decodePhaseCache.insert(
+        key,
+        phasesOf(sim.generationStep(model, batch, bucketCenter(mean_seq))));
+}
+
+StepPhases
+ServingEngine::prefillPhases(uint64_t chunk, uint64_t seq_pos)
+{
+    uint64_t key = prefillMemoKey(chunk, seq_pos);
+    if (const StepPhases *hit = prefillPhaseCache.find(key))
+        return *hit;
+    return prefillPhaseCache.insert(
+        key, phasesOf(sim.prefillStep(model, chunk, bucketCenter(seq_pos))));
+}
+
+StepPhases
+ServingEngine::mixedPhases(int decode_batch, uint64_t decode_seq,
+                           uint64_t prefill_tokens, uint64_t prefill_pos)
+{
+    // Bounds were already asserted by the mixedSeconds call that costed
+    // this same iteration.
+    uint64_t key = mixedMemoKey(decode_batch, decode_seq, prefill_tokens,
+                                prefill_pos);
+    if (const StepPhases *hit = mixedPhaseCache.find(key))
+        return *hit;
+    return mixedPhaseCache.insert(
+        key, phasesOf(sim.mixedStep(model, decode_batch,
+                                    bucketCenter(decode_seq),
+                                    prefill_tokens,
+                                    bucketCenter(prefill_pos))));
+}
+
+void
+ServingEngine::attachObservers(const EngineObservers &o)
+{
+    obs = o;
+    if (obs.tracer) {
+        obs.tracer->threadName(obs.pid, kTraceIterTid, "iterations");
+        obs.tracer->threadName(obs.pid, kTraceGpuTid, "gpu");
+        obs.tracer->threadName(obs.pid, kTracePimTid, "pim");
+        obs.tracer->threadName(obs.pid, kTraceSyncTid, "sync");
+    }
+}
+
+void
+ServingEngine::tracePhaseSlices(Seconds start, const StepPhases &ph,
+                                const std::string &name)
+{
+    Tracer &t = *obs.tracer;
+    const bool overlapped =
+        sim.system().executionMode == ExecutionMode::Overlapped;
+    // Blocked mode runs gpu -> pim -> sync back-to-back; overlapped
+    // mode launches gpu and pim together and syncs after the longer
+    // one — matching StepResult::blockedSeconds/overlappedSeconds.
+    Seconds pimStart = overlapped ? start : start + Seconds(ph.gpu);
+    Seconds syncStart = overlapped
+                            ? start + Seconds(std::max(ph.gpu, ph.pim))
+                            : start + Seconds(ph.gpu + ph.pim);
+    if (ph.gpu > 0.0)
+        t.complete(obs.pid, kTraceGpuTid, start, Seconds(ph.gpu), name,
+                   "gpu");
+    if (ph.pim > 0.0)
+        t.complete(obs.pid, kTracePimTid, pimStart, Seconds(ph.pim),
+                   name, "pim");
+    if (ph.sync > 0.0)
+        t.complete(obs.pid, kTraceSyncTid, syncStart, Seconds(ph.sync),
+                   name, "sync");
+}
+
+void
+ServingEngine::traceIteration(Seconds start, Seconds dur, int decodeBatch,
+                              uint64_t decodeMean, uint64_t prefillTokens,
+                              uint64_t prefillMean)
+{
+    const char *kind = plan.fused ? "fused"
+                       : decodeBatch > 0
+                           ? (plan.prefill.empty() ? "decode"
+                                                   : "decode+prefill")
+                           : "prefill";
+    obs.tracer->complete(
+        obs.pid, kTraceIterTid, start, dur, kind, "iteration",
+        {{"batch", static_cast<double>(running.size())},
+         {"decode_batch", static_cast<double>(decodeBatch)},
+         {"prefill_tokens", static_cast<double>(prefillTokens)}});
+    if (plan.fused) {
+        tracePhaseSlices(start,
+                         mixedPhases(decodeBatch, decodeMean,
+                                     prefillTokens, prefillMean),
+                         "fused");
+        return;
+    }
+    // Unfused substeps run sequentially (seed behavior): the decode
+    // step first, then each prefill chunk, each internally split into
+    // its gpu/pim/sync phases.
+    Seconds cursor = start;
+    if (decodeBatch > 0) {
+        tracePhaseSlices(cursor, decodePhases(decodeBatch, decodeMean),
+                         "decode");
+        cursor += Seconds(decodeSeconds(decodeBatch, decodeMean));
+    }
+    for (const PrefillSlice &s : plan.prefill) {
+        uint64_t pos = running[s.idx].prefilled;
+        tracePhaseSlices(cursor, prefillPhases(s.tokens.value(), pos),
+                         "prefill");
+        cursor += Seconds(prefillSeconds(s.tokens.value(), pos));
+    }
+}
+
 void
 ServingEngine::begin()
 {
@@ -167,6 +295,18 @@ ServingEngine::submit(const Request &r)
                  "arrivals must be submitted in non-decreasing order");
     pendingArrivals.push_back(r);
     ++submitted;
+    if (obs.tracer) {
+        // One lane per request: open its span at arrival time; the
+        // retire path closes it at completion.
+        int lane = requestLane(r.id);
+        obs.tracer->threadName(obs.pid, lane,
+                               "req " + std::to_string(r.id));
+        obs.tracer->begin(
+            obs.pid, lane, r.arrival, "req " + std::to_string(r.id),
+            "request",
+            {{"input_len", static_cast<double>(r.inputLen)},
+             {"output_len", static_cast<double>(r.outputLen)}});
+    }
 }
 
 void
@@ -344,6 +484,16 @@ ServingEngine::iterate()
         Lifecycle &lc = life[r.id];
         if (lc.firstAdmitted < Seconds(0.0))
             lc.firstAdmitted = clock;
+        if (obs.tracer)
+            obs.tracer->instant(
+                obs.pid, requestLane(rs.req.id), clock,
+                lc.preemptions > 0 ? "readmitted (recompute)"
+                : preloaded        ? "admitted (preloaded)"
+                                   : "admitted",
+                "request",
+                {{"queueing", (clock - rs.req.arrival).value()},
+                 {"preemptions",
+                  static_cast<double>(lc.preemptions)}});
         running.push_back(rs);
         waiting.erase(waiting.begin() +
                       static_cast<std::ptrdiff_t>(pick));
@@ -410,6 +560,12 @@ ServingEngine::iterate()
         blocks->release(victim.req.id);
         ++report.preemptions;
         ++life[victim.req.id].preemptions;
+        if (obs.tracer)
+            obs.tracer->instant(
+                obs.pid, requestLane(victim.req.id), clock, "evicted",
+                "request",
+                {{"prefilled", static_cast<double>(victim.prefilled)},
+                 {"generated", static_cast<double>(victim.generated)}});
         // A preloaded victim's prompt and first token were produced
         // (and counted) by its prefill replica, not here: only locally
         // decoded tokens net out of the delivered count and become
@@ -476,6 +632,12 @@ ServingEngine::iterate()
     PIMBA_ASSERT(iterSeconds > 0.0, "iteration made no progress");
     clock += Seconds(iterSeconds);
     ++report.iterations;
+    if (obs.tracer)
+        traceIteration(clock - Seconds(iterSeconds), Seconds(iterSeconds),
+                       decodeBatch, decodeMean, prefillTokens,
+                       prefillTokens > 0
+                           ? prefillPosWeighted / prefillTokens
+                           : 0);
 
     // Apply the iteration's token production.
     for (size_t i : plan.decodeIdx) {
@@ -485,12 +647,23 @@ ServingEngine::iterate()
     for (const PrefillSlice &s : plan.prefill) {
         RequestState &rs = running[s.idx];
         rs.prefilled += s.tokens.value();
+        if (obs.tracer)
+            obs.tracer->instant(
+                obs.pid, requestLane(rs.req.id), clock, "prefill chunk",
+                "request",
+                {{"tokens", static_cast<double>(s.tokens.value())},
+                 {"prefilled", static_cast<double>(rs.prefilled)}});
         if (rs.prefillDone()) {
             // The final prefill chunk emits the first output token.
             rs.generated = 1;
             rs.firstToken = clock;
             rs.phase = RequestPhase::Decode;
             ++report.generatedTokens;
+            if (obs.tracer)
+                obs.tracer->instant(
+                    obs.pid, requestLane(rs.req.id), clock,
+                    "first token", "request",
+                    {{"ttft", (clock - rs.req.arrival).value()}});
         }
     }
 
@@ -525,6 +698,10 @@ ServingEngine::iterate()
                         : Seconds(0.0);
         done.queueing = lc.firstAdmitted - rs.req.arrival;
         done.preemptions = lc.preemptions;
+        if (obs.tracer)
+            obs.tracer->end(obs.pid, requestLane(rs.req.id), clock);
+        if (obs.stream)
+            obs.stream->observe(done);
         report.completed.push_back(done);
         life.erase(rs.req.id);
         preloadedIds.erase(rs.req.id);
@@ -532,6 +709,25 @@ ServingEngine::iterate()
         running.erase(running.begin() +
                       static_cast<std::ptrdiff_t>(i));
     }
+
+    // Load counters and the periodic timeline sample, on the
+    // post-retire state of this iteration. queueDepth() and
+    // outstandingTokens() walk the queues, so they run only with an
+    // observer attached.
+    if (obs.tracer) {
+        double liveUtil = blocks->utilization();
+        obs.tracer->counter(obs.pid, clock, "queue depth",
+                            static_cast<double>(queueDepth()));
+        obs.tracer->counter(obs.pid, clock, "outstanding tokens",
+                            static_cast<double>(outstandingTokens()));
+        obs.tracer->counter(obs.pid, clock, "running",
+                            static_cast<double>(running.size()));
+        obs.tracer->counter(obs.pid, clock, "block util", liveUtil);
+    }
+    if (obs.timeline)
+        obs.timeline->sample(obs.timelineTrack, clock, queueDepth(),
+                             outstandingTokens(), running.size(),
+                             blocks->utilization());
 }
 
 ServingReport

@@ -43,6 +43,8 @@
 #include <vector>
 
 #include "core/flat_table.h"
+#include "obs/timeline.h"
+#include "obs/tracer.h"
 #include "serving/block_manager.h"
 #include "serving/metrics.h"
 #include "serving/request.h"
@@ -50,6 +52,30 @@
 #include "sim/serving_sim.h"
 
 namespace pimba {
+
+/// GPU/PIM/sync phase split of one memoized step, cached for the
+/// tracer (raw seconds like the step-cost memos; populated only while
+/// a tracer is attached, so the disabled path never computes it).
+struct StepPhases
+{
+    double gpu = 0.0;
+    double pim = 0.0;
+    double sync = 0.0;
+};
+
+/// Observability sinks one engine reports into. All null/zero by
+/// default: an engine without observers skips every recording on its
+/// iteration path (zero overhead when disabled).
+struct EngineObservers
+{
+    Tracer *tracer = nullptr;   ///< lifecycle + phase event sink
+    int pid = 1;                ///< trace "process" of this engine
+    TimelineSampler *timeline = nullptr; ///< periodic load sampler
+    int timelineTrack = 0;      ///< registered track id on @c timeline
+    /// Streaming metrics collector fed one CompletedRequest at a time
+    /// (the sample-vector-free aggregation path).
+    StreamingMetrics *stream = nullptr;
+};
 
 /// Scheduler/engine tunables.
 struct EngineConfig
@@ -202,6 +228,16 @@ class ServingEngine
     /// The replica's simulator (footprint math for transfer sizing).
     const ServingSimulator &simulator() const { return sim; }
 
+    // ------------------------------------------------ observability
+    /// Attach (or with a default-constructed argument, detach) the
+    /// observability sinks. Persists across begin()/finish() cycles so
+    /// a fleet attaches once per replica. When a tracer is attached,
+    /// its fixed engine tracks (iterations, gpu, pim, sync) are named
+    /// immediately; the caller names the process (pid) itself, since
+    /// only it knows the run's label.
+    void attachObservers(const EngineObservers &o);
+    const EngineObservers &observers() const { return obs; }
+
   private:
     /// Decode-step latency, memoized by (batch, cache-length bucket).
     double decodeSeconds(int batch, uint64_t mean_seq);
@@ -210,6 +246,31 @@ class ServingEngine
     /// Fused-iteration latency, memoized like the two above.
     double mixedSeconds(int decode_batch, uint64_t decode_seq,
                         uint64_t prefill_tokens, uint64_t prefill_pos);
+
+    // GPU/PIM/sync splits of the same memoized steps, in parallel
+    // tables keyed identically to the seconds memos. Touched only from
+    // the tracer emission path, so the disabled hot path never pays
+    // for the extra lookups (and the seconds memos stay byte-for-byte
+    // what the untraced run computes).
+    StepPhases decodePhases(int batch, uint64_t mean_seq);
+    StepPhases prefillPhases(uint64_t chunk, uint64_t seq_pos);
+    StepPhases mixedPhases(int decode_batch, uint64_t decode_seq,
+                           uint64_t prefill_tokens, uint64_t prefill_pos);
+
+    /// Emit one substep's gpu/pim/sync slices on the phase tracks.
+    /// @p start is the substep's start time; under Blocked execution
+    /// the phases run back-to-back, under Overlapped gpu and pim start
+    /// together and sync follows the longer of the two.
+    void tracePhaseSlices(Seconds start, const StepPhases &ph,
+                          const std::string &name);
+    /// The iteration slice plus its per-substep phase slices, emitted
+    /// right after the clock advance (before token application, so the
+    /// per-request prefill positions still match what the costing
+    /// read). @p prefillMean is the fused step's mean prefill cache
+    /// position (ignored for unfused iterations).
+    void traceIteration(Seconds start, Seconds dur, int decodeBatch,
+                        uint64_t decodeMean, uint64_t prefillTokens,
+                        uint64_t prefillMean);
 
     /// Move pending arrivals with arrival <= clock into the queue.
     void revealArrivals();
@@ -227,6 +288,11 @@ class ServingEngine
     FlatTable<double> decodeCache;
     FlatTable<double> prefillCache;
     FlatTable<double> mixedCache;
+    // Phase-split memos (tracing only; see decodePhases).
+    FlatTable<StepPhases> decodePhaseCache;
+    FlatTable<StepPhases> prefillPhaseCache;
+    FlatTable<StepPhases> mixedPhaseCache;
+    EngineObservers obs;
 
     // ------------------------------------------------ session state
     /// Queueing-delay / preemption bookkeeping that must survive

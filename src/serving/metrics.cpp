@@ -22,7 +22,9 @@ summarizeLatency(const std::vector<double> &samples)
     double sum = 0.0;
     for (double x : sorted)
         sum += x;
+    s.count = sorted.size();
     s.mean = sum / static_cast<double>(sorted.size());
+    s.min = sorted.front();
     s.max = sorted.back();
     s.p50 = percentileSorted(sorted, 50.0);
     s.p95 = percentileSorted(sorted, 95.0);
@@ -83,21 +85,103 @@ computeMetrics(const std::vector<CompletedRequest> &done, Seconds makespan,
 std::vector<std::string>
 metricsHeader()
 {
-    return {"",          "tok/s",    "req/s",    "goodput",
-            "TTFT p50",  "TTFT p95", "TPOT p95", "lat p99"};
+    return {"",          "n",        "tok/s",    "req/s",
+            "goodput",   "TTFT min", "TTFT p50", "TTFT p95",
+            "TPOT p95",  "lat p99"};
 }
 
 std::vector<std::string>
 metricsRow(const std::string &label, const ServingMetrics &m)
 {
     return {label,
+            std::to_string(m.ttft.count),
             fmt(m.tokensPerSec.value(), 1),
             fmt(m.requestsPerSec.value(), 2),
             fmt(m.goodput.value(), 2),
+            fmt(m.ttft.min, 3),
             fmt(m.ttft.p50, 3),
             fmt(m.ttft.p95, 3),
             fmt(m.tpot.p95, 4),
             fmt(m.latency.p99, 2)};
+}
+
+StreamingMetrics::StreamingMetrics(SloConfig slo_, double accuracy)
+    : slo(slo_), ttft(accuracy), tpot(accuracy), latency(accuracy),
+      queueing(accuracy), preemptions(accuracy)
+{}
+
+void
+StreamingMetrics::observe(const CompletedRequest &c)
+{
+    ++requests;
+    generatedTokens += c.req.outputLen;
+    ttft.add(c.ttft.value());
+    // Same exclusion rule as computeMetrics(): single-token requests
+    // have no inter-token gap and would skew TPOT toward zero.
+    if (c.req.outputLen > 1)
+        tpot.add(c.tpot.value());
+    latency.add(c.latency.value());
+    queueing.add(c.queueing.value());
+    preemptions.add(static_cast<double>(c.preemptions));
+    bool tpotOk = c.req.outputLen <= 1 || c.tpot <= slo.tpot;
+    if (c.ttft <= slo.ttft && tpotOk)
+        ++good;
+}
+
+void
+StreamingMetrics::merge(const StreamingMetrics &other)
+{
+    requests += other.requests;
+    generatedTokens += other.generatedTokens;
+    good += other.good;
+    ttft.merge(other.ttft);
+    tpot.merge(other.tpot);
+    latency.merge(other.latency);
+    queueing.merge(other.queueing);
+    preemptions.merge(other.preemptions);
+}
+
+namespace {
+
+/** LatencySummary fields out of one sketch: percentiles estimated,
+ *  count/mean/min/max exact. */
+LatencySummary
+sketchSummary(const QuantileSketch &s)
+{
+    LatencySummary out;
+    out.count = s.count();
+    out.mean = s.mean();
+    out.min = s.min();
+    out.p50 = s.quantile(50.0);
+    out.p95 = s.quantile(95.0);
+    out.p99 = s.quantile(99.0);
+    out.max = s.max();
+    return out;
+}
+
+} // namespace
+
+ServingMetrics
+StreamingMetrics::finalize(Seconds makespan) const
+{
+    ServingMetrics m;
+    m.requests = requests;
+    m.generatedTokens = generatedTokens;
+    m.makespan = makespan;
+    m.sloViolations = requests - good;
+    m.ttft = sketchSummary(ttft);
+    m.tpot = sketchSummary(tpot);
+    m.latency = sketchSummary(latency);
+    m.queueing = sketchSummary(queueing);
+    m.preemptions = sketchSummary(preemptions);
+    if (makespan > Seconds(0.0)) {
+        m.tokensPerSec = Tokens(m.generatedTokens) / makespan;
+        m.requestsPerSec = RequestsPerSecond(
+            static_cast<double>(m.requests) / makespan.value());
+        m.goodput = RequestsPerSecond(static_cast<double>(good) /
+                                      makespan.value());
+    }
+    return m;
 }
 
 } // namespace pimba

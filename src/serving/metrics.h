@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "core/sketch.h"
 #include "core/table.h"
 #include "serving/request.h"
 
@@ -28,16 +29,20 @@ struct SloConfig
 /** Percentile summary of one latency population (seconds). */
 struct LatencySummary
 {
+    /** Samples the summary covers — percentiles of a population that
+     *  never says how large it is are easy to over-trust. */
+    uint64_t count = 0;
     double mean = 0.0;
+    double min = 0.0;
     double p50 = 0.0;
     double p95 = 0.0;
     double p99 = 0.0;
     double max = 0.0;
 };
 
-/** Summarize a sample vector into mean/p50/p95/p99/max. An empty
- *  sample vector (e.g. a saturated replica that completed nothing)
- *  yields the all-zero summary, never UB. */
+/** Summarize a sample vector into count/mean/min/p50/p95/p99/max. An
+ *  empty sample vector (e.g. a saturated replica that completed
+ *  nothing) yields the all-zero summary, never UB. */
 LatencySummary summarizeLatency(const std::vector<double> &samples);
 
 /** Fleet metrics over one engine run. */
@@ -68,6 +73,51 @@ struct ServingMetrics
 /** Aggregate completed-request records into fleet metrics. */
 ServingMetrics computeMetrics(const std::vector<CompletedRequest> &done,
                               Seconds makespan, const SloConfig &slo);
+
+/**
+ * Streaming alternative to computeMetrics(): per-request records are
+ * folded into mergeable quantile sketches (core/sketch.h) one at a
+ * time, so the collector's memory footprint is O(sketch buckets)
+ * instead of O(requests) sample vectors — the shape the roadmap's
+ * million-request replays need. Percentiles come out within the
+ * sketch's relative accuracy of the exact summaries; count, mean, min,
+ * max, throughput, goodput and SLO-violation counts are exact.
+ *
+ * Collectors merge: per-replica collectors fold into one fleet-wide
+ * collector without ever materializing the combined sample set.
+ */
+class StreamingMetrics
+{
+  public:
+    explicit StreamingMetrics(
+        SloConfig slo = {},
+        double accuracy = QuantileSketch::kDefaultAccuracy);
+
+    /** Fold one completion record in. */
+    void observe(const CompletedRequest &c);
+
+    /** Fold another collector in (same SLO and accuracy expected). */
+    void merge(const StreamingMetrics &other);
+
+    /** Completions observed so far. */
+    uint64_t observed() const { return requests; }
+
+    /** Snapshot the metrics over @p makespan. Identical field layout
+     *  to computeMetrics() output: percentile members carry sketch
+     *  estimates, everything else is exact. */
+    ServingMetrics finalize(Seconds makespan) const;
+
+  private:
+    SloConfig slo;
+    uint64_t requests = 0;
+    uint64_t generatedTokens = 0;
+    uint64_t good = 0;
+    QuantileSketch ttft;
+    QuantileSketch tpot;
+    QuantileSketch latency;
+    QuantileSketch queueing;
+    QuantileSketch preemptions;
+};
 
 /** Header matching metricsRow() for rate/system sweep tables. */
 std::vector<std::string> metricsHeader();

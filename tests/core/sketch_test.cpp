@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Quantile-sketch tests: the relative-error guarantee against the
+ * exact percentile() path on pinned seeded populations (uniform,
+ * lognormal, point-mass), exact count/min/max/sum bookkeeping, merge
+ * associativity/equivalence, and the empty-sketch guards. The 1%
+ * equivalence budget here is the same one the streaming-metrics mode
+ * is held to (docs/observability.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/lfsr.h"
+#include "core/sketch.h"
+#include "core/stats.h"
+
+namespace pimba {
+namespace {
+
+/// Relative gap |a - b| / |b|, with b != 0 expected by the caller.
+double
+relErr(double a, double b)
+{
+    return std::abs(a - b) / std::abs(b);
+}
+
+std::vector<double>
+uniformSamples(size_t n, uint32_t seed)
+{
+    Lfsr32 rng(seed);
+    std::vector<double> v;
+    v.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        v.push_back(0.5 + 9.5 * rng.nextUnit()); // [0.5, 10)
+    return v;
+}
+
+std::vector<double>
+lognormalSamples(size_t n, uint32_t seed)
+{
+    Lfsr32 rng(seed);
+    std::vector<double> v;
+    v.reserve(n);
+    // exp(N(0, 1.5)): a heavy right tail, the TTFT-under-overload
+    // shape the p99 columns exist for.
+    for (size_t i = 0; i < n; ++i)
+        v.push_back(std::exp(1.5 * rng.nextGaussian()));
+    return v;
+}
+
+void
+expectQuantilesWithin(const std::vector<double> &samples, double budget)
+{
+    QuantileSketch sk;
+    for (double x : samples)
+        sk.add(x);
+    for (double q : {1.0, 10.0, 50.0, 90.0, 95.0, 99.0, 99.9}) {
+        double exact = percentile(samples, q);
+        ASSERT_GT(exact, 0.0);
+        EXPECT_LE(relErr(sk.quantile(q), exact), budget)
+            << "q=" << q << " sketch=" << sk.quantile(q)
+            << " exact=" << exact;
+    }
+}
+
+TEST(QuantileSketch, UniformPopulationWithinOnePercent)
+{
+    expectQuantilesWithin(uniformSamples(20000, 0x5EEDBA5Eu), 0.01);
+}
+
+TEST(QuantileSketch, LognormalPopulationWithinOnePercent)
+{
+    expectQuantilesWithin(lognormalSamples(20000, 0x0BADCAFEu), 0.01);
+}
+
+TEST(QuantileSketch, PointMassIsRecoveredAtEveryQuantile)
+{
+    QuantileSketch sk;
+    for (int i = 0; i < 1000; ++i)
+        sk.add(0.0375);
+    for (double q : {0.0, 50.0, 99.0, 100.0})
+        EXPECT_LE(relErr(sk.quantile(q), 0.0375),
+                  sk.relativeAccuracy())
+            << "q=" << q;
+    EXPECT_DOUBLE_EQ(sk.min(), 0.0375);
+    EXPECT_DOUBLE_EQ(sk.max(), 0.0375);
+}
+
+TEST(QuantileSketch, CountMinMaxSumAreExact)
+{
+    std::vector<double> samples = uniformSamples(777, 0x1234ABCDu);
+    QuantileSketch sk;
+    double lo = samples[0], hi = samples[0], total = 0.0;
+    for (double x : samples) {
+        sk.add(x);
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+        total += x;
+    }
+    EXPECT_EQ(sk.count(), samples.size());
+    EXPECT_DOUBLE_EQ(sk.min(), lo);
+    EXPECT_DOUBLE_EQ(sk.max(), hi);
+    EXPECT_DOUBLE_EQ(sk.sum(), total);
+    EXPECT_DOUBLE_EQ(sk.mean(), total / 777.0);
+}
+
+TEST(QuantileSketch, MergeMatchesConcatenationAndIsAssociative)
+{
+    std::vector<double> a = uniformSamples(3000, 0xAAAAAAAAu);
+    std::vector<double> b = lognormalSamples(3000, 0xBBBBBBB1u);
+    std::vector<double> c = uniformSamples(3000, 0xCCCCCCCCu);
+
+    auto sketchOf = [](const std::vector<double> &v) {
+        QuantileSketch s;
+        for (double x : v)
+            s.add(x);
+        return s;
+    };
+    QuantileSketch whole;
+    for (const auto *v : {&a, &b, &c})
+        for (double x : *v)
+            whole.add(x);
+
+    // (a + b) + c
+    QuantileSketch left = sketchOf(a);
+    left.merge(sketchOf(b));
+    left.merge(sketchOf(c));
+    // a + (b + c)
+    QuantileSketch bc = sketchOf(b);
+    bc.merge(sketchOf(c));
+    QuantileSketch right = sketchOf(a);
+    right.merge(bc);
+
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_EQ(right.count(), whole.count());
+    EXPECT_DOUBLE_EQ(left.sum(), right.sum());
+    for (double q : {5.0, 50.0, 95.0, 99.0}) {
+        // Bucket-wise merge is exact: both orders answer identically,
+        // and both match the single sketch of the concatenated stream.
+        EXPECT_DOUBLE_EQ(left.quantile(q), right.quantile(q))
+            << "q=" << q;
+        EXPECT_DOUBLE_EQ(left.quantile(q), whole.quantile(q))
+            << "q=" << q;
+    }
+}
+
+TEST(QuantileSketch, EmptySketchAnswersZeroEverywhere)
+{
+    QuantileSketch sk;
+    EXPECT_TRUE(sk.empty());
+    EXPECT_EQ(sk.count(), 0u);
+    EXPECT_DOUBLE_EQ(sk.quantile(50.0), 0.0);
+    EXPECT_DOUBLE_EQ(sk.min(), 0.0);
+    EXPECT_DOUBLE_EQ(sk.max(), 0.0);
+    EXPECT_DOUBLE_EQ(sk.mean(), 0.0);
+    // Merging an empty sketch is a no-op in both directions.
+    QuantileSketch other;
+    other.add(3.0);
+    other.merge(sk);
+    EXPECT_EQ(other.count(), 1u);
+    sk.merge(other);
+    EXPECT_EQ(sk.count(), 1u);
+}
+
+TEST(QuantileSketch, NonPositiveSamplesLandInTheZeroBucket)
+{
+    // Per-request preemption counts are frequently zero; the sketch
+    // must not feed them to a logarithm.
+    QuantileSketch sk;
+    for (int i = 0; i < 90; ++i)
+        sk.add(0.0);
+    for (int i = 0; i < 10; ++i)
+        sk.add(2.0);
+    EXPECT_EQ(sk.count(), 100u);
+    EXPECT_DOUBLE_EQ(sk.quantile(50.0), 0.0);
+    EXPECT_LE(relErr(sk.quantile(99.0), 2.0), sk.relativeAccuracy());
+    EXPECT_DOUBLE_EQ(sk.min(), 0.0);
+}
+
+TEST(MetricRegistry, CountersSumAndGaugesHighWaterOnMerge)
+{
+    MetricRegistry a, b;
+    a.count("requests", 3.0);
+    a.gauge("queue depth", 7.0);
+    b.count("requests", 5.0);
+    b.gauge("queue depth", 4.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.value("requests"), 8.0);
+    EXPECT_DOUBLE_EQ(a.value("queue depth"), 7.0);
+    EXPECT_TRUE(a.isGauge("queue depth"));
+    EXPECT_FALSE(a.isGauge("requests"));
+    EXPECT_DOUBLE_EQ(a.value("never touched"), 0.0);
+}
+
+TEST(MetricRegistry, RenderKeepsInsertionOrder)
+{
+    MetricRegistry r;
+    r.count("zeta");
+    r.gauge("alpha", 1.5);
+    r.count("zeta", 2.0);
+    ASSERT_EQ(r.names().size(), 2u);
+    EXPECT_EQ(r.names()[0], "zeta");
+    EXPECT_EQ(r.names()[1], "alpha");
+    std::string text = r.render();
+    EXPECT_LT(text.find("zeta"), text.find("alpha"));
+}
+
+} // namespace
+} // namespace pimba

@@ -81,6 +81,42 @@ TEST(ServingMetricsAgg, EmptySamplesSummarizeToZeros)
     EXPECT_DOUBLE_EQ(m.preemptions.max, 0.0);
 }
 
+TEST(ServingMetricsAgg, SummariesCarryExactCountAndMin)
+{
+    // count says how large the population behind the percentiles is
+    // (the TPOT exclusion rule makes it differ from m.requests), and
+    // min anchors the distribution's other end.
+    std::vector<CompletedRequest> done;
+    for (int i = 1; i <= 5; ++i)
+        done.push_back(completed(16, 0.1 * i, 0.002 * i, 0.2 * i));
+    done.push_back(completed(1, 0.05, 0.0, 0.05)); // single token
+
+    ServingMetrics m = computeMetrics(done, Seconds(5.0), SloConfig{});
+    EXPECT_EQ(m.ttft.count, 6u);
+    EXPECT_EQ(m.latency.count, 6u);
+    EXPECT_EQ(m.tpot.count, 5u); // singleton excluded
+    EXPECT_DOUBLE_EQ(m.ttft.min, 0.05);
+    EXPECT_DOUBLE_EQ(m.tpot.min, 0.002);
+    EXPECT_DOUBLE_EQ(m.latency.min, 0.05);
+
+    // The sweep-table surface exposes both: an "n" column and a
+    // "TTFT min" column, aligned between header and row.
+    std::vector<std::string> header = metricsHeader();
+    std::vector<std::string> row = metricsRow("label", m);
+    ASSERT_EQ(header.size(), row.size());
+    size_t n_col = 0, min_col = 0;
+    for (size_t i = 0; i < header.size(); ++i) {
+        if (header[i] == "n")
+            n_col = i;
+        if (header[i] == "TTFT min")
+            min_col = i;
+    }
+    ASSERT_NE(n_col, 0u);
+    ASSERT_NE(min_col, 0u);
+    EXPECT_EQ(row[n_col], "6");
+    EXPECT_EQ(row[min_col].substr(0, 4), "0.05");
+}
+
 TEST(ServingMetricsAgg, QueueingAndPreemptionPercentilesSurfaced)
 {
     std::vector<CompletedRequest> done;

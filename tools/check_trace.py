@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Validate a pimba Chrome trace-event JSON (docs/observability.md).
+
+CI's trace-smoke job runs this against the artifact `pimba run
+--trace` writes, so a malformed trace fails the build instead of
+failing silently when someone finally loads it into Perfetto.
+
+Checks, in order:
+
+ 1. The document parses and has a non-empty "traceEvents" array.
+ 2. Every event carries integer "pid" and "tid" members and a known
+    phase ("ph" in M, X, B, E, i, C).
+ 3. Non-metadata events have a numeric, non-negative "ts"; "X" events
+    also a non-negative "dur". Timestamps are globally monotonic
+    (non-decreasing) in file order — the renderer sorts by ts, so any
+    regression here is an emitter bug.
+ 4. "B"/"E" events pair up as a well-formed stack per (pid, tid):
+    no "E" without an open "B", nothing left open at EOF.
+ 5. With --require-lifecycle: at least one request lane opened and
+    closed (B/E pair whose name starts with "req "), plus at least one
+    "admitted" and "first token" instant and one slice on a thread
+    named "iterations".
+ 6. With --require-phases: at least one "X" slice on a thread named
+    gpu, pim, and sync — across *all* processes, because a GPU-only
+    system legitimately emits nothing on its pim/sync lanes while a
+    hybrid in the same study does.
+
+Exit 0 and a one-line summary when valid; exit 1 with every violation
+(capped) on stderr otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+KNOWN_PHASES = {"M", "X", "B", "E", "i", "C"}
+MAX_REPORTED = 20
+
+
+def fail(errors):
+    for e in errors[:MAX_REPORTED]:
+        print(f"check_trace: {e}", file=sys.stderr)
+    if len(errors) > MAX_REPORTED:
+        print(f"check_trace: ... and {len(errors) - MAX_REPORTED} more",
+              file=sys.stderr)
+    return 1
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", help="trace JSON written by pimba --trace")
+    ap.add_argument("--require-lifecycle", action="store_true",
+                    help="insist on request lanes + admission/first-token"
+                         "/iteration events")
+    ap.add_argument("--require-phases", action="store_true",
+                    help="insist on gpu/pim/sync phase slices")
+    opts = ap.parse_args()
+
+    try:
+        with open(opts.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail([f"{opts.trace}: {e}"])
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return fail([f"{opts.trace}: missing or empty traceEvents"])
+
+    errors = []
+    # (pid, tid) -> stack of open "B" names.
+    stacks = {}
+    # thread_name label -> set of (pid, tid) carrying it. The same
+    # label recurs once per process (every engine names its own
+    # gpu/pim/sync lanes).
+    thread_names = {}
+    last_ts = None
+    lanes_opened = 0
+    lanes_closed = 0
+    instant_names = set()
+    # (pid, tid) -> count of X slices, to resolve per-named-thread.
+    x_slices = {}
+
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in KNOWN_PHASES:
+            errors.append(f"{where}: unknown ph {ph!r}")
+            continue
+        pid, tid = ev.get("pid"), ev.get("tid")
+        if not isinstance(pid, int) or not isinstance(tid, int):
+            errors.append(f"{where}: pid/tid missing or non-integer")
+            continue
+        name = ev.get("name", "")
+
+        if ph == "M":
+            if name == "thread_name":
+                label = ev.get("args", {}).get("name", "")
+                thread_names.setdefault(label, set()).add((pid, tid))
+            continue
+
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"{where}: ts missing or negative: {ts!r}")
+            continue
+        if last_ts is not None and ts < last_ts:
+            errors.append(
+                f"{where}: ts {ts} regresses below {last_ts}")
+        last_ts = ts
+
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(
+                    f"{where}: X event needs non-negative dur, "
+                    f"got {dur!r}")
+            key = (pid, tid)
+            x_slices[key] = x_slices.get(key, 0) + 1
+        elif ph == "B":
+            stacks.setdefault((pid, tid), []).append(name)
+            if name.startswith("req "):
+                lanes_opened += 1
+        elif ph == "E":
+            stack = stacks.get((pid, tid), [])
+            if not stack:
+                errors.append(
+                    f"{where}: E without open B on pid={pid} tid={tid}")
+            else:
+                opened = stack.pop()
+                if opened.startswith("req "):
+                    lanes_closed += 1
+        elif ph == "i":
+            instant_names.add(name)
+        elif ph == "C":
+            if not isinstance(ev.get("args", {}).get("value"),
+                              (int, float)):
+                errors.append(f"{where}: counter without numeric value")
+
+    for (pid, tid), stack in sorted(stacks.items()):
+        for name in stack:
+            errors.append(
+                f"unclosed B {name!r} on pid={pid} tid={tid} at EOF")
+
+    def named_slices(label):
+        return sum(x_slices.get(k, 0)
+                   for k in thread_names.get(label, ()))
+
+    if opts.require_lifecycle:
+        if lanes_opened == 0 or lanes_closed == 0:
+            errors.append(
+                "lifecycle: no completed request lane (B/E pair named "
+                f"'req N'); opened={lanes_opened} closed={lanes_closed}")
+        for needed in ("admitted", "first token"):
+            if not any(n.startswith(needed) for n in instant_names):
+                errors.append(
+                    f"lifecycle: no {needed!r} instant event")
+        if named_slices("iterations") == 0:
+            errors.append(
+                "lifecycle: no slices on any 'iterations' thread")
+
+    if opts.require_phases:
+        for phase in ("gpu", "pim", "sync"):
+            if phase not in thread_names:
+                errors.append(
+                    f"phases: no thread named {phase!r} (metadata)")
+            elif named_slices(phase) == 0:
+                errors.append(
+                    f"phases: no X slices on any {phase!r} thread")
+
+    if errors:
+        return fail(errors)
+
+    print(f"check_trace: ok — {len(events)} events, "
+          f"{len(stacks)} B/E tracks, {lanes_closed} request lanes, "
+          f"{named_slices('iterations')} iteration slices")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

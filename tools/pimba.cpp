@@ -5,6 +5,8 @@
  *
  *     pimba run scenarios/fig12_throughput.json
  *     pimba run scenarios/serving_rate_sweep.json --smoke --csv
+ *     pimba run scenarios/serving_rate_sweep.json --smoke \
+ *         --trace trace.json --timeline load.csv --stream-metrics
  *     pimba sweep scenarios/policy_shootout.json --grid rate=1..32:x2
  *     pimba fleet scenarios/fleet_planner.json
  *     pimba validate scenarios/cluster_routers.json
@@ -50,6 +52,12 @@ printTopLevelHelp()
         "  --grid <p=v>  sweep axis, e.g. rate=1..32:x2 (sweep only)\n"
         "  --threads <n> sweep worker threads, 0 = all cores "
         "(sweep only)\n"
+        "  --trace <f>   write a Perfetto/Chrome trace JSON "
+        "(run/fleet only)\n"
+        "  --timeline <f> write the sampled load timeline "
+        "(run/fleet only)\n"
+        "  --stream-metrics  streaming quantile-sketch metrics "
+        "(run/fleet only)\n"
         "  --help        this message, or per-command usage\n",
         stdout);
 }
@@ -60,6 +68,8 @@ runCommand(const std::string &command, int argc, char **argv)
     std::string path, grid;
     bool smoke = false, csv = false;
     int threads = 1;
+    std::string tracePath, timelinePath;
+    bool streamMetrics = false;
 
     ArgParser args("pimba " + command,
                    command == "sweep"
@@ -87,11 +97,47 @@ runCommand(const std::string &command, int argc, char **argv)
         args.option("--threads", "n",
                     "worker threads; 0 selects all cores", &threads);
     }
+    if (command == "run" || command == "fleet") {
+        args.option("--trace", "file",
+                    "write a Chrome trace-event JSON (Perfetto) here",
+                    &tracePath);
+        args.option("--timeline", "file",
+                    "write the sampled load timeline here (.json for "
+                    "JSON, else CSV)",
+                    &timelinePath);
+        args.flag("--stream-metrics",
+                  "derive report metrics through streaming quantile "
+                  "sketches",
+                  &streamMetrics);
+    }
     if (!args.parse(argc, argv))
         return args.exitCode();
 
     try {
         Scenario sc = loadScenarioFile(path, smoke);
+        // CLI observability flags override (or enable) the scenario's
+        // "observability" block. Only the serving and fleet kinds run
+        // engines to observe.
+        if (!tracePath.empty())
+            sc.obs.tracePath = tracePath;
+        if (!timelinePath.empty()) {
+            sc.obs.timelinePath = timelinePath;
+            if (timelinePath.size() >= 5 &&
+                timelinePath.compare(timelinePath.size() - 5, 5,
+                                     ".json") == 0)
+                sc.obs.timelineFormat = TimelineFormat::Json;
+        }
+        if (streamMetrics)
+            sc.obs.streamMetrics = true;
+        if (sc.obs.enabled() && sc.kind != ScenarioKind::Serving &&
+            sc.kind != ScenarioKind::Fleet) {
+            fprintf(stderr,
+                    "pimba %s: observability applies to serving and "
+                    "fleet scenarios; %s is a %s scenario\n",
+                    command.c_str(), path.c_str(),
+                    scenarioKindName(sc.kind).c_str());
+            return 1;
+        }
         if (command == "validate") {
             // Check both the plain document and its smoke overlay — a
             // typo inside "smoke" must not survive validation only to
