@@ -5,6 +5,7 @@
 #include <queue>
 #include <unordered_map> // pimba-lint: allow(node-container) per-run handoff bookkeeping
 
+#include "core/event_queue.h"
 #include "core/logging.h"
 
 namespace pimba {
@@ -12,6 +13,11 @@ namespace pimba {
 namespace {
 
 constexpr Seconds kInf{std::numeric_limits<double>::infinity()};
+
+/// Calendar event classes: at equal times an arrival dispatches before
+/// a hand-off, reproducing the lockstep loop's `ta <= th` preference.
+constexpr uint32_t kArrivalClass = 0;
+constexpr uint32_t kHandoffClass = 1;
 
 /** Load snapshots of the replicas in @p pool, in pool order, into the
  *  caller's reused buffer (one routing decision per request makes this
@@ -99,7 +105,9 @@ struct Handoff
     uint64_t prefillPreemptions = 0;
 };
 
-/** Min-first by (ready, id): deterministic hand-off order. */
+/** Min-first by (ready, id): deterministic hand-off order (the
+ *  lockstep reference driver's queue; the event pump encodes the same
+ *  order in its calendar keys). */
 struct HandoffLater
 {
     bool
@@ -109,6 +117,15 @@ struct HandoffLater
             return a.ready > b.ready;
         return a.req.id > b.req.id;
     }
+};
+
+/** Calendar payload of the disaggregated pump: an arrival or a
+ *  readied hand-off. */
+struct FleetEvent
+{
+    bool isArrival = true;
+    Request req;     ///< arrival payload
+    Handoff handoff; ///< hand-off payload
 };
 
 /**
@@ -263,49 +280,139 @@ Fleet::run(const std::vector<Request> &trace)
                      [](const Request &a, const Request &b) {
                          return a.arrival < b.arrival;
                      });
+    VectorArrivalSource src(sorted);
+    return run(src);
+}
 
+FleetReport
+Fleet::run(ArrivalSource &arrivals)
+{
+    return cfg.mode == FleetMode::Colocated
+               ? runColocated(arrivals, nullptr)
+               : runDisaggregated(arrivals);
+}
+
+FleetReport
+Fleet::runStreamed(ArrivalSource &arrivals, StreamingMetrics &stream)
+{
+    PIMBA_ASSERT(cfg.mode == FleetMode::Colocated,
+                 "runStreamed() needs a colocated fleet: the "
+                 "disaggregated driver polls per-request completion "
+                 "records to build transfer hand-offs, which the "
+                 "record-free streaming mode drops");
+    return runColocated(arrivals, &stream);
+}
+
+/**
+ * Colocated event pump. The calendar holds exactly one pending arrival
+ * (the source is pulled lazily, one ahead), and every dispatch runs
+ * the same engine-call sequence the lockstep loop ran — advance the
+ * pool to the arrival instant (gated by cached next-event times),
+ * snapshot, route, submit — so reports are byte-identical to
+ * runLockstep() on the same trace.
+ *
+ * With @p stream set, the run is the bounded-memory replay shape:
+ * engines fold completions into the collector instead of retaining
+ * records, and the fleet skips its own O(requests) assignment and
+ * completion lists.
+ */
+FleetReport
+Fleet::runColocated(ArrivalSource &arrivals, StreamingMetrics *stream)
+{
     FleetReport report;
     report.mode = cfg.mode;
     report.router = cfg.router;
-    report.assignments.reserve(sorted.size());
+
+    // Streamed runs temporarily graft the collector onto every
+    // replica's observers; the attach is restored before returning so
+    // the engines stay reusable for ordinary runs.
+    std::vector<EngineObservers> saved;
+    if (stream) {
+        for (ServingEngine &e : engines) {
+            saved.push_back(e.observers());
+            EngineObservers eo = e.observers();
+            eo.stream = stream;
+            eo.streamOnly = true;
+            e.attachObservers(eo);
+        }
+    }
 
     for (ServingEngine &e : engines)
         e.begin();
 
-    if (cfg.mode == FleetMode::Colocated) {
-        // ---------------------------------------------- colocated
-        auto router = makeRouter(cfg.router, cfg.routerSeed);
-        const std::vector<size_t> pool = prefillPool(); // all replicas
-        AdvanceGate gate(engines);
-        std::vector<ReplicaSnapshot> snap;
-        for (const Request &r : sorted) {
-            gate.advancePool(pool, r.arrival);
-            snapshotPool(engines, pool, snap);
-            size_t pick = pool[router->route(snap, r)];
-            engines[pick].submit(r);
-            gate.refresh(pick);
-            // decodeReplica stays -1: the field marks a disaggregated
-            // hand-off, and a colocated replica decodes its own work.
-            report.assignments.push_back(Assignment{r.id, pick, -1});
-        }
-        for (ServingEngine &e : engines)
-            e.drain();
-        for (ServingEngine &e : engines)
-            report.replicas.push_back(e.finish());
+    auto router = makeRouter(cfg.router, cfg.routerSeed);
+    const std::vector<size_t> pool = prefillPool(); // all replicas
+    AdvanceGate gate(engines);
+    std::vector<ReplicaSnapshot> snap;
 
-        // The fleet records are the merged replica records, computed
-        // on directly (aggregateMetrics would merge the same vectors a
-        // second time; it remains the API for callers holding only
-        // per-replica reports).
-        for (const ServingReport &rep : report.replicas)
-            report.completed.insert(report.completed.end(),
-                                    rep.completed.begin(),
-                                    rep.completed.end());
-        finalizeReport(report, cfg.slo);
+    EventQueue<Request> calendar;
+    auto pullArrival = [&]() {
+        Request r;
+        if (arrivals.next(r))
+            calendar.push(r.arrival, kArrivalClass, r.id, r);
+    };
+    pullArrival();
+    while (!calendar.empty()) {
+        Request r = calendar.pop().payload;
+        gate.advancePool(pool, r.arrival);
+        snapshotPool(engines, pool, snap);
+        size_t pick = pool[router->route(snap, r)];
+        engines[pick].submit(r);
+        gate.refresh(pick);
+        // decodeReplica stays -1: the field marks a disaggregated
+        // hand-off, and a colocated replica decodes its own work.
+        if (!stream)
+            report.assignments.push_back(Assignment{r.id, pick, -1});
+        pullArrival();
+    }
+    for (ServingEngine &e : engines)
+        e.drain();
+    for (ServingEngine &e : engines)
+        report.replicas.push_back(e.finish());
+
+    if (stream) {
+        // The collector saw every completion; its last-finish instant
+        // is exactly the makespan the sorted completion list yields.
+        report.makespan = stream->lastFinishTime();
+        report.metrics = stream->finalize(report.makespan);
+        report.load = computeLoadStats(report.replicas);
+        for (size_t i = 0; i < engines.size(); ++i)
+            engines[i].attachObservers(saved[i]);
         return report;
     }
 
-    // ------------------------------------------------ disaggregated
+    // The fleet records are the merged replica records, computed
+    // on directly (aggregateMetrics would merge the same vectors a
+    // second time; it remains the API for callers holding only
+    // per-replica reports).
+    for (const ServingReport &rep : report.replicas)
+        report.completed.insert(report.completed.end(),
+                                rep.completed.begin(),
+                                rep.completed.end());
+    finalizeReport(report, cfg.slo);
+    return report;
+}
+
+/**
+ * Disaggregated event pump: arrivals (class 0) and prefill-to-decode
+ * hand-offs (class 1, readied by the link transfer) share one
+ * calendar. Before committing to the earliest event the prefill pool
+ * is advanced to its time and polled — a prefill completion inside the
+ * gap may ready a hand-off earlier than anything queued, exactly the
+ * re-check the lockstep loop did per iteration. An empty calendar with
+ * prefill work still in flight drains the prefill pool to discover the
+ * remaining hand-offs.
+ */
+FleetReport
+Fleet::runDisaggregated(ArrivalSource &arrivals)
+{
+    FleetReport report;
+    report.mode = cfg.mode;
+    report.router = cfg.router;
+
+    for (ServingEngine &e : engines)
+        e.begin();
+
     const std::vector<size_t> prefills = prefillPool();
     const std::vector<size_t> decodes = decodePool();
     auto prefillRouter = makeRouter(cfg.router, cfg.routerSeed);
@@ -317,7 +424,7 @@ Fleet::run(const std::vector<Request> &trace)
     std::unordered_map<uint64_t, Request> originals;
     std::unordered_map<uint64_t, size_t> assignmentIdx; // pimba-lint: allow(node-container) ditto
     std::unordered_map<uint64_t, Handoff> handoffMeta; // pimba-lint: allow(node-container) ditto
-    std::priority_queue<Handoff, std::vector<Handoff>, HandoffLater> due;
+    EventQueue<FleetEvent> calendar;
     std::vector<CompletedRequest> prefillOnly; // single-token requests
     std::vector<size_t> polled(engines.size(), 0);
     AdvanceGate gate(engines);
@@ -348,7 +455,8 @@ Fleet::run(const std::vector<Request> &trace)
                 h.linkSeconds = cost.seconds;
                 h.prefillQueueing = c.queueing;
                 h.prefillPreemptions = c.preemptions;
-                due.push(h);
+                calendar.push(h.ready, kHandoffClass, h.req.id,
+                              FleetEvent{false, Request{}, h});
                 if (obs.tracer)
                     // Slice on the interconnect process, one lane per
                     // source replica: blocks leave when the prefill
@@ -382,14 +490,21 @@ Fleet::run(const std::vector<Request> &trace)
         return false;
     };
 
-    size_t next = 0;
-    while (next < sorted.size() || !due.empty() || prefillBusy()) {
-        Seconds ta = next < sorted.size() ? sorted[next].arrival : kInf;
-        Seconds th = due.empty() ? kInf : due.top().ready;
-        Seconds t = std::min(ta, th);
-        if (t == kInf) {
-            // No event in hand, but prefill work is still in flight:
-            // run it out to discover the remaining hand-offs.
+    // One pending arrival rides the calendar at a time: the source is
+    // pulled lazily, and the next arrival is scheduled only once the
+    // current one dispatches (it cannot precede it, so the calendar
+    // order is complete regardless).
+    auto pullArrival = [&]() {
+        Request r;
+        if (arrivals.next(r))
+            calendar.push(r.arrival, kArrivalClass, r.id,
+                          FleetEvent{true, r, Handoff{}});
+    };
+    pullArrival();
+    while (!calendar.empty() || prefillBusy()) {
+        if (calendar.empty()) {
+            // No event on the calendar, but prefill work is still in
+            // flight: run it out to discover the remaining hand-offs.
             for (size_t i : prefills) {
                 engines[i].drain();
                 gate.refresh(i);
@@ -399,13 +514,14 @@ Fleet::run(const std::vector<Request> &trace)
         }
         // Advance the prefill pool to the event horizon *before*
         // committing to the event order: a completion inside (now, t]
-        // may ready a hand-off earlier than the one queued.
-        gate.advancePool(prefills, t);
+        // may ready a hand-off earlier than the one queued — the poll
+        // schedules it, and the pop below dispatches the true minimum.
+        gate.advancePool(prefills, calendar.nextTime());
         pollPrefills();
-        th = due.empty() ? kInf : due.top().ready;
 
-        if (ta <= th) {
-            const Request &r = sorted[next++];
+        CalendarEntry<FleetEvent> e = calendar.pop();
+        if (e.payload.isArrival) {
+            const Request r = e.payload.req;
             PIMBA_ASSERT(originals.emplace(r.id, r).second,
                          "duplicate request id ", r.id, " in trace");
             snapshotPool(engines, prefills, snap);
@@ -416,9 +532,9 @@ Fleet::run(const std::vector<Request> &trace)
             gate.refresh(pick);
             assignmentIdx.emplace(r.id, report.assignments.size());
             report.assignments.push_back(Assignment{r.id, pick, -1});
+            pullArrival();
         } else {
-            Handoff h = due.top();
-            due.pop();
+            const Handoff &h = e.payload.handoff;
             gate.advancePool(decodes, h.ready);
             snapshotPool(engines, decodes, snap);
             size_t pick = decodes[decodeRouter->route(snap, h.req)];
@@ -440,6 +556,201 @@ Fleet::run(const std::vector<Request> &trace)
     // Synthesize the fleet-level records: TTFT is prefill + transfer
     // (the first token is not servable until its blocks land on the
     // decode replica), decode-stage queueing and compute land in TPOT.
+    double shareSum = 0.0;
+    std::vector<double> transferSeconds;
+    transferSeconds.reserve(handoffMeta.size());
+    for (size_t i : decodes) {
+        for (const CompletedRequest &c : report.replicas[i].completed) {
+            const Handoff &h = handoffMeta.at(c.req.id);
+            const Request &orig = originals.at(c.req.id);
+            CompletedRequest out;
+            out.req = orig;
+            out.ttft = h.prefillFinish + h.linkSeconds - orig.arrival;
+            out.latency = finishTime(c) - orig.arrival;
+            out.tpot =
+                (out.latency - out.ttft) /
+                static_cast<double>(orig.outputLen - 1);
+            out.queueing = h.prefillQueueing;
+            out.preemptions = h.prefillPreemptions + c.preemptions;
+            report.completed.push_back(out);
+            shareSum += h.linkSeconds / out.ttft;
+            transferSeconds.push_back(h.linkSeconds.value());
+        }
+    }
+    report.completed.insert(report.completed.end(), prefillOnly.begin(),
+                            prefillOnly.end());
+    finalizeReport(report, cfg.slo);
+    report.transfer.perTransfer = summarizeLatency(transferSeconds);
+    report.transfer.meanTtftShare =
+        transferSeconds.empty()
+            ? 0.0
+            : shareSum / static_cast<double>(transferSeconds.size());
+    return report;
+}
+
+FleetReport
+Fleet::runLockstep(const std::vector<Request> &trace)
+{
+    // The pre-event-core driver, byte for byte: it walks the sorted
+    // trace eagerly, keeps its own hand-off priority queue, and
+    // re-derives the event order per iteration. The equivalence suite
+    // holds the calendar pump to this implementation's exact output;
+    // do not "improve" one without the other.
+    std::vector<Request> sorted = trace;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const Request &a, const Request &b) {
+                         return a.arrival < b.arrival;
+                     });
+
+    FleetReport report;
+    report.mode = cfg.mode;
+    report.router = cfg.router;
+    report.assignments.reserve(sorted.size());
+
+    for (ServingEngine &e : engines)
+        e.begin();
+
+    if (cfg.mode == FleetMode::Colocated) {
+        // ---------------------------------------------- colocated
+        auto router = makeRouter(cfg.router, cfg.routerSeed);
+        const std::vector<size_t> pool = prefillPool(); // all replicas
+        AdvanceGate gate(engines);
+        std::vector<ReplicaSnapshot> snap;
+        for (const Request &r : sorted) {
+            gate.advancePool(pool, r.arrival);
+            snapshotPool(engines, pool, snap);
+            size_t pick = pool[router->route(snap, r)];
+            engines[pick].submit(r);
+            gate.refresh(pick);
+            report.assignments.push_back(Assignment{r.id, pick, -1});
+        }
+        for (ServingEngine &e : engines)
+            e.drain();
+        for (ServingEngine &e : engines)
+            report.replicas.push_back(e.finish());
+        for (const ServingReport &rep : report.replicas)
+            report.completed.insert(report.completed.end(),
+                                    rep.completed.begin(),
+                                    rep.completed.end());
+        finalizeReport(report, cfg.slo);
+        return report;
+    }
+
+    // ------------------------------------------------ disaggregated
+    const std::vector<size_t> prefills = prefillPool();
+    const std::vector<size_t> decodes = decodePool();
+    auto prefillRouter = makeRouter(cfg.router, cfg.routerSeed);
+    auto decodeRouter = makeRouter(cfg.router, cfg.routerSeed ^ 0x9E3779B9u);
+    const LinkModel link(cfg.link);
+
+    // pimba-lint: allow(node-container) touched once per request, not per step
+    std::unordered_map<uint64_t, Request> originals;
+    std::unordered_map<uint64_t, size_t> assignmentIdx; // pimba-lint: allow(node-container) ditto
+    std::unordered_map<uint64_t, Handoff> handoffMeta; // pimba-lint: allow(node-container) ditto
+    std::priority_queue<Handoff, std::vector<Handoff>, HandoffLater> due;
+    std::vector<CompletedRequest> prefillOnly; // single-token requests
+    std::vector<size_t> polled(engines.size(), 0);
+    AdvanceGate gate(engines);
+    std::vector<ReplicaSnapshot> snap;
+
+    auto pollPrefills = [&]() {
+        for (size_t i : prefills) {
+            const auto &done = engines[i].completedSoFar();
+            for (size_t k = polled[i]; k < done.size(); ++k) {
+                const CompletedRequest &c = done[k];
+                const Request &orig = originals.at(c.req.id);
+                if (orig.outputLen == 1) {
+                    prefillOnly.push_back(c);
+                    continue;
+                }
+                MemoryUsage mem = engines[i].simulator().memoryUsage(
+                    model, 1, orig.inputLen + 1);
+                Bytes bytes = mem.state + mem.kvCache;
+                LinkCost cost = link.transfer(bytes);
+                Handoff h;
+                h.prefillFinish = finishTime(c);
+                h.ready = h.prefillFinish + cost.seconds;
+                h.req = orig;
+                h.linkSeconds = cost.seconds;
+                h.prefillQueueing = c.queueing;
+                h.prefillPreemptions = c.preemptions;
+                due.push(h);
+                if (obs.tracer)
+                    obs.tracer->complete(
+                        obs.interconnectPid, static_cast<int>(i) + 1,
+                        h.prefillFinish, cost.seconds,
+                        "ship req " + std::to_string(orig.id),
+                        "interconnect",
+                        {{"bytes", bytes.value()},
+                         {"seconds", cost.seconds.value()}});
+                if (bytes > Bytes(0.0)) {
+                    ++report.transfer.transfers;
+                    report.transfer.totalBytes += bytes;
+                    report.transfer.totalSeconds += cost.seconds;
+                    report.transfer.totalEnergyJ += cost.energyJ;
+                }
+            }
+            polled[i] = done.size();
+        }
+    };
+
+    auto prefillBusy = [&]() {
+        for (size_t i : prefills)
+            if (engines[i].queueDepth() > 0)
+                return true;
+        return false;
+    };
+
+    size_t next = 0;
+    while (next < sorted.size() || !due.empty() || prefillBusy()) {
+        Seconds ta = next < sorted.size() ? sorted[next].arrival : kInf;
+        Seconds th = due.empty() ? kInf : due.top().ready;
+        Seconds t = std::min(ta, th);
+        if (t == kInf) {
+            for (size_t i : prefills) {
+                engines[i].drain();
+                gate.refresh(i);
+            }
+            pollPrefills();
+            continue;
+        }
+        gate.advancePool(prefills, t);
+        pollPrefills();
+        th = due.empty() ? kInf : due.top().ready;
+
+        if (ta <= th) {
+            const Request &r = sorted[next++];
+            PIMBA_ASSERT(originals.emplace(r.id, r).second,
+                         "duplicate request id ", r.id, " in trace");
+            snapshotPool(engines, prefills, snap);
+            size_t pick = prefills[prefillRouter->route(snap, r)];
+            Request pr = r;
+            pr.outputLen = 1;
+            engines[pick].submit(pr);
+            gate.refresh(pick);
+            assignmentIdx.emplace(r.id, report.assignments.size());
+            report.assignments.push_back(Assignment{r.id, pick, -1});
+        } else {
+            Handoff h = due.top();
+            due.pop();
+            gate.advancePool(decodes, h.ready);
+            snapshotPool(engines, decodes, snap);
+            size_t pick = decodes[decodeRouter->route(snap, h.req)];
+            Request dr = h.req;
+            dr.arrival = h.ready;
+            engines[pick].submitPrefilled(dr);
+            gate.refresh(pick);
+            report.assignments[assignmentIdx.at(h.req.id)].decodeReplica =
+                static_cast<int>(pick);
+            handoffMeta.emplace(h.req.id, h);
+        }
+    }
+
+    for (ServingEngine &e : engines)
+        e.drain();
+    for (ServingEngine &e : engines)
+        report.replicas.push_back(e.finish());
+
     double shareSum = 0.0;
     std::vector<double> transferSeconds;
     transferSeconds.reserve(handoffMeta.size());

@@ -1,15 +1,20 @@
 /**
  * @file
  * Cluster fleet simulator: N serving-engine replicas behind a pluggable
- * request router, driven by one shared arrival trace on one global
+ * request router, driven by one shared arrival source on one global
  * clock.
  *
  * Replicas are full ServingEngine instances (homogeneous or
- * heterogeneous SystemKind mixes, per-replica EngineConfig), advanced
- * in lock-step with the trace through the engine session API: at every
- * arrival the fleet advances each candidate replica to the arrival
- * instant, snapshots its queue depth and outstanding tokens, and lets
- * the router commit the request. Two fleet modes:
+ * heterogeneous SystemKind mixes, per-replica EngineConfig). The fleet
+ * is a discrete-event simulation: arrivals and (in disaggregated mode)
+ * transfer hand-offs live on one event calendar (core/event_queue.h),
+ * and the fleet pumps the earliest event — advancing only the replicas
+ * whose cached nextEventTime() says they have due work, snapshotting
+ * queue depth and outstanding tokens, and letting the router commit
+ * the request. Arrivals are pulled lazily from an ArrivalSource, so a
+ * replay-scale run never holds the whole trace. The retired lockstep
+ * driver survives as runLockstep(), the reference the event core is
+ * proven byte-identical against. Two fleet modes:
  *
  *  - Colocated: every replica both prefills and decodes its own
  *    requests — the classic replicated deployment.
@@ -38,6 +43,7 @@
 #include "cluster/router.h"
 #include "gpu/interconnect.h"
 #include "serving/engine.h"
+#include "serving/trace.h"
 
 namespace pimba {
 
@@ -133,8 +139,32 @@ class Fleet
     Fleet(const ModelConfig &model, FleetConfig cfg);
 
     /// Serve @p trace to completion across the fleet. Reusable: every
-    /// run re-seeds the router and resets every replica.
+    /// run re-seeds the router and resets every replica. Sorts a copy
+    /// by arrival and feeds it through the event calendar.
     FleetReport run(const std::vector<Request> &trace);
+
+    /// Event-driven run over a lazy source (requests must come in
+    /// non-decreasing arrival order — what ArrivalStream and
+    /// TraceFileReader produce). The trace is never materialized; with
+    /// per-request records retained, the report is still O(requests).
+    FleetReport run(ArrivalSource &arrivals);
+
+    /// Bounded-memory replay: like run(ArrivalSource&), but every
+    /// completion folds into @p stream instead of being retained, so
+    /// peak memory is O(in-flight requests + sketch buckets),
+    /// independent of trace length. The report's completed /
+    /// assignments vectors stay empty; metrics and makespan come from
+    /// the stream (percentiles are sketch estimates, counters exact).
+    /// Colocated fleets only — the disaggregated driver polls
+    /// per-request completion records to build transfer hand-offs.
+    FleetReport runStreamed(ArrivalSource &arrivals,
+                            StreamingMetrics &stream);
+
+    /// The pre-event-core lockstep driver, kept as the debug reference
+    /// the event calendar is proven byte-identical against
+    /// (tests/cluster/event_equivalence_test.cpp). Not for new
+    /// callers: it holds the whole trace and advances eagerly.
+    FleetReport runLockstep(const std::vector<Request> &trace);
 
     const FleetConfig &config() const { return cfg; }
     size_t replicaCount() const { return engines.size(); }
@@ -151,6 +181,10 @@ class Fleet
   private:
     std::vector<size_t> prefillPool() const;
     std::vector<size_t> decodePool() const;
+    /// Event-calendar drivers behind the public run()/runStreamed().
+    FleetReport runColocated(ArrivalSource &arrivals,
+                             StreamingMetrics *stream);
+    FleetReport runDisaggregated(ArrivalSource &arrivals);
 
     ModelConfig model;
     FleetConfig cfg;

@@ -43,7 +43,9 @@ computeLoadStats(const std::vector<ServingReport> &replicas)
     stats.requestsPerReplica.reserve(replicas.size());
     stats.tokensPerReplica.reserve(replicas.size());
     for (const ServingReport &r : replicas) {
-        stats.requestsPerReplica.push_back(r.completed.size());
+        // The counter, not completed.size(): streamOnly replicas drop
+        // the per-request records but still count their completions.
+        stats.requestsPerReplica.push_back(r.completedRequests);
         stats.tokensPerReplica.push_back(r.generatedTokens);
     }
 

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "serving/trace_io.h"
 #include "sim/serving_sim.h"
 
 namespace pimba {
@@ -77,7 +78,21 @@ runFleetCase(const FleetScenario &sc, const FleetCase &c,
         cfg.router = *router;
     Fleet fleet(sc.model, cfg);
     fleet.attachObservers(fo);
-    return fleet.run(generateTrace(sc.trace));
+    return fleet.run(materializeTrace(sc.trace));
+}
+
+FleetReport
+runFleetCaseStreamed(const FleetScenario &sc, const FleetCase &c,
+                     std::optional<RouterPolicy> router,
+                     const FleetObservers &fo, StreamingMetrics &stream)
+{
+    FleetConfig cfg = c.fleet;
+    if (router)
+        cfg.router = *router;
+    Fleet fleet(sc.model, cfg);
+    fleet.attachObservers(fo);
+    auto arrivals = openArrivalSource(sc.trace);
+    return fleet.runStreamed(*arrivals, stream);
 }
 
 namespace {
@@ -340,17 +355,29 @@ runFleet(const Scenario &scenario, bool quiet)
             fo.interconnectPid =
                 nextPid + static_cast<int>(c.fleet.replicas.size());
             nextPid += static_cast<int>(c.fleet.replicas.size()) + 1;
-            r = runFleetCase(sc, c, router, fo);
-            if (oc.streamMetrics) {
-                // Stream the fleet-level records (transfer-adjusted
-                // TTFTs) through sketch collectors instead of the
-                // exact percentile pass.
+            if (oc.streamMetrics &&
+                c.fleet.mode == FleetMode::Colocated) {
+                // The true bounded-memory shape: arrivals stream from
+                // the source and completions fold into sketches, so a
+                // million-request replay never materializes its trace
+                // or its per-request records.
                 StreamingMetrics stream(c.fleet.slo);
-                for (const CompletedRequest &cr : r.completed)
-                    stream.observe(cr);
-                m = stream.finalize(r.makespan);
-            } else {
+                r = runFleetCaseStreamed(sc, c, router, fo, stream);
                 m = r.metrics;
+            } else {
+                r = runFleetCase(sc, c, router, fo);
+                if (oc.streamMetrics) {
+                    // Disaggregated cases must retain records (the
+                    // driver polls them for hand-offs); stream the
+                    // fleet-level records (transfer-adjusted TTFTs)
+                    // through sketch collectors after the fact.
+                    StreamingMetrics stream(c.fleet.slo);
+                    for (const CompletedRequest &cr : r.completed)
+                        stream.observe(cr);
+                    m = stream.finalize(r.makespan);
+                } else {
+                    m = r.metrics;
+                }
             }
         } else {
             r = runFleetCase(sc, c, router);

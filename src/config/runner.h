@@ -83,6 +83,20 @@ FleetReport runFleetCase(const FleetScenario &sc, const FleetCase &c,
                          std::optional<RouterPolicy> router,
                          const FleetObservers &fo);
 
+/**
+ * Bounded-memory fleet run: arrivals stream straight from the
+ * scenario's trace config (generator or replay file, never
+ * materialized) and completions fold into @p stream, so peak memory is
+ * independent of trace length — the shape million-request replays
+ * need. Colocated cases only (Fleet::runStreamed); the runner falls
+ * back to the record-retaining path for disaggregated cases.
+ */
+FleetReport runFleetCaseStreamed(const FleetScenario &sc,
+                                 const FleetCase &c,
+                                 std::optional<RouterPolicy> router,
+                                 const FleetObservers &fo,
+                                 StreamingMetrics &stream);
+
 } // namespace pimba
 
 #endif // PIMBA_CONFIG_RUNNER_H

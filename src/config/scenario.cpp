@@ -286,9 +286,27 @@ parseModel(const JsonValue &obj, const JsonValue &root)
     return parseModelValue(*v);
 }
 
+LengthDistribution
+parseLengthDistribution(const JsonValue &v)
+{
+    std::string name = lowered(v.asString());
+    if (name == "fixed")
+        return LengthDistribution::Fixed;
+    if (name == "uniform")
+        return LengthDistribution::Uniform;
+    failAt(v, "unknown length distribution \"" + v.asString() +
+                  "\" (expected fixed, uniform)");
+}
+
+/**
+ * @param allowReplayFile fleet scenarios may name a pimba-trace-v1
+ *        replay file; the sweep kinds re-generate the trace per swept
+ *        rate, so a fixed file would silently ignore the sweep variable
+ *        — rejected up front instead.
+ */
 TraceConfig
 parseTrace(const JsonValue &obj, const JsonValue &root,
-           bool require = true)
+           bool require = true, bool allowReplayFile = false)
 {
     TraceConfig tc;
     const JsonValue *v = obj.find("trace");
@@ -299,16 +317,22 @@ parseTrace(const JsonValue &obj, const JsonValue &root,
     }
     checkKeys(*v, {"arrivals", "rate", "numRequests", "lengths",
                    "inputLen", "inputLenMax", "outputLen",
-                   "outputLenMax", "seed"});
+                   "outputLenMax", "seed", "diurnal", "mmpp", "classes",
+                   "file"});
     if (const JsonValue *a = v->find("arrivals")) {
         std::string name = lowered(a->asString());
         if (name == "poisson")
             tc.arrivals = ArrivalProcess::Poisson;
         else if (name == "fixed")
             tc.arrivals = ArrivalProcess::Fixed;
+        else if (name == "diurnal")
+            tc.arrivals = ArrivalProcess::Diurnal;
+        else if (name == "mmpp")
+            tc.arrivals = ArrivalProcess::Mmpp;
         else
             failAt(*a, "unknown arrival process \"" + a->asString() +
-                           "\" (expected poisson, fixed)");
+                           "\" (expected poisson, fixed, diurnal, "
+                           "mmpp)");
     }
     tc.ratePerSec = getNumber(*v, "rate", tc.ratePerSec);
     tc.numRequests = getInt32(*v, "numRequests", tc.numRequests);
@@ -318,17 +342,62 @@ parseTrace(const JsonValue &obj, const JsonValue &root,
     tc.outputLenMax = getUint(*v, "outputLenMax", 0);
     tc.seed = getSeed(*v, "seed", tc.seed);
     if (const JsonValue *l = v->find("lengths")) {
-        std::string name = lowered(l->asString());
-        if (name == "fixed")
-            tc.lengths = LengthDistribution::Fixed;
-        else if (name == "uniform")
-            tc.lengths = LengthDistribution::Uniform;
-        else
-            failAt(*l, "unknown length distribution \"" +
-                           l->asString() +
-                           "\" (expected fixed, uniform)");
+        tc.lengths = parseLengthDistribution(*l);
     } else if (tc.inputLenMax > 0 || tc.outputLenMax > 0) {
         tc.lengths = LengthDistribution::Uniform;
+    }
+    if (const JsonValue *d = v->find("diurnal")) {
+        checkKeys(*d, {"periodSec", "peakToTrough"});
+        tc.diurnal.period = Seconds(
+            getNumber(*d, "periodSec", tc.diurnal.period.value()));
+        tc.diurnal.peakToTrough =
+            getNumber(*d, "peakToTrough", tc.diurnal.peakToTrough);
+    }
+    if (const JsonValue *m = v->find("mmpp")) {
+        checkKeys(*m, {"burstMultiplier", "burstMeanSec",
+                       "idleMeanSec"});
+        tc.mmpp.burstMultiplier = getNumber(*m, "burstMultiplier",
+                                            tc.mmpp.burstMultiplier);
+        tc.mmpp.burstMean = Seconds(
+            getNumber(*m, "burstMeanSec", tc.mmpp.burstMean.value()));
+        tc.mmpp.idleMean = Seconds(
+            getNumber(*m, "idleMeanSec", tc.mmpp.idleMean.value()));
+    }
+    if (const JsonValue *cs = v->find("classes")) {
+        for (const JsonValue &cv : cs->items()) {
+            checkKeys(cv, {"name", "weight", "lengths", "inputLen",
+                           "inputLenMax", "outputLen", "outputLenMax"});
+            TraceClass c;
+            c.name = getString(cv, "name", "");
+            c.weight = getNumber(cv, "weight", c.weight);
+            c.inputLen = getUint(cv, "inputLen", c.inputLen);
+            c.outputLen = getUint(cv, "outputLen", c.outputLen);
+            c.inputLenMax = getUint(cv, "inputLenMax", 0);
+            c.outputLenMax = getUint(cv, "outputLenMax", 0);
+            if (const JsonValue *l = cv.find("lengths"))
+                c.lengths = parseLengthDistribution(*l);
+            else if (c.inputLenMax > 0 || c.outputLenMax > 0)
+                c.lengths = LengthDistribution::Uniform;
+            tc.classes.push_back(std::move(c));
+        }
+        if (tc.classes.empty())
+            failAt(*cs, "\"classes\" must hold at least one class "
+                        "(omit the key for a single-class trace)");
+    }
+    if (const JsonValue *f = v->find("file")) {
+        if (!allowReplayFile)
+            failAt(*f, "\"file\" replay is supported for fleet "
+                       "scenarios only (rate sweeps re-generate their "
+                       "trace per swept rate)");
+        tc.file = f->asString();
+        if (tc.file.empty())
+            failAt(*f, "\"file\" must name a pimba-trace-v1 file "
+                       "(omit the key to generate the trace)");
+        // For a replay numRequests is the prefix cap, not the trace
+        // size; left unset it means "all of the file", not the
+        // generator's default 64.
+        if (!v->find("numRequests"))
+            tc.numRequests = 0;
     }
     if (std::string err = validateTraceConfig(tc); !err.empty())
         failAt(*v, err);
@@ -612,7 +681,8 @@ parseFleet(const JsonValue &root)
 {
     FleetScenario sc;
     sc.model = parseModel(root, root);
-    sc.trace = parseTrace(root, root);
+    sc.trace = parseTrace(root, root, /*require=*/true,
+                          /*allowReplayFile=*/true);
     if (const JsonValue *r = root.find("routers")) {
         for (const JsonValue &item : r->items())
             sc.routers.push_back(parseRouter(item));

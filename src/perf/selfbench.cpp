@@ -206,7 +206,47 @@ benchFleetRun(const SelfBenchOptions &opts)
     return layer;
 }
 
-/** Layer 6: the full fig12-scale throughput sweep. */
+/** Layer 6: the bounded-memory replay path — streamed diurnal
+ *  arrivals pumped through the event-calendar fleet into sketch
+ *  collectors, the shape million-request replays run in. */
+BenchLayer
+benchFleetReplay(const SelfBenchOptions &opts)
+{
+    BenchLayer layer;
+    layer.name = "fleet_replay";
+    const size_t replicas = opts.smoke ? 2 : 4;
+    FleetConfig cfg = homogeneousFleet(SystemKind::PIMBA, replicas,
+                                       benchEngine());
+    cfg.router = RouterPolicy::JoinShortestQueue;
+    TraceConfig tc;
+    tc.arrivals = ArrivalProcess::Diurnal;
+    tc.ratePerSec = 24.0;
+    tc.diurnal.period = Seconds(120.0);
+    tc.diurnal.peakToTrough = 3.0;
+    tc.numRequests = opts.smoke ? 200 : 2000;
+    tc.inputLen = opts.smoke ? 256 : 512;
+    tc.outputLen = opts.smoke ? 128 : 256;
+    tc.seed = 0x5EEDBE4Cu;
+    layer.detail = std::to_string(replicas) +
+                   "x Pimba, streamed diurnal 24 req/s, " +
+                   std::to_string(tc.numRequests) +
+                   " requests, sketch metrics";
+
+    Clock::time_point start = Clock::now();
+    for (int rep = 0; rep < opts.reps; ++rep) {
+        Fleet fleet(mamba2_2p7b(), cfg);
+        StreamingMetrics stream(cfg.slo);
+        ArrivalStream arrivals(tc);
+        FleetReport r = fleet.runStreamed(arrivals, stream);
+        layer.simRequests += r.metrics.requests;
+        layer.simTokens += r.metrics.generatedTokens;
+        layer.simSeconds += r.makespan.value();
+    }
+    layer.wallSeconds = secondsSince(start);
+    return layer;
+}
+
+/** Layer 7: the full fig12-scale throughput sweep. */
 BenchLayer
 benchFig12Sweep(const SelfBenchOptions &opts)
 {
@@ -350,6 +390,7 @@ runSelfBench(const SelfBenchOptions &opts)
     report.layers.push_back(benchEngineTraced(opts));
     report.layers.push_back(benchServingStudy(opts));
     report.layers.push_back(benchFleetRun(opts));
+    report.layers.push_back(benchFleetReplay(opts));
     report.layers.push_back(benchFig12Sweep(opts));
     return report;
 }

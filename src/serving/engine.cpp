@@ -355,8 +355,8 @@ void
 ServingEngine::drain()
 {
     advanceTo(Seconds(std::numeric_limits<double>::infinity()));
-    PIMBA_ASSERT(report.completed.size() == submitted,
-                 "drain left ", submitted - report.completed.size(),
+    PIMBA_ASSERT(report.completedRequests == submitted,
+                 "drain left ", submitted - report.completedRequests,
                  " requests unserved");
 }
 
@@ -364,9 +364,9 @@ ServingReport
 ServingEngine::finish()
 {
     PIMBA_ASSERT(active, "finish() outside a session");
-    PIMBA_ASSERT(report.completed.size() == submitted,
+    PIMBA_ASSERT(report.completedRequests == submitted,
                  "finish() before drain: ",
-                 submitted - report.completed.size(),
+                 submitted - report.completedRequests,
                  " requests in flight");
     PIMBA_ASSERT(blocks->usedBlocks() == Blocks(0),
                  "block pool leaked at drain: ",
@@ -388,6 +388,18 @@ ServingEngine::finish()
         report.makespan > Seconds(0.0)
             ? Tokens(report.generatedTokens) / report.makespan
             : TokensPerSecond(0.0);
+    // Under streamOnly the per-request records were never retained, so
+    // computeMetrics saw an empty vector; the counters are still exact.
+    // Percentile summaries live in the attached StreamingMetrics.
+    if (obs.streamOnly && obs.stream) {
+        report.metrics.requests = report.completedRequests;
+        report.metrics.requestsPerSec =
+            report.makespan > Seconds(0.0)
+                ? RequestsPerSecond(
+                      static_cast<double>(report.completedRequests) /
+                      report.makespan.value())
+                : RequestsPerSecond(0.0);
+    }
     active = false;
     return std::move(report);
 }
@@ -702,7 +714,11 @@ ServingEngine::iterate()
             obs.tracer->end(obs.pid, requestLane(rs.req.id), clock);
         if (obs.stream)
             obs.stream->observe(done);
-        report.completed.push_back(done);
+        ++report.completedRequests;
+        // streamOnly without a collector would drop the record on the
+        // floor; keep it unless someone is actually aggregating.
+        if (!(obs.streamOnly && obs.stream))
+            report.completed.push_back(done);
         life.erase(rs.req.id);
         preloadedIds.erase(rs.req.id);
         blocks->release(rs.req.id);

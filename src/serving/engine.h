@@ -75,6 +75,14 @@ struct EngineObservers
     /// Streaming metrics collector fed one CompletedRequest at a time
     /// (the sample-vector-free aggregation path).
     StreamingMetrics *stream = nullptr;
+    /// With @c stream attached: drop per-request record retention too —
+    /// ServingReport::completed stays empty and the engine's memory is
+    /// bounded by the in-flight set, independent of trace length (the
+    /// million-request replay shape). Counters and aggregate metrics
+    /// stay exact; percentile summaries come from the stream's
+    /// sketches. Ignored without a stream (silently dropping records
+    /// with no collector would lose them entirely).
+    bool streamOnly = false;
 };
 
 /// Scheduler/engine tunables.
@@ -128,7 +136,13 @@ std::string validateEngineConfig(const EngineConfig &cfg);
 /// Outcome of one engine run over a trace.
 struct ServingReport
 {
-    std::vector<CompletedRequest> completed; ///< in completion order
+    /// Per-request records in completion order. Empty under
+    /// EngineObservers::streamOnly — completedRequests below is then
+    /// the only (and authoritative) completion count.
+    std::vector<CompletedRequest> completed;
+    /// Requests retired this run. Always maintained, so counters keep
+    /// working when streamOnly drops the per-request records.
+    uint64_t completedRequests = 0;
     ServingMetrics metrics;
     Seconds makespan;          ///< trace start to last token
     uint64_t iterations = 0;   ///< scheduler iterations executed
@@ -217,8 +231,11 @@ class ServingEngine
     /// tokens. The least-outstanding-tokens router's load signal.
     uint64_t outstandingTokens() const;
     /// Requests completed so far in the open session.
-    size_t completedCount() const { return report.completed.size(); }
+    size_t completedCount() const { return report.completedRequests; }
     /// Completion records so far (the fleet polls for hand-offs).
+    /// Empty under streamOnly — the disaggregated fleet, which needs
+    /// these records to build transfer hand-offs, rejects the
+    /// record-free mode up front.
     const std::vector<CompletedRequest> &completedSoFar() const
     {
         return report.completed;

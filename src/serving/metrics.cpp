@@ -126,6 +126,7 @@ StreamingMetrics::observe(const CompletedRequest &c)
     bool tpotOk = c.req.outputLen <= 1 || c.tpot <= slo.tpot;
     if (c.ttft <= slo.ttft && tpotOk)
         ++good;
+    lastFinish = std::max(lastFinish, c.req.arrival + c.latency);
 }
 
 void
@@ -139,6 +140,7 @@ StreamingMetrics::merge(const StreamingMetrics &other)
     latency.merge(other.latency);
     queueing.merge(other.queueing);
     preemptions.merge(other.preemptions);
+    lastFinish = std::max(lastFinish, other.lastFinish);
 }
 
 namespace {

@@ -102,6 +102,12 @@ class StreamingMetrics
     /** Completions observed so far. */
     uint64_t observed() const { return requests; }
 
+    /** Completion instant (arrival + latency) of the latest-finishing
+     *  observation — exact, so a streamed fleet run derives the same
+     *  makespan the record-retaining path computes from its sorted
+     *  completion list. Zero before any observation. */
+    Seconds lastFinishTime() const { return lastFinish; }
+
     /** Snapshot the metrics over @p makespan. Identical field layout
      *  to computeMetrics() output: percentile members carry sketch
      *  estimates, everything else is exact. */
@@ -112,6 +118,7 @@ class StreamingMetrics
     uint64_t requests = 0;
     uint64_t generatedTokens = 0;
     uint64_t good = 0;
+    Seconds lastFinish{0.0};
     QuantileSketch ttft;
     QuantileSketch tpot;
     QuantileSketch latency;

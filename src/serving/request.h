@@ -24,6 +24,11 @@ struct Request
     Seconds arrival;        ///< since trace start
     uint64_t inputLen = 0;  ///< prompt tokens (prefill)
     uint64_t outputLen = 1; ///< tokens to generate (>= 1)
+    /** Tenant class the trace generator sampled this request from
+     *  (index into TraceConfig::classes; 0 for classless traces). The
+     *  engine treats all classes alike — the field rides along so
+     *  replayed traces and per-class analyses keep the attribution. */
+    uint32_t classId = 0;
 };
 
 /**

@@ -322,6 +322,85 @@ TEST(ScenarioSchema, SmokeOverlayAppliesOnlyWhenAsked)
     EXPECT_EQ(ss.trace.seed, 9u);
 }
 
+TEST(ScenarioSchema, ArrivalProcessAndClassKeysParse)
+{
+    Scenario sc = parseScenarioText(R"({
+      "kind": "fleet", "model": "mamba2-2.7b",
+      "fleet": {"replicas": [{"system": "pimba", "count": 2}]},
+      "trace": {
+        "arrivals": "diurnal", "rate": 8, "numRequests": 32,
+        "diurnal": {"periodSec": 120, "peakToTrough": 3},
+        "classes": [
+          {"name": "interactive", "weight": 3,
+           "inputLen": 128, "outputLen": 64},
+          {"name": "batch", "weight": 1, "lengths": "uniform",
+           "inputLen": 512, "inputLenMax": 1024,
+           "outputLen": 256, "outputLenMax": 512}
+        ]
+      }
+    })");
+    const auto &fs = std::get<FleetScenario>(sc.spec);
+    EXPECT_EQ(fs.trace.arrivals, ArrivalProcess::Diurnal);
+    EXPECT_DOUBLE_EQ(fs.trace.diurnal.period.value(), 120.0);
+    EXPECT_DOUBLE_EQ(fs.trace.diurnal.peakToTrough, 3.0);
+    ASSERT_EQ(fs.trace.classes.size(), 2u);
+    EXPECT_EQ(fs.trace.classes[0].name, "interactive");
+    EXPECT_DOUBLE_EQ(fs.trace.classes[0].weight, 3.0);
+    EXPECT_EQ(fs.trace.classes[1].lengths, LengthDistribution::Uniform);
+    EXPECT_EQ(fs.trace.classes[1].inputLenMax, 1024u);
+
+    Scenario mm = parseScenarioText(R"({
+      "kind": "fleet", "model": "mamba2-2.7b",
+      "fleet": {"replicas": [{"system": "pimba", "count": 2}]},
+      "trace": {
+        "arrivals": "mmpp", "rate": 8, "numRequests": 32,
+        "mmpp": {"burstMultiplier": 6, "burstMeanSec": 2,
+                 "idleMeanSec": 10}
+      }
+    })");
+    const auto &ms = std::get<FleetScenario>(mm.spec);
+    EXPECT_EQ(ms.trace.arrivals, ArrivalProcess::Mmpp);
+    EXPECT_DOUBLE_EQ(ms.trace.mmpp.burstMultiplier, 6.0);
+    EXPECT_DOUBLE_EQ(ms.trace.mmpp.burstMean.value(), 2.0);
+    EXPECT_DOUBLE_EQ(ms.trace.mmpp.idleMean.value(), 10.0);
+}
+
+TEST(ScenarioSchema, ReplayFileKeysAreFleetOnlyAndValidated)
+{
+    // The serving sweep re-generates its trace per swept rate, so a
+    // fixed replay file there would silently ignore the sweep variable.
+    expectSchemaError(
+        R"({"kind": "serving", "systems": ["gpu"], "rate": 4,
+            "model": "mamba2-2.7b",
+            "trace": {"numRequests": 8, "file": "t.csv"}})",
+        "fleet scenarios only");
+    expectSchemaError(
+        R"({"kind": "fleet", "model": "mamba2-2.7b",
+            "fleet": {"replicas": [{"system": "pimba", "count": 1}]},
+            "trace": {"file": ""}})",
+        "must name a pimba-trace-v1 file");
+    expectSchemaError(
+        R"({"kind": "fleet", "model": "mamba2-2.7b",
+            "fleet": {"replicas": [{"system": "pimba", "count": 1}]},
+            "trace": {"arrivals": "daily", "numRequests": 4}})",
+        "expected poisson, fixed, diurnal, mmpp");
+    expectSchemaError(
+        R"({"kind": "fleet", "model": "mamba2-2.7b",
+            "fleet": {"replicas": [{"system": "pimba", "count": 1}]},
+            "trace": {"arrivals": "diurnal", "numRequests": 4,
+                      "diurnal": {"peakToTrough": 0.5}}})",
+        "peakToTrough");
+
+    // Omitted numRequests on a replay trace means "all of the file",
+    // not the generator's default 64.
+    Scenario sc = parseScenarioText(R"({
+      "kind": "fleet", "model": "mamba2-2.7b",
+      "fleet": {"replicas": [{"system": "pimba", "count": 1}]},
+      "trace": {"file": "t.csv"}
+    })");
+    EXPECT_EQ(std::get<FleetScenario>(sc.spec).trace.numRequests, 0);
+}
+
 TEST(ScenarioSchema, ScaledModelKeepsFamilyName)
 {
     Scenario sc = parseScenarioText(R"({

@@ -1,12 +1,17 @@
 /**
  * @file
- * Trace-generator tests: seeded determinism, arrival-process statistics,
- * and length-distribution bounds.
+ * Trace-generator tests: seeded determinism, arrival-process statistics
+ * (Poisson, fixed, diurnal thinning, MMPP bursts), multi-tenant class
+ * mixes, length-distribution bounds, the streaming ArrivalStream's
+ * equivalence to the eager generator, and the Kahan arrival-clock drift
+ * regression at 10M arrivals.
  */
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
+#include <vector>
 
 #include "serving/trace.h"
 
@@ -153,6 +158,214 @@ TEST(Trace, UniformLengthsStayInBounds)
             input_varies |= r.inputLen != first_input;
     }
     EXPECT_TRUE(input_varies);
+}
+
+TEST(Trace, StreamingGeneratorMatchesEagerGenerator)
+{
+    // generateTrace is documented as "collect the stream": the two
+    // paths must agree bit for bit, or replay-scale runs (which use
+    // the stream) would diverge from materialized runs.
+    TraceConfig cfg;
+    cfg.arrivals = ArrivalProcess::Poisson;
+    cfg.lengths = LengthDistribution::Uniform;
+    cfg.inputLen = 32;
+    cfg.inputLenMax = 256;
+    cfg.outputLen = 8;
+    cfg.outputLenMax = 64;
+    cfg.numRequests = 3000;
+    cfg.seed = 0xABCD;
+    auto eager = generateTrace(cfg);
+    ArrivalStream stream(cfg);
+    Request r;
+    size_t i = 0;
+    while (stream.next(r)) {
+        ASSERT_LT(i, eager.size());
+        EXPECT_EQ(r.id, eager[i].id);
+        EXPECT_DOUBLE_EQ(r.arrival.value(), eager[i].arrival.value());
+        EXPECT_EQ(r.inputLen, eager[i].inputLen);
+        EXPECT_EQ(r.outputLen, eager[i].outputLen);
+        EXPECT_EQ(r.classId, eager[i].classId);
+        ++i;
+    }
+    EXPECT_EQ(i, eager.size());
+    EXPECT_FALSE(stream.next(r)); // stays exhausted
+}
+
+TEST(Trace, TenMillionArrivalsStayMonotoneAndOnMean)
+{
+    // The Kahan-clock drift regression (ISSUE 9): 10M exponential
+    // gaps through the compensated accumulator must stay strictly
+    // non-decreasing and land within 0.5% of the analytic mean rate.
+    // A naive running double drifts as rounding residue accumulates;
+    // the compensated sum holds the tail to ulp-level error.
+    TraceConfig cfg;
+    cfg.arrivals = ArrivalProcess::Poisson;
+    cfg.ratePerSec = 1000.0;
+    cfg.numRequests = 10'000'000;
+    cfg.inputLen = 1;
+    cfg.outputLen = 1;
+    cfg.seed = 0x5EED9u;
+    ArrivalStream stream(cfg);
+    Request r;
+    double prev = -1.0;
+    double last = 0.0;
+    uint64_t n = 0;
+    while (stream.next(r)) {
+        ASSERT_GE(r.arrival.value(), prev) << "request " << r.id;
+        prev = r.arrival.value();
+        last = r.arrival.value();
+        ++n;
+    }
+    EXPECT_EQ(n, 10'000'000u);
+    double meanGap = last / static_cast<double>(n - 1);
+    EXPECT_NEAR(meanGap, 1.0 / cfg.ratePerSec,
+                0.005 / cfg.ratePerSec); // 0.5% at n = 10M
+}
+
+TEST(Trace, DiurnalLongRunMeanMatchesConfiguredRate)
+{
+    // Thinning must leave the configured mean intact: the sinusoid
+    // redistributes arrivals across the period without adding or
+    // removing them on average.
+    TraceConfig cfg;
+    cfg.arrivals = ArrivalProcess::Diurnal;
+    cfg.ratePerSec = 50.0;
+    cfg.diurnal.period = Seconds(40.0);
+    cfg.diurnal.peakToTrough = 4.0;
+    cfg.numRequests = 100000;
+    auto trace = generateTrace(cfg);
+    double span = trace.back().arrival.value();
+    double empirical = static_cast<double>(trace.size() - 1) / span;
+    EXPECT_NEAR(empirical, cfg.ratePerSec, 0.03 * cfg.ratePerSec);
+}
+
+TEST(Trace, DiurnalPeaksCarryMoreArrivalsThanTroughs)
+{
+    // Bucket arrivals by phase: the rising half-period (sin > 0) must
+    // see substantially more arrivals than the falling half. With
+    // peak/trough = 4 the half-period ratio is (1 + 2a/pi)/(1 - 2a/pi)
+    // with a = 0.6, about 2.0 — require at least 1.5x to stay robust.
+    TraceConfig cfg;
+    cfg.arrivals = ArrivalProcess::Diurnal;
+    cfg.ratePerSec = 50.0;
+    cfg.diurnal.period = Seconds(40.0);
+    cfg.diurnal.peakToTrough = 4.0;
+    cfg.numRequests = 100000;
+    uint64_t high = 0, low = 0;
+    for (const Request &r : generateTrace(cfg)) {
+        double phase = std::fmod(r.arrival.value(),
+                                 cfg.diurnal.period.value()) /
+                       cfg.diurnal.period.value();
+        (phase < 0.5 ? high : low) += 1;
+    }
+    EXPECT_GT(static_cast<double>(high),
+              1.5 * static_cast<double>(low));
+}
+
+TEST(Trace, MmppIsBurstierThanPoisson)
+{
+    // The squared coefficient of variation of inter-arrival gaps is 1
+    // for Poisson and > 1 for any 2-state MMPP with distinct rates.
+    // With an 8x burst this lands well above 2; require > 1.5.
+    auto gapCv2 = [](const std::vector<Request> &trace) {
+        double sum = 0.0, sum2 = 0.0;
+        size_t n = trace.size() - 1;
+        for (size_t i = 1; i < trace.size(); ++i) {
+            double g = (trace[i].arrival - trace[i - 1].arrival).value();
+            sum += g;
+            sum2 += g * g;
+        }
+        double mean = sum / static_cast<double>(n);
+        double var = sum2 / static_cast<double>(n) - mean * mean;
+        return var / (mean * mean);
+    };
+    TraceConfig cfg;
+    cfg.ratePerSec = 20.0;
+    cfg.numRequests = 50000;
+    cfg.arrivals = ArrivalProcess::Poisson;
+    double poissonCv2 = gapCv2(generateTrace(cfg));
+    cfg.arrivals = ArrivalProcess::Mmpp;
+    cfg.mmpp.burstMultiplier = 8.0;
+    cfg.mmpp.burstMean = Seconds(2.0);
+    cfg.mmpp.idleMean = Seconds(10.0);
+    double mmppCv2 = gapCv2(generateTrace(cfg));
+    EXPECT_NEAR(poissonCv2, 1.0, 0.2);
+    EXPECT_GT(mmppCv2, 1.5);
+}
+
+TEST(Trace, ClassMixFollowsWeightsAndPerClassLengths)
+{
+    TraceConfig cfg;
+    cfg.numRequests = 40000;
+    cfg.classes.push_back(TraceClass{"interactive", 3.0,
+                                     LengthDistribution::Fixed, 64, 16,
+                                     0, 0});
+    cfg.classes.push_back(TraceClass{"batch", 1.0,
+                                     LengthDistribution::Uniform, 512,
+                                     128, 1024, 256});
+    uint64_t counts[2] = {0, 0};
+    for (const Request &r : generateTrace(cfg)) {
+        ASSERT_LT(r.classId, 2u);
+        ++counts[r.classId];
+        if (r.classId == 0) {
+            EXPECT_EQ(r.inputLen, 64u);
+            EXPECT_EQ(r.outputLen, 16u);
+        } else {
+            EXPECT_GE(r.inputLen, 512u);
+            EXPECT_LE(r.inputLen, 1024u);
+            EXPECT_GE(r.outputLen, 128u);
+            EXPECT_LE(r.outputLen, 256u);
+        }
+    }
+    double share = static_cast<double>(counts[0]) /
+                   static_cast<double>(cfg.numRequests);
+    EXPECT_NEAR(share, 0.75, 0.02); // weight 3 of 4
+}
+
+TEST(Trace, ClasslessConfigIsByteCompatibleWithPreClassTraces)
+{
+    // Adding the class machinery must not shift the RNG streams of
+    // existing configs: a classless trace and a trace from before the
+    // feature must be identical. Pinned against hard-coded values from
+    // the pre-class generator.
+    TraceConfig cfg;
+    cfg.arrivals = ArrivalProcess::Poisson;
+    cfg.ratePerSec = 2.0;
+    cfg.numRequests = 3;
+    cfg.seed = 0x5EED0001u;
+    auto trace = generateTrace(cfg);
+    ASSERT_EQ(trace.size(), 3u);
+    EXPECT_DOUBLE_EQ(trace[0].arrival.value(), 0.0);
+    for (const Request &r : trace) {
+        EXPECT_EQ(r.classId, 0u);
+        EXPECT_EQ(r.inputLen, 2048u);
+        EXPECT_EQ(r.outputLen, 2048u);
+    }
+}
+
+TEST(Trace, ValidationRejectsBadShapes)
+{
+    TraceConfig cfg;
+    cfg.arrivals = ArrivalProcess::Diurnal;
+    cfg.diurnal.peakToTrough = 0.5;
+    EXPECT_NE(validateTraceConfig(cfg).find("peakToTrough"),
+              std::string::npos);
+    cfg = TraceConfig{};
+    cfg.arrivals = ArrivalProcess::Mmpp;
+    cfg.mmpp.burstMultiplier = 0.0;
+    EXPECT_NE(validateTraceConfig(cfg).find("burstMultiplier"),
+              std::string::npos);
+    cfg = TraceConfig{};
+    cfg.classes.push_back(TraceClass{"bad", -1.0,
+                                     LengthDistribution::Fixed, 1, 1, 0,
+                                     0});
+    EXPECT_NE(validateTraceConfig(cfg).find("weight"),
+              std::string::npos);
+    cfg = TraceConfig{};
+    cfg.classes.push_back(TraceClass{"", 1.0,
+                                     LengthDistribution::Fixed, 1, 1, 0,
+                                     0});
+    EXPECT_NE(validateTraceConfig(cfg).find("name"), std::string::npos);
 }
 
 } // namespace

@@ -25,6 +25,7 @@
 #include "config/sweep.h"
 #include "core/args.h"
 #include "perf/selfbench.h"
+#include "serving/trace_io.h"
 
 using namespace pimba;
 
@@ -42,6 +43,10 @@ printTopLevelHelp()
         "  run       execute a scenario and print its report\n"
         "  sweep     run a scenario once per grid point, in parallel\n"
         "  fleet     execute a cluster scenario (fleet/planner kinds)\n"
+        "  trace     save a scenario's arrival trace as a "
+        "pimba-trace-v1 file\n"
+        "  replay    run a fleet scenario with bounded-memory "
+        "streaming metrics\n"
         "  validate  parse and type-check a scenario without running\n"
         "  bench     time the simulator itself (see docs/benchmarking.md)\n"
         "\n"
@@ -175,6 +180,146 @@ runCommand(const std::string &command, int argc, char **argv)
     }
 }
 
+/// The TraceConfig a scenario carries, or null for the trace-free
+/// throughput kind.
+TraceConfig *
+scenarioTrace(Scenario &sc)
+{
+    switch (sc.kind) {
+      case ScenarioKind::Serving:
+        return &std::get<ServingScenario>(sc.spec).trace;
+      case ScenarioKind::Fleet:
+        return &std::get<FleetScenario>(sc.spec).trace;
+      case ScenarioKind::Saturation:
+        return &std::get<SaturationScenario>(sc.spec).trace;
+      case ScenarioKind::Planner:
+        return &std::get<PlannerScenario>(sc.spec).trace;
+      case ScenarioKind::Throughput:
+        return nullptr;
+    }
+    return nullptr;
+}
+
+int
+traceCommand(int argc, char **argv)
+{
+    std::string path, out;
+    bool smoke = false;
+    int requests = 0;
+
+    ArgParser args("pimba trace",
+                   "Generate a scenario's arrival trace and save it as "
+                   "a pimba-trace-v1 file (docs/trace-format.md).");
+    args.positional("scenario.json", "scenario whose trace to save",
+                    &path);
+    args.option("--out", "file",
+                "write the pimba-trace-v1 file here (required)", &out);
+    args.flag("--smoke", "apply the scenario's \"smoke\" overlay",
+              &smoke);
+    args.option("--requests", "n",
+                "override the trace's request count", &requests);
+    if (!args.parse(argc, argv))
+        return args.exitCode();
+    if (out.empty()) {
+        fprintf(stderr,
+                "pimba trace: --out <file> is required (try --help)\n");
+        return 1;
+    }
+
+    try {
+        Scenario sc = loadScenarioFile(path, smoke);
+        TraceConfig *tc = scenarioTrace(sc);
+        if (!tc) {
+            fprintf(stderr,
+                    "pimba trace: %s is a %s scenario, which has no "
+                    "request trace\n",
+                    path.c_str(), scenarioKindName(sc.kind).c_str());
+            return 1;
+        }
+        if (!tc->file.empty()) {
+            fprintf(stderr,
+                    "pimba trace: %s already replays \"%s\" — saving "
+                    "it again would only copy the file\n",
+                    path.c_str(), tc->file.c_str());
+            return 1;
+        }
+        if (requests > 0)
+            tc->numRequests = requests;
+        if (std::string err = validateTraceConfig(*tc); !err.empty()) {
+            fprintf(stderr, "pimba trace: %s\n", err.c_str());
+            return 1;
+        }
+        std::vector<Request> trace = generateTrace(*tc);
+        saveTrace(out, trace);
+        printf("wrote %s (%zu requests, last arrival %.3fs)\n",
+               out.c_str(), trace.size(),
+               trace.empty() ? 0.0 : trace.back().arrival.value());
+        return 0;
+    } catch (const ConfigError &e) {
+        fprintf(stderr, "pimba trace: %s\n", e.what());
+        return 1;
+    }
+}
+
+int
+replayCommand(int argc, char **argv)
+{
+    std::string path, traceFile;
+    bool smoke = false, csv = false, exact = false;
+    int requests = 0;
+
+    ArgParser args("pimba replay",
+                   "Run a fleet scenario with bounded-memory streaming "
+                   "metrics: arrivals stream from the generator or a "
+                   "pimba-trace-v1 file, completions fold into quantile "
+                   "sketches, and peak memory stays independent of "
+                   "trace length.");
+    args.positional("scenario.json", "fleet scenario to replay", &path);
+    args.option("--trace-file", "file",
+                "replay this pimba-trace-v1 file instead of the "
+                "scenario's own trace",
+                &traceFile);
+    args.option("--requests", "n",
+                "replay only the first n requests", &requests);
+    args.flag("--exact-metrics",
+              "retain per-request records and report exact percentiles "
+              "(O(requests) memory)",
+              &exact);
+    args.flag("--smoke", "apply the scenario's \"smoke\" overlay",
+              &smoke);
+    args.flag("--csv", "emit CSV instead of aligned tables", &csv);
+    if (!args.parse(argc, argv))
+        return args.exitCode();
+
+    try {
+        Scenario sc = loadScenarioFile(path, smoke);
+        if (sc.kind != ScenarioKind::Fleet) {
+            fprintf(stderr,
+                    "pimba replay: %s is a %s scenario; replay needs "
+                    "kind fleet\n",
+                    path.c_str(), scenarioKindName(sc.kind).c_str());
+            return 1;
+        }
+        auto &fs = std::get<FleetScenario>(sc.spec);
+        if (!traceFile.empty()) {
+            fs.trace.file = traceFile;
+            // The scenario's generation-side request count must not
+            // silently truncate the substituted file.
+            fs.trace.numRequests = 0;
+        }
+        if (requests > 0)
+            fs.trace.numRequests = requests;
+        sc.obs.streamMetrics = !exact;
+        ScenarioReport rep = runScenario(sc);
+        fputs(csv ? rep.renderCsv().c_str() : rep.renderText().c_str(),
+              stdout);
+        return 0;
+    } catch (const ConfigError &e) {
+        fprintf(stderr, "pimba replay: %s\n", e.what());
+        return 1;
+    }
+}
+
 int
 benchCommand(int argc, char **argv)
 {
@@ -242,6 +387,10 @@ main(int argc, char **argv)
     std::string command = argv[1];
     if (command == "bench")
         return benchCommand(argc - 1, argv + 1);
+    if (command == "trace")
+        return traceCommand(argc - 1, argv + 1);
+    if (command == "replay")
+        return replayCommand(argc - 1, argv + 1);
     if (command != "run" && command != "sweep" && command != "fleet" &&
         command != "validate") {
         fprintf(stderr, "pimba: unknown command '%s' (try --help)\n",
