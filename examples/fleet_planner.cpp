@@ -1,18 +1,23 @@
 /**
  * @file
  * Fleet planner: how many replicas of each system does it take to meet
- * the SLO at a target arrival rate?
+ * the SLO at a target arrival rate — and once sized, does an
+ * SLO-aware autoscaler beat static provisioning on that fleet?
  *
- * For every serving system, the planner bisects the minimum replica
- * count whose homogeneous fleet (join-shortest-queue routing) serves a
- * shared Poisson trace with >= 90% of requests inside the TTFT/TPOT SLO
- * — the deployment question behind the paper's throughput-per-device
- * claim: a Pimba fleet needs fewer devices than a GPU fleet at equal
- * SLO-goodput.
+ * Part 1 bisects, per serving system, the minimum replica count whose
+ * homogeneous fleet (join-shortest-queue routing) serves a shared
+ * Poisson trace with >= 90% of requests inside the TTFT/TPOT SLO — the
+ * deployment question behind the paper's throughput-per-device claim.
  *
- * Thin wrapper over the scenario registry's planner kind; the same
- * study loads from scenarios/fleet_planner.json via `pimba fleet`.
- * Run with `--smoke` for a CI-sized trace.
+ * Part 2 evaluates provisioning *policies* on a diurnal trace: the
+ * control plane's queue-depth autoscaler (docs/control-plane.md)
+ * against the static fleets it must beat, compared on replica-seconds
+ * billed at equal SLO attainment.
+ *
+ * Thin wrapper over the scenario registry's planner and control kinds;
+ * the same studies load from scenarios/fleet_planner.json and
+ * scenarios/autoscale_diurnal.json via `pimba fleet`. Run with
+ * `--smoke` for CI-sized traces.
  */
 
 #include <cstdio>
@@ -28,8 +33,9 @@ main(int argc, char **argv)
     bool smoke = false;
     ArgParser args("fleet_planner",
                    "Bisect the minimum replica count per system at a "
-                   "target SLO-attainment rate.");
-    args.flag("--smoke", "CI-sized trace and rate", &smoke);
+                   "target SLO-attainment rate, then compare autoscaled "
+                   "vs static provisioning on a diurnal trace.");
+    args.flag("--smoke", "CI-sized traces and rates", &smoke);
     if (!args.parse(argc, argv))
         return args.exitCode();
 
@@ -44,5 +50,14 @@ main(int argc, char **argv)
 
     ScenarioReport rep = runScenario(sc);
     fputs(rep.renderText().c_str(), stdout);
+
+    Scenario as = autoscaleScenario(smoke);
+    const auto &fs = std::get<FleetScenario>(as.spec);
+    printf("autoscaler evaluation: model %s, diurnal %s req/s mean, "
+           "%d requests\n\n",
+           fs.model.name.c_str(), fmt(fs.trace.ratePerSec, 0).c_str(),
+           fs.trace.numRequests);
+    ScenarioReport arep = runScenario(as);
+    fputs(arep.renderText().c_str(), stdout);
     return 0;
 }

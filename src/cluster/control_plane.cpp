@@ -1,0 +1,219 @@
+#include "cluster/control_plane.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+#include "serving/engine.h"
+
+namespace pimba {
+
+std::string
+validateControlPlaneConfig(const ControlPlaneConfig &cfg,
+                           size_t fleetSize)
+{
+    if (!cfg.anyEnabled())
+        return "";
+    const AutoscalerConfig &as = cfg.autoscaler;
+    if (as.enabled) {
+        const size_t maxR =
+            as.maxReplicas != 0 ? as.maxReplicas : fleetSize;
+        const size_t initR = as.initialReplicas != 0
+                                 ? as.initialReplicas
+                                 : as.minReplicas;
+        if (as.minReplicas < 1)
+            return "controlPlane: minReplicas must be >= 1";
+        if (maxR > fleetSize)
+            return "controlPlane: maxReplicas " +
+                   std::to_string(maxR) + " exceeds the fleet's " +
+                   std::to_string(fleetSize) + " replicas";
+        if (as.minReplicas > maxR)
+            return "controlPlane: minReplicas " +
+                   std::to_string(as.minReplicas) +
+                   " exceeds maxReplicas " + std::to_string(maxR);
+        if (initR < as.minReplicas || initR > maxR)
+            return "controlPlane: initialReplicas " +
+                   std::to_string(initR) + " outside [" +
+                   std::to_string(as.minReplicas) + ", " +
+                   std::to_string(maxR) + "]";
+        if (!(as.interval > Seconds(0.0)))
+            return "controlPlane: intervalSec must be positive";
+        if (as.warmup < Seconds(0.0))
+            return "controlPlane: warmupSec must be >= 0";
+        if (!(as.scaleUpQueueDepth > 0.0))
+            return "controlPlane: scaleUpQueueDepth must be positive";
+        if (as.scaleDownQueueDepth < 0.0)
+            return "controlPlane: scaleDownQueueDepth must be >= 0";
+        if (as.scaleDownQueueDepth > 0.0 &&
+            as.scaleDownQueueDepth >= as.scaleUpQueueDepth)
+            return "controlPlane: scaleDownQueueDepth must be below "
+                   "scaleUpQueueDepth (hysteresis), got " +
+                   std::to_string(as.scaleDownQueueDepth) + " vs " +
+                   std::to_string(as.scaleUpQueueDepth);
+        if (as.scaleUpWait < Seconds(0.0))
+            return "controlPlane: scaleUpWaitSec must be >= 0";
+    }
+    for (size_t c = 0; c < cfg.deadlines.size(); ++c) {
+        const ClassDeadline &d = cfg.deadlines[c];
+        if (!(d.ttft > Seconds(0.0)) || !(d.total > Seconds(0.0)))
+            return "deadlines[" + std::to_string(c) +
+                   "]: ttft/total must be positive seconds";
+    }
+    return "";
+}
+
+ControlPlane::ControlPlane(const ControlPlaneConfig &cfg_,
+                           size_t fleetSize)
+    : cfg(cfg_)
+{
+    PIMBA_ASSERT(fleetSize >= 1, "control plane over an empty fleet");
+    PIMBA_ASSERT(
+        validateControlPlaneConfig(cfg, fleetSize).empty(),
+        "control-plane config must be validated before construction");
+    const AutoscalerConfig &as = cfg.autoscaler;
+    if (as.enabled) {
+        minReplicas = as.minReplicas;
+        maxReplicas = as.maxReplicas != 0 ? as.maxReplicas : fleetSize;
+    } else {
+        // No autoscaler: the whole fleet is statically routable.
+        minReplicas = fleetSize;
+        maxReplicas = fleetSize;
+    }
+    const size_t initial =
+        as.enabled ? (as.initialReplicas != 0 ? as.initialReplicas
+                                              : minReplicas)
+                   : fleetSize;
+    state.assign(fleetSize, State::Inactive);
+    billedFrom.assign(fleetSize, Seconds(0.0));
+    drainedAt.assign(fleetSize, Seconds(0.0));
+    for (size_t i = 0; i < initial; ++i)
+        state[i] = State::Active;
+    rebuildPool();
+    rep.enabled = cfg.anyEnabled();
+    record(Seconds(0.0));
+}
+
+std::vector<size_t>
+ControlPlane::drainingReplicas() const
+{
+    std::vector<size_t> out;
+    for (size_t i = 0; i < state.size(); ++i)
+        if (state[i] == State::Draining)
+            out.push_back(i);
+    return out;
+}
+
+void
+ControlPlane::rebuildPool()
+{
+    routable.clear();
+    warming = 0;
+    for (size_t i = 0; i < state.size(); ++i) {
+        if (state[i] == State::Active)
+            routable.push_back(i);
+        else if (state[i] == State::Warming)
+            ++warming;
+    }
+}
+
+void
+ControlPlane::record(Seconds time)
+{
+    rep.trajectory.push_back(ScaleEvent{time, provisioned()});
+}
+
+ControlPlane::ScaleUp
+ControlPlane::scaleUp(Seconds now,
+                      const std::vector<ServingEngine> &engines)
+{
+    PIMBA_ASSERT(canScaleUp(), "scaleUp() at the replica ceiling");
+    ScaleUp out;
+    // Prefer cancelling a drain: a replica still serving its backlog
+    // is warm and rejoins instantly. An idle drained replica was
+    // released — it is as cold as a never-used one.
+    for (size_t i = 0; i < state.size(); ++i) {
+        if (state[i] == State::Draining &&
+            engines[i].queueDepth() > 0) {
+            // It kept serving its backlog through the drain window —
+            // bill that gap before the new active interval opens.
+            rep.replicaSeconds += now - drainedAt[i];
+            state[i] = State::Active;
+            billedFrom[i] = now;
+            rebuildPool();
+            record(now);
+            out.replica = i;
+            out.ready = now;
+            out.instant = true;
+            return out;
+        }
+    }
+    for (size_t i = 0; i < state.size(); ++i) {
+        if (state[i] != State::Inactive &&
+            state[i] != State::Draining)
+            continue;
+        if (state[i] == State::Draining)
+            // Cold re-provision of a released replica: bill whatever
+            // backlog tail it lazily served after its drain.
+            rep.replicaSeconds += std::max(
+                Seconds(0.0), engines[i].now() - drainedAt[i]);
+        state[i] = State::Warming;
+        billedFrom[i] = now; // warm-up time is billed too
+        rebuildPool();
+        record(now);
+        rep.warmups.push_back(
+            WarmupSpan{i, now, now + cfg.autoscaler.warmup});
+        out.replica = i;
+        out.ready = now + cfg.autoscaler.warmup;
+        out.instant = false;
+        return out;
+    }
+    PIMBA_PANIC("canScaleUp() with no provisionable replica");
+}
+
+void
+ControlPlane::warmupDone(size_t replica, Seconds now)
+{
+    PIMBA_ASSERT(replica < state.size() &&
+                     state[replica] == State::Warming,
+                 "warm-up completion for a replica not warming");
+    (void)now;
+    state[replica] = State::Active;
+    rebuildPool();
+}
+
+size_t
+ControlPlane::scaleDown(Seconds now)
+{
+    PIMBA_ASSERT(canScaleDown(), "scaleDown() at the replica floor");
+    const size_t victim = routable.back();
+    state[victim] = State::Draining;
+    rep.replicaSeconds += now - billedFrom[victim];
+    drainedAt[victim] = now;
+    rebuildPool();
+    record(now);
+    return victim;
+}
+
+void
+ControlPlane::finalize(Seconds makespan,
+                       const std::vector<ServingEngine> &engines)
+{
+    for (size_t i = 0; i < state.size(); ++i) {
+        switch (state[i]) {
+        case State::Inactive:
+            break;
+        case State::Warming:
+        case State::Active:
+            rep.replicaSeconds +=
+                std::max(makespan, billedFrom[i]) - billedFrom[i];
+            break;
+        case State::Draining:
+            // The drained backlog was served lazily; bill the tail up
+            // to the engine's final clock (zero if it was idle).
+            rep.replicaSeconds += std::max(
+                Seconds(0.0), engines[i].now() - drainedAt[i]);
+            break;
+        }
+    }
+}
+
+} // namespace pimba

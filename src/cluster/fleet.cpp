@@ -25,13 +25,24 @@ constexpr uint32_t kHandoffClass = 1;
 void
 snapshotPool(const std::vector<ServingEngine> &engines,
              const std::vector<size_t> &pool,
-             std::vector<ReplicaSnapshot> &snap)
+             std::vector<ReplicaSnapshot> &snap,
+             const Request *req = nullptr)
 {
     snap.clear();
     snap.reserve(pool.size());
-    for (size_t i : pool)
-        snap.push_back(ReplicaSnapshot{engines[i].queueDepth(),
-                                       engines[i].outstandingTokens()});
+    for (size_t i : pool) {
+        ReplicaSnapshot s;
+        s.queueDepth = engines[i].queueDepth();
+        s.outstandingTokens = engines[i].outstandingTokens();
+        s.tierPressure = engines[i].tierPressure();
+        // The locality signal is per arriving request (its class's
+        // prefix); legacy call sites route without a request and leave
+        // it zero, as do requests without a prefix id.
+        if (req && req->prefixLen > 0)
+            s.cachedPrefixBlocks =
+                engines[i].cachedPrefixBlocks(req->classId);
+        snap.push_back(s);
+    }
 }
 
 /**
@@ -62,6 +73,17 @@ class AdvanceGate
             engines[i].advanceTo(t);
             nextEvent[i] = engines[i].nextEventTime();
         }
+    }
+
+    /** advanceTo(@p t) on replica @p i alone (deadline timers target
+     *  the one replica the request was routed to). */
+    void
+    advanceOne(size_t i, Seconds t)
+    {
+        if (nextEvent[i] > t)
+            return;
+        engines[i].advanceTo(t);
+        nextEvent[i] = engines[i].nextEventTime();
     }
 
     /** Refresh replica @p i's cache after a submit/drain on it. */
@@ -128,6 +150,33 @@ struct FleetEvent
     Handoff handoff; ///< hand-off payload
 };
 
+/// Controlled-pump event classes. At one instant: a warm-up completion
+/// makes its replica routable before a same-time arrival routes; the
+/// arrival dispatches before any deadline timer (a request admitted at
+/// its exact deadline instant still gets its chance); autoscaler ticks
+/// observe the settled state last.
+constexpr uint32_t kCpWarmupClass = 0;
+constexpr uint32_t kCpArrivalClass = 1;
+constexpr uint32_t kCpDeadlineClass = 2;
+constexpr uint32_t kCpScaleClass = 3;
+
+/** Calendar payload of the controlled pump. */
+struct CpEvent
+{
+    enum class Kind
+    {
+        Warmup,   ///< replica's warm-up timer fired
+        Arrival,  ///< one trace arrival
+        Deadline, ///< a request's TTFT or total deadline
+        ScaleTick ///< autoscaler signal-sampling tick
+    };
+    Kind kind = Kind::Arrival;
+    Request req;            ///< Arrival payload
+    uint64_t requestId = 0; ///< Deadline: the request to cancel
+    bool ttftOnly = false;  ///< Deadline: TTFT (vs total) semantics
+    size_t replica = 0;     ///< Warmup / Deadline: the target replica
+};
+
 /**
  * Shared fleet-report epilogue: order the fleet-level records, derive
  * the makespan from the last completion, and fill the aggregate
@@ -189,6 +238,16 @@ validateFleetConfig(const FleetConfig &cfg)
         return "fleet: SLO targets must be positive seconds (ttft " +
                std::to_string(cfg.slo.ttft.value()) + ", tpot " +
                std::to_string(cfg.slo.tpot.value()) + ")";
+    if (cfg.controlPlane.anyEnabled()) {
+        if (cfg.mode == FleetMode::Disaggregated)
+            return "fleet: the control plane drives colocated fleets "
+                   "only (the disaggregated pump has no notion of "
+                   "draining or warming a pool member)";
+        if (std::string err = validateControlPlaneConfig(
+                cfg.controlPlane, cfg.replicas.size());
+            !err.empty())
+            return "fleet: " + err;
+    }
     return "";
 }
 
@@ -200,7 +259,13 @@ Fleet::Fleet(const ModelConfig &model_, FleetConfig cfg_)
     engines.reserve(cfg.replicas.size());
     for (const ReplicaConfig &rc : cfg.replicas) {
         ServingSimulator sim(makeSystem(rc.kind, rc.nGpus));
-        engines.emplace_back(sim, model, rc.engine);
+        EngineConfig ec = rc.engine;
+        // Priority tiers are a fleet-level policy; every replica engine
+        // must order its queue and pick eviction victims by the same
+        // tier map.
+        if (!cfg.controlPlane.tierByClass.empty())
+            ec.tierByClass = cfg.controlPlane.tierByClass;
+        engines.emplace_back(sim, model, ec);
     }
 }
 
@@ -287,6 +352,8 @@ Fleet::run(const std::vector<Request> &trace)
 FleetReport
 Fleet::run(ArrivalSource &arrivals)
 {
+    if (cfg.controlPlane.anyEnabled())
+        return runControlled(arrivals, nullptr);
     return cfg.mode == FleetMode::Colocated
                ? runColocated(arrivals, nullptr)
                : runDisaggregated(arrivals);
@@ -300,6 +367,8 @@ Fleet::runStreamed(ArrivalSource &arrivals, StreamingMetrics &stream)
                  "disaggregated driver polls per-request completion "
                  "records to build transfer hand-offs, which the "
                  "record-free streaming mode drops");
+    if (cfg.controlPlane.anyEnabled())
+        return runControlled(arrivals, &stream);
     return runColocated(arrivals, &stream);
 }
 
@@ -390,6 +459,212 @@ Fleet::runColocated(ArrivalSource &arrivals, StreamingMetrics *stream)
                                 rep.completed.begin(),
                                 rep.completed.end());
     finalizeReport(report, cfg.slo);
+    return report;
+}
+
+/**
+ * Control-plane event pump (docs/control-plane.md): colocated routing
+ * plus three timer families on one calendar — autoscaler ticks sampling
+ * queue depth / head-of-line wait every interval, warm-up completions
+ * opening scaled-up replicas, and per-request TTFT/total deadline
+ * timers cancelling work that missed its SLO. Routing only ever sees
+ * the control plane's routable pool, so warming and draining replicas
+ * receive no new work; draining replicas keep serving their backlog on
+ * their own engine clocks (advanced lazily at ticks and at drain, which
+ * cannot change their simulated completion times). Deadline timers
+ * carry the replica the request was routed to, so firing one advances
+ * and probes a single engine — no per-request lookup table, keeping the
+ * streamed-replay memory bound intact.
+ */
+FleetReport
+Fleet::runControlled(ArrivalSource &arrivals, StreamingMetrics *stream)
+{
+    PIMBA_ASSERT(cfg.mode == FleetMode::Colocated,
+                 "runControlled() drives colocated fleets only "
+                 "(validateFleetConfig enforces this)");
+    FleetReport report;
+    report.mode = cfg.mode;
+    report.router = cfg.router;
+
+    // Same collector graft as runColocated: streamed runs fold
+    // completions into the stream instead of retaining records.
+    std::vector<EngineObservers> saved;
+    if (stream) {
+        for (ServingEngine &e : engines) {
+            saved.push_back(e.observers());
+            EngineObservers eo = e.observers();
+            eo.stream = stream;
+            eo.streamOnly = true;
+            e.attachObservers(eo);
+        }
+    }
+
+    for (ServingEngine &e : engines)
+        e.begin();
+
+    const ControlPlaneConfig &cp_cfg = cfg.controlPlane;
+    ControlPlane cp(cp_cfg, engines.size());
+    auto router = makeRouter(cfg.router, cfg.routerSeed);
+    AdvanceGate gate(engines);
+    std::vector<ReplicaSnapshot> snap;
+
+    EventQueue<CpEvent> calendar;
+    bool arrivalsExhausted = false;
+    auto pullArrival = [&]() {
+        Request r;
+        if (arrivals.next(r)) {
+            CpEvent ev;
+            ev.kind = CpEvent::Kind::Arrival;
+            ev.req = r;
+            calendar.push(r.arrival, kCpArrivalClass, r.id, ev);
+        } else {
+            arrivalsExhausted = true;
+        }
+    };
+    auto anyBusy = [&]() {
+        for (const ServingEngine &e : engines)
+            if (e.queueDepth() > 0)
+                return true;
+        return false;
+    };
+
+    const AutoscalerConfig &as = cp_cfg.autoscaler;
+    if (as.enabled) {
+        CpEvent tick;
+        tick.kind = CpEvent::Kind::ScaleTick;
+        calendar.push(as.interval, kCpScaleClass, 0, tick);
+    }
+    pullArrival();
+
+    while (!calendar.empty()) {
+        CalendarEntry<CpEvent> e = calendar.pop();
+        const Seconds t = e.time;
+        CpEvent &ev = e.payload;
+        switch (ev.kind) {
+        case CpEvent::Kind::Warmup:
+            cp.warmupDone(ev.replica, t);
+            break;
+        case CpEvent::Kind::Arrival: {
+            Request r = ev.req;
+            r.prefixLen = cp_cfg.prefixTokensOf(r.classId);
+            const std::vector<size_t> &pool = cp.pool();
+            gate.advancePool(pool, t);
+            snapshotPool(engines, pool, snap, &r);
+            size_t pick = pool[router->route(snap, r)];
+            engines[pick].submit(r);
+            gate.refresh(pick);
+            if (!stream)
+                report.assignments.push_back(
+                    Assignment{r.id, pick, -1});
+            if (const ClassDeadline *d = cp_cfg.deadlineOf(r.classId)) {
+                CpEvent dl;
+                dl.kind = CpEvent::Kind::Deadline;
+                dl.requestId = r.id;
+                dl.replica = pick;
+                if (d->ttft < kInf) {
+                    dl.ttftOnly = true;
+                    calendar.push(r.arrival + d->ttft,
+                                  kCpDeadlineClass, r.id, dl);
+                }
+                if (d->total < kInf) {
+                    dl.ttftOnly = false;
+                    calendar.push(r.arrival + d->total,
+                                  kCpDeadlineClass, r.id, dl);
+                }
+            }
+            pullArrival();
+            break;
+        }
+        case CpEvent::Kind::Deadline:
+            // Bring the one engine the request lives on up to the
+            // deadline instant, then cancel. Completed / already
+            // cancelled / kept-its-first-token requests return false —
+            // a stale timer, nothing to unwind.
+            gate.advanceOne(ev.replica, t);
+            engines[ev.replica].cancel(ev.requestId, t, ev.ttftOnly);
+            gate.refresh(ev.replica);
+            break;
+        case CpEvent::Kind::ScaleTick: {
+            // Sample the signals on settled state: routable replicas
+            // advanced to the tick, draining replicas too (their
+            // backlog drains on their own clocks either way; advancing
+            // here just keeps queueDepth() — the re-activation warmth
+            // test — current).
+            const std::vector<size_t> &pool = cp.pool();
+            gate.advancePool(pool, t);
+            gate.advancePool(cp.drainingReplicas(), t);
+            double depthSum = 0.0;
+            Seconds oldest = kInf;
+            for (size_t i : pool) {
+                depthSum +=
+                    static_cast<double>(engines[i].queueDepth());
+                oldest =
+                    std::min(oldest, engines[i].oldestQueuedArrival());
+            }
+            const double meanDepth =
+                depthSum / static_cast<double>(pool.size());
+            const bool waitBreached =
+                as.scaleUpWait > Seconds(0.0) && oldest < kInf &&
+                t - oldest >= as.scaleUpWait;
+            if ((meanDepth >= as.scaleUpQueueDepth || waitBreached) &&
+                cp.canScaleUp()) {
+                ControlPlane::ScaleUp su = cp.scaleUp(t, engines);
+                if (!su.instant) {
+                    CpEvent w;
+                    w.kind = CpEvent::Kind::Warmup;
+                    w.replica = su.replica;
+                    calendar.push(su.ready, kCpWarmupClass,
+                                  su.replica, w);
+                }
+            } else if (as.scaleDownQueueDepth > 0.0 &&
+                       meanDepth <= as.scaleDownQueueDepth &&
+                       cp.canScaleDown()) {
+                cp.scaleDown(t);
+            }
+            // Keep ticking while load can still change the signals;
+            // once the trace is exhausted and every engine is idle the
+            // autoscaler has nothing left to react to.
+            if (!arrivalsExhausted || anyBusy()) {
+                CpEvent tick;
+                tick.kind = CpEvent::Kind::ScaleTick;
+                calendar.push(t + as.interval, kCpScaleClass, 0, tick);
+            }
+            break;
+        }
+        }
+    }
+
+    for (ServingEngine &e : engines)
+        e.drain();
+    for (ServingEngine &e : engines)
+        report.replicas.push_back(e.finish());
+
+    if (stream) {
+        report.makespan = stream->lastFinishTime();
+        report.metrics = stream->finalize(report.makespan);
+        report.load = computeLoadStats(report.replicas);
+        for (size_t i = 0; i < engines.size(); ++i)
+            engines[i].attachObservers(saved[i]);
+    } else {
+        for (const ServingReport &rep : report.replicas)
+            report.completed.insert(report.completed.end(),
+                                    rep.completed.begin(),
+                                    rep.completed.end());
+        finalizeReport(report, cfg.slo);
+    }
+
+    cp.finalize(report.makespan, engines);
+    report.controlPlane = cp.report();
+    for (const ServingReport &rep : report.replicas) {
+        report.controlPlane.cancelledRequests += rep.cancelledRequests;
+        report.controlPlane.wastedTokens += rep.wastedTokens;
+    }
+    // Cancelled requests emit no completion record, so neither the
+    // merged records nor the stream saw them — surface the counts in
+    // the fleet-level metrics too.
+    report.metrics.cancelledRequests =
+        report.controlPlane.cancelledRequests;
+    report.metrics.wastedTokens = report.controlPlane.wastedTokens;
     return report;
 }
 
@@ -596,6 +871,8 @@ Fleet::runLockstep(const std::vector<Request> &trace)
     // re-derives the event order per iteration. The equivalence suite
     // holds the calendar pump to this implementation's exact output;
     // do not "improve" one without the other.
+    PIMBA_ASSERT(!cfg.controlPlane.anyEnabled(),
+                 "runLockstep() predates the control plane; use run()");
     std::vector<Request> sorted = trace;
     std::stable_sort(sorted.begin(), sorted.end(),
                      [](const Request &a, const Request &b) {

@@ -39,6 +39,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "cluster/control_plane.h"
 #include "cluster/fleet_metrics.h"
 #include "cluster/router.h"
 #include "gpu/interconnect.h"
@@ -76,6 +77,11 @@ struct FleetConfig
     LinkConfig link = infinibandLink();
     /// SLO the fleet-level metrics are judged against.
     SloConfig slo;
+    /// SLO-aware control plane (autoscaler, priority tiers, deadlines,
+    /// prefix affinity; docs/control-plane.md). Disabled by default —
+    /// anyEnabled() false keeps every classic run path byte-identical.
+    /// Colocated fleets only.
+    ControlPlaneConfig controlPlane;
 };
 
 /// Convenience: @p n identical replicas of one system.
@@ -130,6 +136,10 @@ struct FleetReport
     Seconds makespan;       ///< trace start to last token, fleet-wide
     LoadStats load;
     TransferStats transfer; ///< all-zero for a colocated fleet
+    /// Autoscaler trajectory, replica-second bill, warm-up spans and
+    /// cancellation totals. Default (enabled = false) outside the
+    /// controlled run path.
+    ControlPlaneReport controlPlane;
 };
 
 /// N-replica fleet simulator for one model.
@@ -185,6 +195,11 @@ class Fleet
     FleetReport runColocated(ArrivalSource &arrivals,
                              StreamingMetrics *stream);
     FleetReport runDisaggregated(ArrivalSource &arrivals);
+    /// The control-plane driver (cfg.controlPlane.anyEnabled()):
+    /// colocated routing plus autoscaler ticks, warm-up timers and
+    /// per-request deadline timers on the same calendar.
+    FleetReport runControlled(ArrivalSource &arrivals,
+                              StreamingMetrics *stream);
 
     ModelConfig model;
     FleetConfig cfg;

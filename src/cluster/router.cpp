@@ -1,5 +1,7 @@
 #include "cluster/router.h"
 
+#include <tuple>
+
 #include "core/lfsr.h"
 #include "core/logging.h"
 
@@ -50,8 +52,11 @@ class JsqRouter : public Router
     route(const std::vector<ReplicaSnapshot> &pool,
           const Request &) override
     {
+        // Queue-depth ties break toward the replica hosting less
+        // important work (tierPressure is zero in untiered fleets, so
+        // legacy picks are unchanged), then the lower index.
         return argminBy(pool, [](const ReplicaSnapshot &s) {
-            return s.queueDepth;
+            return std::make_tuple(s.queueDepth, s.tierPressure);
         });
     }
 };
@@ -69,7 +74,8 @@ class LeastTokensRouter : public Router
           const Request &) override
     {
         return argminBy(pool, [](const ReplicaSnapshot &s) {
-            return s.outstandingTokens;
+            return std::make_tuple(s.outstandingTokens,
+                                   s.tierPressure);
         });
     }
 };
@@ -96,16 +102,65 @@ class PowerOfTwoRouter : public Router
         size_t b = rng.next() % (n - 1);
         if (b >= a)
             ++b;
-        // Less token-loaded of the pair; tie to the lower index.
-        if (pool[a].outstandingTokens < pool[b].outstandingTokens)
+        // Less token-loaded of the pair; then less tier pressure
+        // (zero in untiered fleets); tie to the lower index.
+        auto key = [&](size_t i) {
+            return std::make_tuple(pool[i].outstandingTokens,
+                                   pool[i].tierPressure);
+        };
+        if (key(a) < key(b))
             return a;
-        if (pool[b].outstandingTokens < pool[a].outstandingTokens)
+        if (key(b) < key(a))
             return b;
         return std::min(a, b);
     }
 
   private:
     Lfsr32 rng;
+};
+
+/** Most warm prefix blocks among the near-shortest queues. Pure
+ *  locality would pile a hot class onto one replica forever, so only
+ *  replicas within kQueueSlack requests of the shortest queue compete
+ *  on cache; ties fall back to (queue depth, tier pressure, index) —
+ *  i.e. exactly JSQ when no replica holds any of the class's prefix. */
+class CacheAffinityRouter : public Router
+{
+  public:
+    RouterPolicy policy() const override
+    {
+        return RouterPolicy::CacheAffinity;
+    }
+
+    size_t
+    route(const std::vector<ReplicaSnapshot> &pool,
+          const Request &) override
+    {
+        size_t minDepth = pool[0].queueDepth;
+        for (const ReplicaSnapshot &s : pool)
+            minDepth = std::min(minDepth, s.queueDepth);
+        size_t best = pool.size();
+        for (size_t i = 0; i < pool.size(); ++i) {
+            const ReplicaSnapshot &s = pool[i];
+            if (s.queueDepth > minDepth + kQueueSlack)
+                continue;
+            if (best == pool.size() || better(s, pool[best]))
+                best = i;
+        }
+        return best;
+    }
+
+  private:
+    static constexpr size_t kQueueSlack = 2;
+
+    static bool
+    better(const ReplicaSnapshot &a, const ReplicaSnapshot &b)
+    {
+        if (a.cachedPrefixBlocks != b.cachedPrefixBlocks)
+            return a.cachedPrefixBlocks > b.cachedPrefixBlocks;
+        return std::make_tuple(a.queueDepth, a.tierPressure) <
+               std::make_tuple(b.queueDepth, b.tierPressure);
+    }
 };
 
 } // namespace
@@ -122,6 +177,8 @@ routerName(RouterPolicy policy)
         return "lot";
       case RouterPolicy::PowerOfTwoChoices:
         return "p2c";
+      case RouterPolicy::CacheAffinity:
+        return "cache-affinity";
     }
     PIMBA_PANIC("unknown router policy");
 }
@@ -148,6 +205,8 @@ makeRouter(RouterPolicy policy, uint32_t seed)
         return std::make_unique<LeastTokensRouter>();
       case RouterPolicy::PowerOfTwoChoices:
         return std::make_unique<PowerOfTwoRouter>(seed);
+      case RouterPolicy::CacheAffinity:
+        return std::make_unique<CacheAffinityRouter>();
     }
     PIMBA_PANIC("unknown router policy");
 }

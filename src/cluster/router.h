@@ -41,12 +41,22 @@ enum class RouterPolicy
     JoinShortestQueue,      ///< fewest unfinished requests
     LeastOutstandingTokens, ///< fewest outstanding work tokens
     PowerOfTwoChoices,      ///< seeded 2-sample, less token-loaded wins
+    /// Prefer the replica holding the most of this request's class
+    /// prefix, among replicas within a small queue-depth slack of the
+    /// shortest queue (locality must not starve load balance). Only
+    /// meaningful under the control plane, which stamps
+    /// Request::prefixLen and feeds cachedPrefixBlocks into the
+    /// snapshots; with those at zero it degenerates to JSQ.
+    CacheAffinity,
 };
 
-/** Human-readable policy name ("rr", "jsq", "lot", "p2c"). */
+/** Human-readable policy name ("rr", "jsq", "lot", "p2c",
+ *  "cache-affinity"). */
 std::string routerName(RouterPolicy policy);
 
-/** All routing policies, for sweeps and tests. */
+/** The load-only routing policies, for sweeps and tests. Excludes
+ *  CacheAffinity deliberately: fleet sweeps iterate this list against
+ *  traces with no prefix ids, where cache-affinity is just JSQ. */
 const std::vector<RouterPolicy> &allRouterPolicies();
 
 /** One replica's load at a routing instant. */
@@ -54,6 +64,14 @@ struct ReplicaSnapshot
 {
     size_t queueDepth = 0;         ///< unfinished requests (queued + run)
     uint64_t outstandingTokens = 0; ///< work tokens still to serve
+    /// Priority-weighted unfinished work (sum of tier + 1); load-tie
+    /// break toward the replica hosting less important work. Zero in
+    /// untiered fleets, leaving every legacy pick unchanged.
+    uint64_t tierPressure = 0;
+    /// Blocks of the *arriving request's* class prefix this replica
+    /// has warm — the cache-affinity locality signal. Zero for
+    /// requests without a prefix id.
+    uint64_t cachedPrefixBlocks = 0;
 };
 
 /** Request-to-replica routing policy. */

@@ -419,6 +419,112 @@ runFleet(const Scenario &scenario, bool quiet)
     return rep;
 }
 
+/**
+ * Control-plane fleet study: the fleet columns every CSV consumer
+ * already parses (first seven identical to runFleet's, so
+ * tools/check_replay.py reads goodput/TTFT/TPOT unchanged), then the
+ * control-plane outcome — cancellations, wasted tokens, the provisioned
+ * replica range, and the replica-second bill. Cases with the control
+ * plane disabled are the static baselines: their bill is simply
+ * replicas x makespan, putting both policies on one cost axis.
+ */
+ScenarioReport
+runControlPlane(const Scenario &scenario, bool quiet)
+{
+    const auto &sc = std::get<FleetScenario>(scenario.spec);
+    const ObservabilityConfig &oc = scenario.obs;
+    ScenarioReport rep;
+    Table t({"fleet", "router", "goodput", "TTFT p50", "TTFT p95",
+             "TPOT p50", "TPOT p95", "SLO att", "cancelled",
+             "wasted tok", "replicas", "replica-sec"});
+    std::optional<Tracer> tracer;
+    std::optional<TimelineSampler> timeline;
+    if (oc.tracing())
+        tracer.emplace();
+    if (oc.timelining())
+        timeline.emplace(oc.timelineInterval);
+    int nextPid = 1;
+    auto addRow = [&](const FleetCase &c,
+                      std::optional<RouterPolicy> router) {
+        FleetReport r;
+        ServingMetrics m;
+        if (oc.enabled()) {
+            FleetObservers fo;
+            fo.labelPrefix =
+                c.label + " [" +
+                routerName(router ? *router : c.fleet.router) + "] ";
+            fo.tracer = tracer ? &*tracer : nullptr;
+            fo.timeline = timeline ? &*timeline : nullptr;
+            fo.pidBase = nextPid;
+            fo.interconnectPid =
+                nextPid + static_cast<int>(c.fleet.replicas.size());
+            nextPid += static_cast<int>(c.fleet.replicas.size()) + 1;
+            if (oc.streamMetrics) {
+                // Control-plane fleets are colocated by construction
+                // (validateFleetConfig), so the bounded-memory shape is
+                // always available.
+                StreamingMetrics stream(c.fleet.slo);
+                r = runFleetCaseStreamed(sc, c, router, fo, stream);
+                m = r.metrics;
+            } else {
+                r = runFleetCase(sc, c, router, fo);
+                m = r.metrics;
+            }
+        } else {
+            r = runFleetCase(sc, c, router);
+            m = r.metrics;
+        }
+        size_t minProv = c.fleet.replicas.size();
+        size_t maxProv = minProv;
+        double replicaSec =
+            static_cast<double>(c.fleet.replicas.size()) *
+            r.makespan.value();
+        if (r.controlPlane.enabled &&
+            !r.controlPlane.trajectory.empty()) {
+            minProv = maxProv = r.controlPlane.trajectory[0].provisioned;
+            for (const ScaleEvent &e : r.controlPlane.trajectory) {
+                minProv = std::min(minProv, e.provisioned);
+                maxProv = std::max(maxProv, e.provisioned);
+            }
+            replicaSec = r.controlPlane.replicaSeconds.value();
+        }
+        const double attainment =
+            m.requests > 0
+                ? static_cast<double>(m.requests - m.sloViolations) /
+                      static_cast<double>(m.requests)
+                : 0.0;
+        t.addRow({c.label,
+                  routerName(router ? *router : c.fleet.router),
+                  fmt(m.goodput.value(), 2), fmt(m.ttft.p50, 3),
+                  fmt(m.ttft.p95, 3), fmt(m.tpot.p50, 4),
+                  fmt(m.tpot.p95, 4), fmtPercent(attainment),
+                  fmt(static_cast<double>(m.cancelledRequests), 0),
+                  fmt(static_cast<double>(m.wastedTokens), 0),
+                  std::to_string(minProv) + ".." +
+                      std::to_string(maxProv),
+                  fmt(replicaSec, 1)});
+    };
+    for (const FleetCase &c : sc.cases) {
+        if (sc.routers.empty()) {
+            addRow(c, {});
+        } else {
+            for (RouterPolicy router : sc.routers)
+                addRow(c, router);
+        }
+        if (!quiet)
+            fprintf(stderr, "  %s done\n", c.label.c_str());
+    }
+    ReportSection sec{"", std::move(t), {}};
+    sec.lines.push_back(
+        "\"replica-sec\": replica-seconds billed — the autoscaler's "
+        "trajectory integral, or replicas x makespan for a static "
+        "fleet.");
+    rep.sections.push_back(std::move(sec));
+    emitObsOutputs(oc, tracer ? &*tracer : nullptr,
+                   timeline ? &*timeline : nullptr, rep);
+    return rep;
+}
+
 // ------------------------------------------------- saturation search
 
 ServingMetrics
@@ -612,6 +718,9 @@ runScenario(const Scenario &sc, bool quiet)
         break;
       case ScenarioKind::Planner:
         rep = runPlanner(sc, quiet);
+        break;
+      case ScenarioKind::ControlPlane:
+        rep = runControlPlane(sc, quiet);
         break;
     }
     rep.title = sc.description.empty() ? sc.name : sc.description;

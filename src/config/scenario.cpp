@@ -18,6 +18,7 @@ scenarioKindName(ScenarioKind kind)
       case ScenarioKind::Fleet: return "fleet";
       case ScenarioKind::Saturation: return "saturation";
       case ScenarioKind::Planner: return "planner";
+      case ScenarioKind::ControlPlane: return "control";
     }
     return "unknown";
 }
@@ -229,8 +230,10 @@ parseRouter(const JsonValue &v)
         return RouterPolicy::LeastOutstandingTokens;
     if (name == "p2c")
         return RouterPolicy::PowerOfTwoChoices;
+    if (name == "cache-affinity" || name == "cache")
+        return RouterPolicy::CacheAffinity;
     failAt(v, "unknown router \"" + v.asString() +
-                  "\" (expected rr, jsq, lot, p2c)");
+                  "\" (expected rr, jsq, lot, p2c, cache-affinity)");
 }
 
 ExecutionMode
@@ -495,11 +498,52 @@ parseReplicas(const JsonValue &v)
     return out;
 }
 
+/// The per-fleet "controlPlane" block (docs/control-plane.md): the
+/// autoscaler knobs plus per-class synthetic prefix lengths. The
+/// priority/deadline arrays live beside it at the fleet level
+/// ("priorities", "deadlines") since they are per request class, not
+/// autoscaler policy.
+void
+parseControlPlane(const JsonValue &v, ControlPlaneConfig &cp)
+{
+    checkKeys(v, {"enabled", "minReplicas", "maxReplicas",
+                  "initialReplicas", "intervalSec", "scaleUpQueueDepth",
+                  "scaleDownQueueDepth", "scaleUpWaitSec", "warmupSec",
+                  "prefixTokens"});
+    AutoscalerConfig &as = cp.autoscaler;
+    as.enabled = getBool(v, "enabled", as.enabled);
+    as.minReplicas =
+        static_cast<size_t>(getUint(v, "minReplicas", as.minReplicas));
+    as.maxReplicas =
+        static_cast<size_t>(getUint(v, "maxReplicas", as.maxReplicas));
+    as.initialReplicas = static_cast<size_t>(
+        getUint(v, "initialReplicas", as.initialReplicas));
+    as.interval =
+        Seconds(getNumber(v, "intervalSec", as.interval.value()));
+    as.scaleUpQueueDepth =
+        getNumber(v, "scaleUpQueueDepth", as.scaleUpQueueDepth);
+    as.scaleDownQueueDepth =
+        getNumber(v, "scaleDownQueueDepth", as.scaleDownQueueDepth);
+    as.scaleUpWait =
+        Seconds(getNumber(v, "scaleUpWaitSec", as.scaleUpWait.value()));
+    as.warmup = Seconds(getNumber(v, "warmupSec", as.warmup.value()));
+    if (const JsonValue *pt = v.find("prefixTokens"))
+        for (const JsonValue &item : pt->items()) {
+            int64_t n = item.asInt();
+            if (n < 0)
+                failAt(item, "\"prefixTokens\" entries must be >= 0 "
+                             "tokens (0 = no shared prefix)");
+            cp.prefixTokensByClass.push_back(
+                static_cast<uint64_t>(n));
+        }
+}
+
 FleetConfig
 parseFleetConfig(const JsonValue &v)
 {
     checkKeys(v, {"label", "router", "routerSeed", "mode",
-                  "prefillReplicas", "link", "slo", "replicas"});
+                  "prefillReplicas", "link", "slo", "replicas",
+                  "controlPlane", "priorities", "deadlines"});
     FleetConfig cfg;
     const JsonValue *reps = v.find("replicas");
     if (!reps)
@@ -508,6 +552,27 @@ parseFleetConfig(const JsonValue &v)
     if (const JsonValue *r = v.find("router"))
         cfg.router = parseRouter(*r);
     cfg.routerSeed = getSeed(v, "routerSeed", cfg.routerSeed);
+    if (const JsonValue *cp = v.find("controlPlane"))
+        parseControlPlane(*cp, cfg.controlPlane);
+    if (const JsonValue *p = v.find("priorities"))
+        for (const JsonValue &item : p->items()) {
+            int64_t tier = item.asInt();
+            if (tier < 0 || tier > 255)
+                failAt(item, "\"priorities\" tiers must be in "
+                             "[0, 255], got " +
+                                 std::to_string(tier));
+            cfg.controlPlane.tierByClass.push_back(
+                static_cast<int>(tier));
+        }
+    if (const JsonValue *ds = v.find("deadlines"))
+        for (const JsonValue &item : ds->items()) {
+            checkKeys(item, {"ttftSec", "totalSec"});
+            ClassDeadline d;
+            d.ttft = Seconds(getNumber(item, "ttftSec", d.ttft.value()));
+            d.total =
+                Seconds(getNumber(item, "totalSec", d.total.value()));
+            cfg.controlPlane.deadlines.push_back(d);
+        }
     if (const JsonValue *m = v.find("mode")) {
         std::string name = lowered(m->asString());
         if (name == "colocated")
@@ -837,6 +902,9 @@ parseScenario(const JsonValue &root, bool smoke)
         /* planner */
         {"name", "description", "kind", "smoke", "systems", "model",
          "engine", "trace", "router", "sloFraction", "maxReplicas"},
+        /* control (fleet schema; control-plane keys live per fleet) */
+        {"name", "description", "kind", "smoke", "model", "trace",
+         "routers", "fleet", "fleets", "observability"},
     };
 
     Scenario sc;
@@ -845,7 +913,7 @@ parseScenario(const JsonValue &root, bool smoke)
     const JsonValue *kind = doc.find("kind");
     if (!kind)
         failAt(doc, "missing required key \"kind\" (throughput, "
-                    "serving, fleet, saturation, planner)");
+                    "serving, fleet, saturation, planner, control)");
     std::string kind_name = lowered(kind->asString());
     if (kind_name == "throughput")
         sc.kind = ScenarioKind::Throughput;
@@ -857,10 +925,12 @@ parseScenario(const JsonValue &root, bool smoke)
         sc.kind = ScenarioKind::Saturation;
     else if (kind_name == "planner")
         sc.kind = ScenarioKind::Planner;
+    else if (kind_name == "control")
+        sc.kind = ScenarioKind::ControlPlane;
     else
         failAt(*kind, "unknown scenario kind \"" + kind->asString() +
                           "\" (expected throughput, serving, fleet, "
-                          "saturation, planner)");
+                          "saturation, planner, control)");
     checkKeys(doc, kByKind[static_cast<size_t>(sc.kind)]);
     switch (sc.kind) {
       case ScenarioKind::Throughput:
@@ -879,6 +949,10 @@ parseScenario(const JsonValue &root, bool smoke)
         break;
       case ScenarioKind::Planner:
         sc.spec = parsePlanner(doc);
+        break;
+      case ScenarioKind::ControlPlane:
+        sc.spec = parseFleet(doc);
+        sc.obs = parseObservability(doc);
         break;
     }
     return sc;
@@ -1178,6 +1252,53 @@ plannerScenario(bool smoke)
     ps.sloFraction = 0.9;
     ps.maxReplicas = 32;
     sc.spec = std::move(ps);
+    return sc;
+}
+
+Scenario
+autoscaleScenario(bool smoke)
+{
+    Scenario sc;
+    sc.name = "autoscale_diurnal";
+    sc.description = "Autoscaler vs. static provisioning on a diurnal "
+                     "trace: 4x Pimba, Mamba-2 2.7B";
+    sc.kind = ScenarioKind::ControlPlane;
+    FleetScenario fs;
+    fs.model = mamba2_2p7b();
+    fs.trace.arrivals = ArrivalProcess::Diurnal;
+    fs.trace.ratePerSec = 24.0;
+    fs.trace.diurnal.period = Seconds(120.0);
+    fs.trace.diurnal.peakToTrough = 3.0;
+    fs.trace.numRequests = smoke ? 200 : 2000;
+    fs.trace.inputLen = smoke ? 256 : 512;
+    fs.trace.outputLen = smoke ? 128 : 256;
+    fs.trace.seed = 0x5EEDBE4Cu;
+
+    // The autoscaler case leads (tools/check_replay.py reads the first
+    // data row); the statics it must beat on replica-seconds follow.
+    FleetCase scaled;
+    scaled.label = "autoscale 1..4";
+    scaled.fleet = colocatedPimbaFleet(4);
+    scaled.fleet.router = RouterPolicy::JoinShortestQueue;
+    AutoscalerConfig &as = scaled.fleet.controlPlane.autoscaler;
+    as.enabled = true;
+    as.minReplicas = 1;
+    as.maxReplicas = 4;
+    as.initialReplicas = 1;
+    as.interval = Seconds(2.0);
+    as.scaleUpQueueDepth = 6.0;
+    as.scaleDownQueueDepth = 1.0;
+    as.warmup = Seconds(2.0);
+    fs.cases.push_back(std::move(scaled));
+
+    for (size_t n : {4, 2}) {
+        FleetCase stat;
+        stat.label = "static " + std::to_string(n);
+        stat.fleet = colocatedPimbaFleet(n);
+        stat.fleet.router = RouterPolicy::JoinShortestQueue;
+        fs.cases.push_back(std::move(stat));
+    }
+    sc.spec = std::move(fs);
     return sc;
 }
 

@@ -8,7 +8,7 @@
  * and fleet-capacity planning — loadable from JSON with located schema
  * errors, or built in C++ by the thin bench wrappers.
  *
- * Five scenario kinds:
+ * Six scenario kinds:
  *
  *  - `throughput`: generationThroughput over grids of (model, batch),
  *    one column per system, normalized to the first system.
@@ -20,6 +20,11 @@
  *    rate that still meets the SLO-attainment fraction.
  *  - `planner`: per system, bisect the minimum replica count whose
  *    homogeneous fleet meets the SLO-attainment fraction.
+ *  - `control`: fleet cases with the SLO-aware control plane enabled
+ *    (autoscaling, priority tiers, deadlines, prefix affinity; see
+ *    docs/control-plane.md) — same schema as `fleet` plus the
+ *    per-fleet "controlPlane" / "priorities" / "deadlines" blocks,
+ *    reported with cancellation and replica-second columns.
  *
  * A scenario file may carry a `"smoke"` member: a partial overlay
  * deep-merged over the document when the caller asks for smoke mode
@@ -54,6 +59,11 @@ enum class ScenarioKind
     Fleet,      ///< multi-replica fleet cases on one trace
     Saturation, ///< highest SLO-sustaining Poisson rate per config
     Planner,    ///< minimum replica count per system at a target rate
+    /// Control-plane fleet study (autoscaler / tiers / deadlines /
+    /// prefix affinity). Shares FleetScenario as its spec type —
+    /// appended at the enum's end so every existing kind keeps its
+    /// parse-table index.
+    ControlPlane,
 };
 
 /// Lower-case kind name ("throughput", "serving", ...).
@@ -232,6 +242,10 @@ Scenario executionModeScenario(bool smoke = false);
 Scenario saturationScenario(bool smoke = false);
 /// Min-replica fleet planning per system (fleet_planner).
 Scenario plannerScenario(bool smoke = false);
+/// Autoscaler vs. static provisioning on a diurnal trace
+/// (fleet_planner's policy-evaluation mode; mirrored by
+/// scenarios/autoscale_diurnal.json).
+Scenario autoscaleScenario(bool smoke = false);
 
 } // namespace pimba
 

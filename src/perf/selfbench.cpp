@@ -246,7 +246,57 @@ benchFleetReplay(const SelfBenchOptions &opts)
     return layer;
 }
 
-/** Layer 7: the full fig12-scale throughput sweep. */
+/** Layer 7: the control-plane pump — the fleet_replay shape with the
+ *  autoscaler enabled, so the extra calendar traffic (scale ticks,
+ *  warm-up timers) and the scale-up/down machinery are timed against
+ *  the static-pool baseline one layer above. */
+BenchLayer
+benchFleetAutoscale(const SelfBenchOptions &opts)
+{
+    BenchLayer layer;
+    layer.name = "fleet_autoscale";
+    const size_t replicas = opts.smoke ? 2 : 4;
+    FleetConfig cfg = homogeneousFleet(SystemKind::PIMBA, replicas,
+                                       benchEngine());
+    cfg.router = RouterPolicy::JoinShortestQueue;
+    AutoscalerConfig &as = cfg.controlPlane.autoscaler;
+    as.enabled = true;
+    as.minReplicas = 1;
+    as.maxReplicas = replicas;
+    as.initialReplicas = 1;
+    as.interval = Seconds(2.0);
+    as.scaleUpQueueDepth = 6.0;
+    as.scaleDownQueueDepth = 1.0;
+    as.warmup = Seconds(2.0);
+    TraceConfig tc;
+    tc.arrivals = ArrivalProcess::Diurnal;
+    tc.ratePerSec = 24.0;
+    tc.diurnal.period = Seconds(120.0);
+    tc.diurnal.peakToTrough = 3.0;
+    tc.numRequests = opts.smoke ? 200 : 2000;
+    tc.inputLen = opts.smoke ? 256 : 512;
+    tc.outputLen = opts.smoke ? 128 : 256;
+    tc.seed = 0x5EEDBE4Cu;
+    layer.detail = "1.." + std::to_string(replicas) +
+                   "x Pimba autoscaled, streamed diurnal 24 req/s, " +
+                   std::to_string(tc.numRequests) +
+                   " requests, sketch metrics";
+
+    Clock::time_point start = Clock::now();
+    for (int rep = 0; rep < opts.reps; ++rep) {
+        Fleet fleet(mamba2_2p7b(), cfg);
+        StreamingMetrics stream(cfg.slo);
+        ArrivalStream arrivals(tc);
+        FleetReport r = fleet.runStreamed(arrivals, stream);
+        layer.simRequests += r.metrics.requests;
+        layer.simTokens += r.metrics.generatedTokens;
+        layer.simSeconds += r.makespan.value();
+    }
+    layer.wallSeconds = secondsSince(start);
+    return layer;
+}
+
+/** Layer 8: the full fig12-scale throughput sweep. */
 BenchLayer
 benchFig12Sweep(const SelfBenchOptions &opts)
 {
@@ -391,6 +441,7 @@ runSelfBench(const SelfBenchOptions &opts)
     report.layers.push_back(benchServingStudy(opts));
     report.layers.push_back(benchFleetRun(opts));
     report.layers.push_back(benchFleetReplay(opts));
+    report.layers.push_back(benchFleetAutoscale(opts));
     report.layers.push_back(benchFig12Sweep(opts));
     return report;
 }

@@ -281,6 +281,7 @@ ServingEngine::begin()
     running.clear();
     preloadedIds.clear();
     life.clear();
+    prefixCache.clear();
     active = true;
 }
 
@@ -319,12 +320,51 @@ ServingEngine::submitPrefilled(const Request &r)
     preloadedIds.insert(r.id);
 }
 
+int
+ServingEngine::tierOf(uint32_t classId) const
+{
+    return classId < cfg.tierByClass.size() ? cfg.tierByClass[classId]
+                                            : 0;
+}
+
+void
+ServingEngine::enqueueWaiting(const Request &r, bool atSegmentFront)
+{
+    if (cfg.tierByClass.empty()) {
+        // Untiered: the exact FIFO (and eviction push_front) the
+        // engine has always had, byte-identical.
+        if (atSegmentFront)
+            waiting.push_front(r);
+        else
+            waiting.push_back(r);
+        return;
+    }
+    // The queue is kept ordered by tier, highest first, FIFO within a
+    // tier. A new arrival joins the *back* of its tier segment; an
+    // evicted request rejoins the *front* of its segment (it keeps its
+    // recompute-next priority among peers but never jumps a higher
+    // tier).
+    const int tier = tierOf(r.classId);
+    size_t pos = 0;
+    if (atSegmentFront) {
+        while (pos < waiting.size() &&
+               tierOf(waiting[pos].classId) > tier)
+            ++pos;
+    } else {
+        while (pos < waiting.size() &&
+               tierOf(waiting[pos].classId) >= tier)
+            ++pos;
+    }
+    waiting.insert(waiting.begin() + static_cast<std::ptrdiff_t>(pos),
+                   r);
+}
+
 void
 ServingEngine::revealArrivals()
 {
     while (!pendingArrivals.empty() &&
            pendingArrivals.front().arrival <= clock) {
-        waiting.push_back(pendingArrivals.front());
+        enqueueWaiting(pendingArrivals.front(), /*atSegmentFront=*/false);
         pendingArrivals.pop_front();
     }
 }
@@ -355,8 +395,11 @@ void
 ServingEngine::drain()
 {
     advanceTo(Seconds(std::numeric_limits<double>::infinity()));
-    PIMBA_ASSERT(report.completedRequests == submitted,
-                 "drain left ", submitted - report.completedRequests,
+    PIMBA_ASSERT(report.completedRequests + report.cancelledRequests ==
+                     submitted,
+                 "drain left ",
+                 submitted - report.completedRequests -
+                     report.cancelledRequests,
                  " requests unserved");
 }
 
@@ -364,9 +407,11 @@ ServingReport
 ServingEngine::finish()
 {
     PIMBA_ASSERT(active, "finish() outside a session");
-    PIMBA_ASSERT(report.completedRequests == submitted,
+    PIMBA_ASSERT(report.completedRequests + report.cancelledRequests ==
+                     submitted,
                  "finish() before drain: ",
-                 submitted - report.completedRequests,
+                 submitted - report.completedRequests -
+                     report.cancelledRequests,
                  " requests in flight");
     PIMBA_ASSERT(blocks->usedBlocks() == Blocks(0),
                  "block pool leaked at drain: ",
@@ -388,6 +433,8 @@ ServingEngine::finish()
         report.makespan > Seconds(0.0)
             ? Tokens(report.generatedTokens) / report.makespan
             : TokensPerSecond(0.0);
+    report.metrics.cancelledRequests = report.cancelledRequests;
+    report.metrics.wastedTokens = report.wastedTokens;
     // Under streamOnly the per-request records were never retained, so
     // computeMetrics saw an empty vector; the counters are still exact.
     // Percentile summaries live in the attached StreamingMetrics.
@@ -446,6 +493,109 @@ ServingEngine::outstandingTokens() const
     return total;
 }
 
+uint64_t
+ServingEngine::tierPressure() const
+{
+    if (cfg.tierByClass.empty())
+        return 0;
+    uint64_t total = 0;
+    auto weight = [&](uint32_t classId) {
+        total += static_cast<uint64_t>(tierOf(classId)) + 1;
+    };
+    for (const Request &r : waiting)
+        weight(r.classId);
+    for (const Request &r : pendingArrivals)
+        weight(r.classId);
+    for (const RequestState &rs : running)
+        weight(rs.req.classId);
+    return total;
+}
+
+uint64_t
+ServingEngine::cachedPrefixBlocks(uint32_t classId) const
+{
+    if (classId >= prefixCache.size() || prefixCache[classId] == 0)
+        return 0;
+    const uint64_t bt = cfg.blockTokens.value();
+    return (prefixCache[classId] + bt - 1) / bt;
+}
+
+Seconds
+ServingEngine::oldestQueuedArrival() const
+{
+    Seconds oldest{std::numeric_limits<double>::infinity()};
+    for (const Request &r : waiting)
+        oldest = std::min(oldest, r.arrival);
+    return oldest;
+}
+
+bool
+ServingEngine::cancel(uint64_t id, Seconds now, bool onlyIfNoFirstToken)
+{
+    PIMBA_ASSERT(active, "cancel() outside a session");
+    auto closeLane = [&] {
+        if (obs.tracer)
+            obs.tracer->end(obs.pid, requestLane(id),
+                            std::max(now, clock));
+    };
+    // Queued (never admitted, or evicted back to the queue): nothing
+    // was computed since the last eviction — the eviction path already
+    // billed any discarded work as recompute debt — so only the
+    // bookkeeping goes.
+    auto dropQueued = [&](std::deque<Request> &q) {
+        for (auto it = q.begin(); it != q.end(); ++it) {
+            if (it->id != id)
+                continue;
+            q.erase(it);
+            ++report.cancelledRequests;
+            life.erase(id);
+            preloadedIds.erase(id);
+            closeLane();
+            return true;
+        }
+        return false;
+    };
+    if (dropQueued(waiting) || dropQueued(pendingArrivals))
+        return true;
+
+    for (size_t i = 0; i < running.size(); ++i) {
+        RequestState &rs = running[i];
+        if (rs.req.id != id)
+            continue;
+        if (onlyIfNoFirstToken && rs.firstToken >= Seconds(0.0))
+            return false; // TTFT deadline already met
+        // Locally computed work becomes waste and leaves the delivered
+        // counter. A preloaded request's prompt and first token were
+        // produced (and counted) on its prefill replica; only local
+        // decode steps are this replica's to un-count — with the same
+        // wrap clamp the eviction path needs. Prefix-cache-skipped
+        // prompt tokens were never computed, so they are not waste.
+        uint64_t undelivered = 0;
+        uint64_t wasted = 0;
+        if (rs.preloaded) {
+            undelivered = rs.generated > 0 ? rs.generated - 1 : 0;
+            wasted = undelivered;
+        } else {
+            PIMBA_ASSERT(rs.prefilled >= rs.prefixSkipped,
+                         "prefix-skip accounting underflow on cancel");
+            undelivered = rs.generated;
+            wasted = (rs.prefilled - rs.prefixSkipped) + rs.generated;
+        }
+        PIMBA_ASSERT(report.generatedTokens >= undelivered,
+                     "delivered-token counter underflow on cancel");
+        report.generatedTokens -= undelivered;
+        report.wastedTokens += wasted;
+        ++report.cancelledRequests;
+        blocks->release(id);
+        life.erase(id);
+        preloadedIds.erase(id);
+        closeLane();
+        running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
+        return true;
+    }
+    return false; // already completed or cancelled — stale timer
+}
+
 void
 ServingEngine::iterate()
 {
@@ -492,6 +642,17 @@ ServingEngine::iterate()
             rs.firstToken = clock;
         } else {
             rs.phase = RequestPhase::Prefill;
+            if (r.prefixLen > 0 && r.classId < prefixCache.size()) {
+                // Warm per-class prefix cache: skip the shared leading
+                // tokens, capped so at least one prompt token is
+                // prefilled locally (the final chunk is what emits the
+                // first output token).
+                uint64_t hit = std::min(
+                    {prefixCache[r.classId], r.prefixLen,
+                     r.inputLen - 1});
+                rs.prefilled = hit;
+                rs.prefixSkipped = hit;
+            }
         }
         Lifecycle &lc = life[r.id];
         if (lc.firstAdmitted < Seconds(0.0))
@@ -566,9 +727,25 @@ ServingEngine::iterate()
                         " blocks under the budget of ",
                         report.memoryBudget.value(), " bytes");
         // running is kept in admission order, so the back is the most
-        // recently admitted resident (lowest priority).
-        RequestState victim = running.back();
-        running.pop_back();
+        // recently admitted resident (lowest priority). With priority
+        // tiers, victimize the lowest resident tier first and only
+        // break ties by recency — the last (most recent) occurrence of
+        // the minimum tier, which degenerates to exactly the back when
+        // every class sits at tier 0.
+        size_t victimIdx = running.size() - 1;
+        if (!cfg.tierByClass.empty()) {
+            int victimTier = tierOf(running[victimIdx].req.classId);
+            for (size_t i = running.size() - 1; i-- > 0;) {
+                int t = tierOf(running[i].req.classId);
+                if (t < victimTier) {
+                    victimTier = t;
+                    victimIdx = i;
+                }
+            }
+        }
+        RequestState victim = running[victimIdx];
+        running.erase(running.begin() +
+                      static_cast<std::ptrdiff_t>(victimIdx));
         blocks->release(victim.req.id);
         ++report.preemptions;
         ++life[victim.req.id].preemptions;
@@ -594,14 +771,25 @@ ServingEngine::iterate()
             // both counters for the rest of the run.
             uint64_t locallyDecoded =
                 victim.generated > 0 ? victim.generated - 1 : 0;
+            PIMBA_ASSERT(report.generatedTokens >= locallyDecoded,
+                         "delivered-token counter underflow on "
+                         "preloaded eviction");
             report.recomputedTokens += locallyDecoded;
             report.generatedTokens -= locallyDecoded;
         } else {
+            // Prefix-cache-skipped prompt tokens were never computed
+            // here, so they are not recompute debt — re-admission will
+            // skip them again from the still-warm cache.
+            PIMBA_ASSERT(victim.prefilled >= victim.prefixSkipped,
+                         "prefix-skip accounting underflow on eviction");
+            PIMBA_ASSERT(report.generatedTokens >= victim.generated,
+                         "delivered-token counter underflow on eviction");
             report.recomputedTokens +=
-                victim.prefilled + victim.generated;
+                (victim.prefilled - victim.prefixSkipped) +
+                victim.generated;
             report.generatedTokens -= victim.generated;
         }
-        waiting.push_front(victim.req);
+        enqueueWaiting(victim.req, /*atSegmentFront=*/true);
     }
 
     // Cost the iteration: either a fused step (Sarathi) or decode and
@@ -671,6 +859,16 @@ ServingEngine::iterate()
             rs.firstToken = clock;
             rs.phase = RequestPhase::Decode;
             ++report.generatedTokens;
+            if (rs.req.prefixLen > 0) {
+                // This class's shared prefix is now cached here: later
+                // arrivals of the class skip it at admission.
+                uint64_t warm = std::min(rs.req.prefixLen,
+                                         rs.req.inputLen - 1);
+                if (rs.req.classId >= prefixCache.size())
+                    prefixCache.resize(rs.req.classId + 1, 0);
+                prefixCache[rs.req.classId] =
+                    std::max(prefixCache[rs.req.classId], warm);
+            }
             if (obs.tracer)
                 obs.tracer->instant(
                     obs.pid, requestLane(rs.req.id), clock,

@@ -116,6 +116,15 @@ struct EngineConfig
     /// private simulator copy at construction).
     std::optional<ExecutionMode> executionMode;
     SloConfig slo;
+    /// Priority tier per request class (index = Request::classId,
+    /// higher = more important; classes beyond the vector default to
+    /// tier 0). Empty — the default — disables tiering entirely: the
+    /// queue stays strict FIFO and eviction picks the most recently
+    /// admitted resident, byte-identical to the untiered engine. When
+    /// set, revealed arrivals queue ahead of strictly lower tiers
+    /// (FIFO within a tier) and eviction victimizes the lowest
+    /// resident tier first (most recently admitted within it).
+    std::vector<int> tierByClass;
 };
 
 /// The iteration token budget a config resolves to: the explicit value,
@@ -143,6 +152,13 @@ struct ServingReport
     /// Requests retired this run. Always maintained, so counters keep
     /// working when streamOnly drops the per-request records.
     uint64_t completedRequests = 0;
+    /// Requests removed by cancel() (deadline timeouts). A session is
+    /// fully served when completed + cancelled == submitted.
+    uint64_t cancelledRequests = 0;
+    /// Tokens computed for later-cancelled requests (prefill chunks
+    /// plus locally decoded output) — discarded work, distinct from
+    /// recomputedTokens (eviction debt that is eventually redone).
+    uint64_t wastedTokens = 0;
     ServingMetrics metrics;
     Seconds makespan;          ///< trace start to last token
     uint64_t iterations = 0;   ///< scheduler iterations executed
@@ -210,6 +226,18 @@ class ServingEngine
     /// Close the session (must be drained) and return its report.
     ServingReport finish();
 
+    /// Cancel request @p id (a deadline fired): remove it from the
+    /// pending/waiting queue, or evict it from the running batch and
+    /// free its blocks. With @p onlyIfNoFirstToken (a TTFT deadline), a
+    /// request that has already delivered its first token is left
+    /// alone. Cancelled requests emit no completion record; locally
+    /// computed prefill/decode tokens are billed to
+    /// ServingReport::wastedTokens and removed from generatedTokens.
+    /// Returns false — harmlessly — when the request already completed,
+    /// was cancelled earlier, or kept its first token: stale deadline
+    /// timers need no bookkeeping on the calendar side.
+    bool cancel(uint64_t id, Seconds now, bool onlyIfNoFirstToken);
+
     // --------------------------------------- router introspection
     /// Simulated clock of the open session.
     Seconds now() const { return clock; }
@@ -230,6 +258,19 @@ class ServingEngine
     /// requests: unprocessed prompt tokens plus ungenerated output
     /// tokens. The least-outstanding-tokens router's load signal.
     uint64_t outstandingTokens() const;
+    /// Priority-weighted unfinished work: sum of (tier + 1) over every
+    /// queued and resident request. Routers use it to break load ties
+    /// toward the replica hosting less important work. O(1) zero when
+    /// tiering is disabled (EngineConfig::tierByClass empty).
+    uint64_t tierPressure() const;
+    /// Blocks of class @p classId's shared prefix this replica's prefix
+    /// cache holds (warmed when a request of the class finishes
+    /// prefill). The cache-affinity router's locality signal.
+    uint64_t cachedPrefixBlocks(uint32_t classId) const;
+    /// Arrival time of the oldest revealed-but-unadmitted request; +inf
+    /// when the queue is empty. The autoscaler's head-of-line-wait SLO
+    /// signal.
+    Seconds oldestQueuedArrival() const;
     /// Requests completed so far in the open session.
     size_t completedCount() const { return report.completedRequests; }
     /// Completion records so far (the fleet polls for hand-offs).
@@ -293,6 +334,12 @@ class ServingEngine
     void revealArrivals();
     /// One scheduler iteration (admission, planning, costing, retire).
     void iterate();
+    /// Priority tier of @p classId (0 when untiered / out of range).
+    int tierOf(uint32_t classId) const;
+    /// Queue @p r respecting tier order (plain push_back when
+    /// untiered; see EngineConfig::tierByClass). Evicted requests
+    /// re-queue at the *front* of their tier segment instead.
+    void enqueueWaiting(const Request &r, bool atSegmentFront);
 
     ServingSimulator sim;
     ModelConfig model;
@@ -334,6 +381,14 @@ class ServingEngine
     std::unordered_map<uint64_t, Lifecycle> life;
     std::optional<BlockManager> blocks;
     BlockMapper mapper;
+    /// Per-class warmed shared-prefix tokens (index = classId, grown on
+    /// demand). Warmed when a request of the class completes prefill;
+    /// admission then skips the already-cached prefix of later
+    /// requests of the same class. Synthetic: the prefix occupies no
+    /// blocks of its own in the pool — reuse shows up purely as
+    /// skipped prefill compute, which keeps the disabled path (no
+    /// Request::prefixLen set anywhere) byte-identical.
+    std::vector<uint64_t> prefixCache;
     ServingReport report;
 
     // Per-iteration scratch, reused across iterations so the inner loop

@@ -55,6 +55,16 @@ struct ServingMetrics
     RequestsPerSecond requestsPerSec; ///< completion rate
     RequestsPerSecond goodput; ///< SLO-meeting completions per second
     uint64_t sloViolations = 0;   ///< completions missing the SLO
+    /** Requests cancelled by deadline timers (docs/control-plane.md).
+     *  Cancelled requests emit no completion record: they are outside
+     *  every percentile population above and can never count toward
+     *  goodput. Zero unless the control plane posts deadlines. */
+    uint64_t cancelledRequests = 0;
+    /** Tokens computed for requests that were later cancelled (prefill
+     *  chunks plus locally-decoded output) — compute billed but never
+     *  delivered. Eviction recompute is tracked separately (the work is
+     *  redone, not discarded) in ServingReport::recomputedTokens. */
+    uint64_t wastedTokens = 0;
     LatencySummary ttft;
     /** TPOT over requests with >= 2 output tokens only: single-token
      *  requests have no inter-token gap and would skew the percentiles

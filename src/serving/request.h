@@ -29,6 +29,13 @@ struct Request
      *  engine treats all classes alike — the field rides along so
      *  replayed traces and per-class analyses keep the attribution. */
     uint32_t classId = 0;
+    /** Leading prompt tokens shared with every other request of this
+     *  class (a synthetic per-class prefix id, e.g. a common system
+     *  prompt). 0 means no shared prefix. An engine whose prefix cache
+     *  is warm for the class skips prefilling min(prefixLen,
+     *  inputLen - 1) tokens; the cache-affinity router scores replicas
+     *  by how much of this prefix they hold. */
+    uint64_t prefixLen = 0;
 };
 
 /**
@@ -55,6 +62,11 @@ struct RequestState
     bool preloaded = false;
     uint64_t prefilled = 0;  ///< prompt tokens already processed
     uint64_t generated = 0;  ///< output tokens already produced
+    /** Of `prefilled`, the leading tokens satisfied from the engine's
+     *  per-class prefix cache at admission — cached, never computed
+     *  locally, so eviction/cancellation accounting must not bill them
+     *  as recomputed or wasted compute. */
+    uint64_t prefixSkipped = 0;
     /** Blocks admission promised this request (prompt + first token);
      *  outstanding pledges gate further admissions so co-resident
      *  prompts can always be cached without evicting each other. */

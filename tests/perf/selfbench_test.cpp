@@ -32,10 +32,11 @@ smokeReport()
 TEST(SelfBench, SmokeRunCoversEveryLayer)
 {
     SelfBenchReport rep = smokeReport();
-    ASSERT_EQ(rep.layers.size(), 7u);
-    const char *expected[] = {"step_cost", "engine",       "engine_traced",
-                              "serving",   "fleet",        "fleet_replay",
-                              "sweep_fig12"};
+    ASSERT_EQ(rep.layers.size(), 8u);
+    const char *expected[] = {"step_cost",    "engine",
+                              "engine_traced", "serving",
+                              "fleet",         "fleet_replay",
+                              "fleet_autoscale", "sweep_fig12"};
     for (size_t i = 0; i < rep.layers.size(); ++i) {
         EXPECT_EQ(rep.layers[i].name, expected[i]);
         EXPECT_FALSE(rep.layers[i].detail.empty());

@@ -13,7 +13,8 @@
  *
  * `run` executes any scenario kind; `sweep` fans one grid axis across
  * a thread pool (same scenario + seed => byte-identical report at any
- * thread count); `fleet` insists on the cluster kinds (fleet/planner);
+ * thread count); `fleet` insists on the cluster kinds
+ * (fleet/planner/control);
  * `validate` parses and type-checks without running. Schema errors
  * print as `file: line L, column C: message`.
  */
@@ -42,7 +43,8 @@ printTopLevelHelp()
         "commands:\n"
         "  run       execute a scenario and print its report\n"
         "  sweep     run a scenario once per grid point, in parallel\n"
-        "  fleet     execute a cluster scenario (fleet/planner kinds)\n"
+        "  fleet     execute a cluster scenario (fleet/planner/control "
+        "kinds)\n"
         "  trace     save a scenario's arrival trace as a "
         "pimba-trace-v1 file\n"
         "  replay    run a fleet scenario with bounded-memory "
@@ -135,10 +137,11 @@ runCommand(const std::string &command, int argc, char **argv)
         if (streamMetrics)
             sc.obs.streamMetrics = true;
         if (sc.obs.enabled() && sc.kind != ScenarioKind::Serving &&
-            sc.kind != ScenarioKind::Fleet) {
+            sc.kind != ScenarioKind::Fleet &&
+            sc.kind != ScenarioKind::ControlPlane) {
             fprintf(stderr,
-                    "pimba %s: observability applies to serving and "
-                    "fleet scenarios; %s is a %s scenario\n",
+                    "pimba %s: observability applies to serving, fleet "
+                    "and control scenarios; %s is a %s scenario\n",
                     command.c_str(), path.c_str(),
                     scenarioKindName(sc.kind).c_str());
             return 1;
@@ -153,10 +156,11 @@ runCommand(const std::string &command, int argc, char **argv)
             return 0;
         }
         if (command == "fleet" && sc.kind != ScenarioKind::Fleet &&
-            sc.kind != ScenarioKind::Planner) {
+            sc.kind != ScenarioKind::Planner &&
+            sc.kind != ScenarioKind::ControlPlane) {
             fprintf(stderr,
                     "pimba fleet: %s is a %s scenario; expected kind "
-                    "fleet or planner (use `pimba run`)\n",
+                    "fleet, planner or control (use `pimba run`)\n",
                     path.c_str(), scenarioKindName(sc.kind).c_str());
             return 1;
         }
@@ -189,6 +193,7 @@ scenarioTrace(Scenario &sc)
       case ScenarioKind::Serving:
         return &std::get<ServingScenario>(sc.spec).trace;
       case ScenarioKind::Fleet:
+      case ScenarioKind::ControlPlane:
         return &std::get<FleetScenario>(sc.spec).trace;
       case ScenarioKind::Saturation:
         return &std::get<SaturationScenario>(sc.spec).trace;
@@ -293,10 +298,11 @@ replayCommand(int argc, char **argv)
 
     try {
         Scenario sc = loadScenarioFile(path, smoke);
-        if (sc.kind != ScenarioKind::Fleet) {
+        if (sc.kind != ScenarioKind::Fleet &&
+            sc.kind != ScenarioKind::ControlPlane) {
             fprintf(stderr,
                     "pimba replay: %s is a %s scenario; replay needs "
-                    "kind fleet\n",
+                    "kind fleet or control\n",
                     path.c_str(), scenarioKindName(sc.kind).c_str());
             return 1;
         }
